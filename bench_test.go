@@ -1,0 +1,381 @@
+// Benchmark harness: one benchmark per table and figure of the paper (each
+// logs the regenerated rows and reports the headline numbers as metrics),
+// plus micro-benchmarks of the performance-critical substrates.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+package aic_test
+
+import (
+	"testing"
+
+	"aic"
+	"aic/internal/ckpt"
+	"aic/internal/delta"
+	"aic/internal/exp"
+	"aic/internal/memsim"
+	"aic/internal/model"
+	"aic/internal/numeric"
+	"aic/internal/predictor"
+	"aic/internal/workload"
+)
+
+// --- Experiment regeneration benchmarks (Tables 1, 3; Figs. 2, 5-7, 11, 12) ---
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1Rows(4000, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderTable1(rows))
+			b.ReportMetric(100*rows[1].CandidateFrac, "%cand-sys20")
+			b.ReportMetric(100*rows[1].CandidateFracReserved, "%resch-sys20")
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := exp.Fig2(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderFig2(series))
+			b.ReportMetric(series[0].Swing(), "sjeng-swing-x")
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig5(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderScaling("Fig. 5 — NET² of pF3D (MPI scaling)", rows))
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.L2L3, "NET2-L2L3-20x")
+			b.ReportMetric(last.Moody, "NET2-Moody-20x")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig6(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderScaling("Fig. 6 — NET² of RMS", rows))
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.Moody-last.L2L3, "Moody-gap-20x")
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig7(nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderFig7(rows))
+			b.ReportMetric(rows[0].BySF[15], "NET2-SF15-1x")
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig11(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderFig11(rows))
+			for _, r := range rows {
+				if r.Benchmark == "milc" {
+					b.ReportMetric(100*(r.Moody-r.AIC)/r.Moody, "%milc-vs-moody")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig12(42, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderFig12(rows))
+			last := rows[len(rows)-1]
+			b.ReportMetric(100*(last.SIC-last.AIC)/last.SIC, "%aic-gain-4x")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table3(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderTable3(rows))
+			for _, r := range rows {
+				if r.Benchmark == "sphinx3" {
+					b.ReportMetric(r.RatioPA, "sphinx3-ratio-pa")
+				}
+			}
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5 design decisions) ---
+
+func BenchmarkAblationCompressor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationCompressor(42, "sjeng", "sphinx3")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderAblations(rows, nil, nil))
+		}
+	}
+}
+
+func BenchmarkAblationPredictor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationPredictor(42, "milc", "sjeng")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderAblations(nil, rows, nil))
+		}
+	}
+}
+
+func BenchmarkAblationSampler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationSampler(42, "sjeng")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderAblations(nil, nil, rows))
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func benchPages(n int) ([]byte, []byte) {
+	rng := numeric.NewRNG(1)
+	src := make([]byte, n)
+	rng.Bytes(src)
+	dst := append([]byte(nil), src...)
+	for i := 0; i < n/64; i++ {
+		dst[rng.Intn(n)] ^= 0xFF
+	}
+	return src, dst
+}
+
+func BenchmarkDeltaEncode4KiBSparse(b *testing.B) {
+	src, dst := benchPages(4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta.Encode(src, dst, delta.DefaultBlockSize)
+	}
+}
+
+func BenchmarkDeltaEncode1MiB(b *testing.B) {
+	src, dst := benchPages(1 << 20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta.Encode(src, dst, 1024)
+	}
+}
+
+func BenchmarkDeltaDecode1MiB(b *testing.B) {
+	src, dst := benchPages(1 << 20)
+	stream := delta.Encode(src, dst, 1024)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := delta.Decode(src, stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXOREncode4KiB(b *testing.B) {
+	src, dst := benchPages(4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := delta.EncodeXOR(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarkovSolveL2L3(b *testing.B) {
+	p := model.Coastal()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.EvalL2L3(1800, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarkovSimulate(b *testing.B) {
+	p := model.Coastal()
+	p.Lambda = [3]float64{1e-4, 7.5e-4, 2e-5}
+	ch, start, _ := model.L2L3Interval(1800, p, p)
+	rng := numeric.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ch.Simulate(rng, start, 100, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMoodyOptimize(b *testing.B) {
+	p := model.Coastal()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.OptimizeMoody(p, 10, 200000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeciderWorkSpanSearch(b *testing.B) {
+	cur := model.Coastal()
+	cur.Lambda = [3]float64{8.3e-5, 7.5e-4, 1.67e-5}
+	for i := 0; i < b.N; i++ {
+		model.OptimalWorkSpanDynamic(cur, cur, 1, 7200)
+	}
+}
+
+func BenchmarkJaccardDistance4KiB(b *testing.B) {
+	src, dst := benchPages(4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		predictor.JaccardDistance(src, dst)
+	}
+}
+
+func BenchmarkDivergenceIndex4KiB(b *testing.B) {
+	src, _ := benchPages(4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		predictor.DivergenceIndex(src)
+	}
+}
+
+func BenchmarkPredictorOnlineUpdate(b *testing.B) {
+	o := predictor.NewOnline(4, 3, 0.5)
+	rng := numeric.NewRNG(2)
+	for i := 0; i < 10; i++ {
+		m := predictor.Metrics{DP: rng.Float64() * 1000, T: rng.Float64() * 60, JD: rng.Float64(), DI: rng.Float64()}
+		o.Observe(m, 3*m.DP+m.T)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := predictor.Metrics{DP: float64(i % 1000), T: float64(i % 60), JD: 0.4, DI: 0.7}
+		o.Observe(m, 3*m.DP+m.T)
+		o.Predict(m)
+	}
+}
+
+func BenchmarkDeltaCheckpoint(b *testing.B) {
+	prog := workload.Sjeng(1)
+	as := memsim.New(0)
+	builder := ckpt.NewBuilder(as.PageSize(), 0, 0)
+	prog.Init(as)
+	builder.FullCheckpoint(as)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.Step(as, float64(i*5), 5)
+		c, _ := builder.DeltaCheckpoint(as)
+		b.SetBytes(int64(c.Size()))
+	}
+}
+
+func BenchmarkAICRunSphinx3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := aic.RunBenchmark("sphinx3", aic.Options{Policy: aic.AIC})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.NET2, "NET2")
+		}
+	}
+}
+
+func BenchmarkMonteCarloValidation(b *testing.B) {
+	rep, err := aic.RunBenchmark("sphinx3", aic.Options{Policy: aic.SIC})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rep.Validate(2000, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sharing, err := exp.SharingEmpirical(42, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mpiRows, err := exp.MPIScaling(42, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		weibull, err := exp.WeibullSensitivity(42, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderExtensions(sharing, mpiRows, weibull))
+			b.ReportMetric(sharing[15], "NET2-SF15-empirical")
+		}
+	}
+}
+
+func BenchmarkStudies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		acc, err := exp.PredictorAccuracy(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lam, err := exp.LambdaSensitivity(42, "milc", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + exp.RenderAccuracy(acc, lam))
+		}
+	}
+}

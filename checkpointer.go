@@ -1,0 +1,191 @@
+package aic
+
+import (
+	"fmt"
+
+	"aic/internal/ckpt"
+	"aic/internal/delta"
+	"aic/internal/memsim"
+	"aic/internal/storage"
+)
+
+// Process is a directly-driven process image for library users who want the
+// checkpoint/restore machinery without the workload simulator: write pages,
+// take full/delta checkpoints, ship the encoded bytes anywhere, and restore
+// them with RestoreImage.
+type Process struct {
+	as      *memsim.AddressSpace
+	builder *ckpt.Builder
+	clock   float64
+}
+
+// CompressionStats summarizes one delta checkpoint.
+type CompressionStats struct {
+	InputBytes  int // raw dirty bytes considered
+	OutputBytes int // compressed payload size
+	HotPages    int // pages delta-compressed against previous versions
+	RawPages    int // pages stored verbatim
+}
+
+// Ratio returns OutputBytes/InputBytes (lower is better); 0 when empty.
+func (s CompressionStats) Ratio() float64 {
+	if s.InputBytes == 0 {
+		return 0
+	}
+	return float64(s.OutputBytes) / float64(s.InputBytes)
+}
+
+// NewProcess creates an empty process image. pageSize ≤ 0 selects 4096.
+func NewProcess(pageSize int) *Process {
+	as := memsim.New(pageSize)
+	return &Process{
+		as:      as,
+		builder: ckpt.NewBuilder(as.PageSize(), 0, 0),
+	}
+}
+
+// PageSize returns the image's page size.
+func (p *Process) PageSize() int { return p.as.PageSize() }
+
+// Write stores data into the page at index starting at offset, allocating
+// on demand. Writes must stay within one page.
+func (p *Process) Write(page uint64, offset int, data []byte) {
+	p.as.Write(page, offset, data, p.clock)
+}
+
+// Free unmaps a page; it disappears from subsequent checkpoints.
+func (p *Process) Free(page uint64) { p.as.Free(page) }
+
+// Advance moves the process's virtual clock, which timestamps page-write
+// arrivals (used by AIC's hot-page sampling when a Runtime drives the
+// image; harmless otherwise).
+func (p *Process) Advance(dt float64) { p.clock += dt }
+
+// Pages returns the number of mapped pages.
+func (p *Process) Pages() int { return p.as.NumPages() }
+
+// DirtyPages returns the number of pages written since the last checkpoint.
+func (p *Process) DirtyPages() int { return p.as.DirtyCount() }
+
+// FullCheckpoint captures every mapped page and returns the encoded
+// checkpoint. The first checkpoint of a chain must be full.
+func (p *Process) FullCheckpoint() []byte {
+	return p.builder.FullCheckpoint(p.as).Encode()
+}
+
+// DeltaCheckpoint captures the dirty pages with page-aligned delta
+// compression (Xdelta3-PA) and returns the encoded checkpoint plus
+// compression statistics.
+func (p *Process) DeltaCheckpoint() ([]byte, CompressionStats) {
+	c, st := p.builder.DeltaCheckpoint(p.as)
+	return c.Encode(), CompressionStats{
+		InputBytes:  st.InputBytes,
+		OutputBytes: st.OutputBytes,
+		HotPages:    st.HotPages,
+		RawPages:    st.RawPages,
+	}
+}
+
+// IncrementalCheckpoint captures the dirty pages uncompressed.
+func (p *Process) IncrementalCheckpoint() []byte {
+	return p.builder.IncrementalCheckpoint(p.as).Encode()
+}
+
+// Image is a restored process image.
+type Image struct {
+	as *memsim.AddressSpace
+}
+
+// RestoreImage replays an encoded checkpoint chain — one full checkpoint
+// followed by its incrementals in order — and returns the reconstructed
+// image.
+func RestoreImage(chain [][]byte) (*Image, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("aic: empty restore chain")
+	}
+	decoded := make([]*ckpt.Checkpoint, len(chain))
+	for i, data := range chain {
+		c, err := ckpt.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("aic: chain element %d: %w", i, err)
+		}
+		decoded[i] = c
+	}
+	as, err := ckpt.Restore(decoded)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{as: as}, nil
+}
+
+// Page returns a copy of the page at index, or nil when unmapped.
+func (im *Image) Page(index uint64) []byte { return im.as.PageCopy(index) }
+
+// Pages returns the number of mapped pages.
+func (im *Image) Pages() int { return im.as.NumPages() }
+
+// Matches reports whether the image is byte-identical to the live process.
+func (im *Image) Matches(p *Process) bool { return im.as.Equal(p.as) }
+
+// DeltaEncode exposes the rsync-style codec directly: it returns a delta
+// stream reconstructing target from source (blockSize ≤ 0 selects the
+// default granularity).
+func DeltaEncode(source, target []byte, blockSize int) []byte {
+	return delta.Encode(source, target, blockSize)
+}
+
+// DeltaDecode reverses DeltaEncode.
+func DeltaDecode(source, stream []byte) ([]byte, error) {
+	return delta.Decode(source, stream)
+}
+
+// Seq returns the sequence number the process's next checkpoint will carry.
+func (p *Process) Seq() int { return p.builder.Seq() }
+
+// CheckpointDir is a durable, directory-backed checkpoint store for the
+// Process facade: each checkpoint becomes one file plus a JSON manifest, so
+// chains survive the writing process and can be restored later (or by
+// another program).
+type CheckpointDir struct {
+	fs *storage.FSStore
+}
+
+// OpenCheckpointDir opens (creating if needed) a checkpoint directory.
+func OpenCheckpointDir(dir string) (*CheckpointDir, error) {
+	fs, err := storage.NewFSStore(dir, storage.Target{Name: "dir"})
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointDir{fs: fs}, nil
+}
+
+// Append stores an encoded checkpoint under the process name. Sequence
+// numbers must be strictly increasing; use Process.Seq before taking the
+// checkpoint to label it.
+func (d *CheckpointDir) Append(proc string, seq int, encoded []byte) error {
+	_, err := d.fs.Put(proc, seq, encoded)
+	return err
+}
+
+// Chain returns the stored chain for proc in sequence order, ready for
+// RestoreImage.
+func (d *CheckpointDir) Chain(proc string) ([][]byte, error) {
+	stored, err := d.fs.Chain(proc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(stored))
+	for i, s := range stored {
+		out[i] = s.Data
+	}
+	return out, nil
+}
+
+// Truncate drops checkpoints before fullSeq (housekeeping after a periodic
+// full checkpoint).
+func (d *CheckpointDir) Truncate(proc string, fullSeq int) error {
+	return d.fs.TruncateAfterFull(proc, fullSeq)
+}
+
+// Remove deletes a process's chain.
+func (d *CheckpointDir) Remove(proc string) error { return d.fs.WipeProc(proc) }

@@ -1,0 +1,189 @@
+package aic
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessCheckpointRestoreRoundTrip(t *testing.T) {
+	p := NewProcess(0)
+	if p.PageSize() != 4096 {
+		t.Fatalf("page size %d", p.PageSize())
+	}
+	p.Write(0, 0, []byte("hello"))
+	p.Write(9, 100, bytes.Repeat([]byte{0xAB}, 256))
+	chain := [][]byte{p.FullCheckpoint()}
+	if p.DirtyPages() != 0 {
+		t.Fatal("checkpoint must clear dirty tracking")
+	}
+
+	p.Advance(1)
+	p.Write(0, 2, []byte("LLO!"))
+	p.Write(3, 0, []byte("new page"))
+	enc, st := p.DeltaCheckpoint()
+	chain = append(chain, enc)
+	if st.HotPages != 1 || st.RawPages != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Ratio() <= 0 || st.Ratio() > 1.2 {
+		t.Fatalf("ratio %v", st.Ratio())
+	}
+
+	p.Advance(1)
+	p.Free(9)
+	p.Write(3, 8, []byte("again"))
+	chain = append(chain, p.IncrementalCheckpoint())
+
+	im, err := RestoreImage(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Matches(p) {
+		t.Fatal("restored image differs")
+	}
+	if im.Pages() != p.Pages() {
+		t.Fatal("page counts differ")
+	}
+	if im.Page(9) != nil {
+		t.Fatal("freed page present after restore")
+	}
+	if got := im.Page(0); !bytes.Equal(got[:7], []byte("heLLO!\x00")) {
+		t.Fatalf("page 0 = %q", got[:7])
+	}
+}
+
+func TestRestoreImageErrors(t *testing.T) {
+	if _, err := RestoreImage(nil); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if _, err := RestoreImage([][]byte{[]byte("garbage")}); err == nil {
+		t.Fatal("garbage chain accepted")
+	}
+	// Chain must start with a full checkpoint.
+	p := NewProcess(0)
+	p.Write(0, 0, []byte{1})
+	p.FullCheckpoint()
+	p.Write(0, 1, []byte{2})
+	inc := p.IncrementalCheckpoint()
+	if _, err := RestoreImage([][]byte{inc}); err == nil {
+		t.Fatal("incremental-first chain accepted")
+	}
+}
+
+func TestDeltaEncodeDecodePublic(t *testing.T) {
+	source := bytes.Repeat([]byte("abcdefgh"), 512)
+	target := append([]byte(nil), source...)
+	target[100] = 'X'
+	stream := DeltaEncode(source, target, 0)
+	if len(stream) >= len(target)/4 {
+		t.Fatalf("delta %d bytes for a 1-byte edit", len(stream))
+	}
+	got, err := DeltaDecode(source, stream)
+	if err != nil || !bytes.Equal(got, target) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+// Property: arbitrary write sequences survive full+delta chains.
+func TestProcessChainProperty(t *testing.T) {
+	f := func(writes []uint16, splits uint8) bool {
+		p := NewProcess(256)
+		var chain [][]byte
+		for i, w := range writes {
+			p.Write(uint64(w%32), int(w)%200, []byte{byte(i), byte(w)})
+			if i == 0 {
+				chain = append(chain, p.FullCheckpoint())
+			} else if byte(i)%max8(splits%7+2) == 0 {
+				enc, _ := p.DeltaCheckpoint()
+				chain = append(chain, enc)
+			}
+		}
+		if len(chain) == 0 {
+			return true
+		}
+		enc, _ := p.DeltaCheckpoint()
+		chain = append(chain, enc)
+		im, err := RestoreImage(chain)
+		return err == nil && im.Matches(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max8(v uint8) byte {
+	if v == 0 {
+		return 1
+	}
+	return byte(v)
+}
+
+func TestCheckpointDirPersistence(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenCheckpointDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProcess(256)
+	p.Write(0, 0, []byte("persist me"))
+	if err := store.Append("proc-a", p.Seq(), p.FullCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	p.Write(0, 8, []byte("MORE"))
+	p.Write(3, 0, []byte("fresh page"))
+	enc, _ := p.DeltaCheckpoint()
+	if err := store.Append("proc-a", p.Seq()-1, enc); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different handle (fresh open) restores the same image.
+	store2, err := OpenCheckpointDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := store2.Chain("proc-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := RestoreImage(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Matches(p) {
+		t.Fatal("restored image differs after reopen")
+	}
+	if err := store2.Remove("proc-a"); err != nil {
+		t.Fatal(err)
+	}
+	if chain, _ := store2.Chain("proc-a"); len(chain) != 0 {
+		t.Fatal("chain survived Remove")
+	}
+}
+
+func TestCheckpointDirTruncate(t *testing.T) {
+	store, err := OpenCheckpointDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProcess(256)
+	p.Write(0, 0, []byte{1})
+	store.Append("p", 0, p.FullCheckpoint())
+	p.Write(0, 1, []byte{2})
+	enc, _ := p.DeltaCheckpoint()
+	store.Append("p", 1, enc)
+	// A new full checkpoint supersedes the old chain.
+	full2 := p.FullCheckpoint()
+	store.Append("p", 2, full2)
+	if err := store.Truncate("p", 2); err != nil {
+		t.Fatal(err)
+	}
+	chain, err := store.Chain("p")
+	if err != nil || len(chain) != 1 {
+		t.Fatalf("chain after truncate: %d, %v", len(chain), err)
+	}
+	im, err := RestoreImage(chain)
+	if err != nil || !im.Matches(p) {
+		t.Fatalf("truncated chain restore: %v", err)
+	}
+}

@@ -1,0 +1,50 @@
+// Command aicbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	aicbench -experiment all            # every table and figure
+//	aicbench -experiment fig11 -seed 7  # one experiment, custom seed
+//
+// Experiments: fig2, fig5, fig6, fig7, fig11, fig12, table1, table3,
+// ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aic"
+	"aic/internal/exp"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run (all or one of: fig2 fig5 fig6 fig7 fig11 fig12 table1 table3 ablations extensions studies)")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	format := flag.String("format", "text", "text | csv (csv supports the figure/table experiments)")
+	flag.Parse()
+
+	names := aic.Experiments()
+	if *experiment != "all" {
+		names = []string{*experiment}
+	}
+	for _, name := range names {
+		start := time.Now()
+		var out string
+		var err error
+		if *format == "csv" {
+			out, err = exp.CSV(name, *seed)
+		} else {
+			out, err = aic.RunExperiment(name, *seed)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aicbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		if *format != "csv" {
+			fmt.Printf("[%s finished in %.1fs]\n\n", name, time.Since(start).Seconds())
+		}
+	}
+}

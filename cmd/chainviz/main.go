@@ -1,0 +1,45 @@
+// Command chainviz prints the paper's Markov chains (Fig. 4's L1L3 / L2L3 /
+// L1L2L3 and the Moody period model) as Graphviz DOT, annotated with
+// transition probabilities under the Coastal profile — render with
+// `chainviz -chain l2l3 | dot -Tsvg`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aic/internal/model"
+)
+
+func main() {
+	chain := flag.String("chain", "l2l3", "l1l3 | l2l3 | l1l2l3 | moody")
+	w := flag.Float64("w", 1800, "work span (s)")
+	size := flag.Float64("size", 1, "system-size multiplier (MPI scaling)")
+	n1 := flag.Int("n1", 0, "Moody: level-1 checkpoints per level-2")
+	n2 := flag.Int("n2", 3, "Moody: level-2 checkpoints per level-3")
+	flag.Parse()
+
+	p := model.Coastal().ScaleMPI(*size)
+	switch *chain {
+	case "l1l3":
+		ch, _, _ := model.L1L3Interval(*w, p)
+		fmt.Print(ch.DOT("L1L3"))
+	case "l2l3":
+		ch, _, _ := model.L2L3Interval(*w, p, p)
+		fmt.Print(ch.DOT("L2L3"))
+	case "l1l2l3":
+		ch, _, _ := model.L1L2L3Interval(*w, p)
+		fmt.Print(ch.DOT("L1L2L3"))
+	case "moody":
+		ch, _, _, err := model.MoodyPeriod(*w, model.NewMoodySchedule(*n1, *n2), p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chainviz:", err)
+			os.Exit(1)
+		}
+		fmt.Print(ch.DOT("Moody"))
+	default:
+		fmt.Fprintf(os.Stderr, "chainviz: unknown chain %q\n", *chain)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,78 @@
+package aic_test
+
+import (
+	"fmt"
+
+	"aic"
+)
+
+// The simplest complete use: run a benchmark under AIC and compare against
+// the Moody baseline.
+func ExampleRunBenchmark() {
+	report, err := aic.RunBenchmark("sphinx3", aic.Options{Policy: aic.AIC})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("policy=%v base=%.0fs checkpoints>10=%v NET2>=1=%v\n",
+		report.Policy, report.BaseTime, len(report.Intervals) > 10, report.NET2 >= 1)
+	// Output:
+	// policy=AIC base=749s checkpoints>10=true NET2>=1=true
+}
+
+// Custom workloads are phase schedules over a paged footprint.
+func ExampleRunProgram() {
+	spec := aic.ProgramSpec{
+		Name:     "etl-job",
+		BaseTime: 60,
+		Pages:    128,
+		Phases: []aic.Phase{
+			{Duration: 6, Rate: 20, RegionLo: 0, RegionHi: 128,
+				Pattern: aic.Sweep, Mode: aic.Scramble, Fraction: 0.5},
+			{Duration: 4, Rate: 5, RegionLo: 0, RegionHi: 16,
+				Pattern: aic.Hotspot, Mode: aic.Tick},
+		},
+	}
+	report, err := aic.RunProgram(spec, aic.Options{Policy: aic.SIC, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s finished: wall exceeds base = %v\n",
+		report.Benchmark, report.WallTime > report.BaseTime)
+	// Output:
+	// etl-job finished: wall exceeds base = true
+}
+
+// Direct use of the checkpoint machinery: write pages, checkpoint, crash,
+// restore.
+func ExampleProcess() {
+	p := aic.NewProcess(4096)
+	p.Write(0, 0, []byte("state A"))
+	chain := [][]byte{p.FullCheckpoint()}
+
+	p.Write(0, 6, []byte("B plus more"))
+	p.Write(7, 100, []byte("another page"))
+	enc, stats := p.DeltaCheckpoint()
+	chain = append(chain, enc)
+
+	image, err := aic.RestoreImage(chain)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hot=%d raw=%d identical=%v\n", stats.HotPages, stats.RawPages, image.Matches(p))
+	// Output:
+	// hot=1 raw=1 identical=true
+}
+
+// The rsync-style codec is exposed directly.
+func ExampleDeltaEncode() {
+	source := []byte("the working set before the epoch....padding-padding-padding")
+	target := []byte("the working set AFTER  the epoch....padding-padding-padding")
+	stream := aic.DeltaEncode(source, target, 8)
+	back, err := aic.DeltaDecode(source, stream)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("smaller=%v roundtrip=%v\n", len(stream) < len(target), string(back) == string(target))
+	// Output:
+	// smaller=true roundtrip=true
+}

@@ -1,0 +1,44 @@
+// adaptive_vs_static sweeps system sizes and compares the three policies on
+// every benchmark — the Fig. 11 / Fig. 12 story through the public API:
+// adaptive checkpointing's advantage over its static counterpart grows with
+// the system size, and both concurrent schemes dominate the sequential
+// Moody baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aic"
+)
+
+func main() {
+	fmt.Println("Milc across system scales (AIC vs SIC vs Moody, NET²):")
+	fmt.Printf("%7s %9s %9s %9s %14s\n", "scale", "AIC", "SIC", "Moody", "AIC vs SIC")
+	for _, scale := range []float64{0.25, 0.5, 1, 2, 4} {
+		var net2 [3]float64
+		for i, policy := range []aic.Policy{aic.AIC, aic.SIC, aic.Moody} {
+			rep, err := aic.RunBenchmark("milc", aic.Options{Policy: policy, Scale: scale})
+			if err != nil {
+				log.Fatal(err)
+			}
+			net2[i] = rep.NET2
+		}
+		fmt.Printf("%6.2fx %9.4f %9.4f %9.4f %+13.1f%%\n",
+			scale, net2[0], net2[1], net2[2], 100*(net2[0]-net2[1])/net2[1])
+	}
+
+	fmt.Println("\nAll benchmarks at 1x (NET²):")
+	fmt.Printf("%-11s %9s %9s %9s\n", "benchmark", "AIC", "SIC", "Moody")
+	for _, name := range aic.Benchmarks() {
+		var net2 [3]float64
+		for i, policy := range []aic.Policy{aic.AIC, aic.SIC, aic.Moody} {
+			rep, err := aic.RunBenchmark(name, aic.Options{Policy: policy})
+			if err != nil {
+				log.Fatal(err)
+			}
+			net2[i] = rep.NET2
+		}
+		fmt.Printf("%-11s %9.4f %9.4f %9.4f\n", name, net2[0], net2[1], net2[2])
+	}
+}

@@ -1,0 +1,3 @@
+module aic
+
+go 1.22

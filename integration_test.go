@@ -1,0 +1,124 @@
+package aic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Integration soak: random (but valid) program specs pushed through the
+// full public pipeline — run under each policy, invariants checked, and the
+// emitted trace cross-validated. This is the broad-spectrum harness that
+// catches interactions the per-package tests cannot.
+func TestSoakRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	f := func(seedRaw uint32, pagesRaw, rateRaw, fracRaw uint8) bool {
+		seed := uint64(seedRaw) | 1
+		pages := 64 + int(pagesRaw%4)*64 // 64..256 pages
+		rate := 5 + float64(rateRaw%40)  // 5..44 touches/s
+		frac := 0.1 + float64(fracRaw%8)/10
+		if frac > 1 {
+			frac = 1
+		}
+		spec := ProgramSpec{
+			Name:     "soak",
+			BaseTime: 90,
+			Pages:    pages,
+			Phases: []Phase{
+				{Duration: 7, Rate: rate, RegionLo: 0, RegionHi: pages,
+					Pattern: Random, Mode: Scramble, Fraction: frac},
+				{Duration: 5, Rate: rate / 2, RegionLo: 0, RegionHi: pages,
+					Pattern: Random, Mode: Settle, Fraction: 1},
+				{Duration: 3, Rate: 5, RegionLo: 0, RegionHi: pages / 2,
+					Pattern: Hotspot, Mode: Tick},
+			},
+		}
+		for _, policy := range []Policy{AIC, SIC} {
+			rep, err := RunProgram(spec, Options{Policy: policy, Seed: seed})
+			if err != nil {
+				t.Logf("seed %d policy %v: %v", seed, policy, err)
+				return false
+			}
+			if rep.NET2 < 1 || math.IsNaN(rep.NET2) || math.IsInf(rep.NET2, 0) {
+				t.Logf("seed %d policy %v: NET² %v", seed, policy, rep.NET2)
+				return false
+			}
+			if rep.WallTime < rep.BaseTime {
+				t.Logf("seed %d policy %v: wall %v < base %v", seed, policy, rep.WallTime, rep.BaseTime)
+				return false
+			}
+			if rep.CompressionRatio < 0 || rep.CompressionRatio > 1.2 {
+				t.Logf("seed %d policy %v: ratio %v", seed, policy, rep.CompressionRatio)
+				return false
+			}
+			for i, iv := range rep.Intervals {
+				if iv.C3 < iv.C2-1e-9 || iv.C2 < iv.C1-1e-9 || iv.C1 < 0 || iv.DeltaSize <= 0 {
+					t.Logf("seed %d policy %v interval %d malformed: %+v", seed, policy, i, iv)
+					return false
+				}
+			}
+			// The Eq.(1) evaluation must agree with the independent
+			// event-driven Monte Carlo on every generated trace.
+			analytic, empirical, err := rep.Validate(4000, seed)
+			if err != nil {
+				t.Logf("seed %d policy %v: validate: %v", seed, policy, err)
+				return false
+			}
+			if math.Abs(analytic-empirical)/analytic > 0.10 {
+				t.Logf("seed %d policy %v: analytic %v vs empirical %v", seed, policy, analytic, empirical)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Soak the direct checkpoint machinery with chains produced by real runs at
+// varying page sizes.
+func TestSoakProcessChains(t *testing.T) {
+	f := func(seedRaw uint32, pageSizeRaw uint8) bool {
+		seed := uint64(seedRaw)
+		pageSize := 128 << (pageSizeRaw % 4) // 128..1024
+		p := NewProcess(pageSize)
+		rng := seed
+		next := func() uint64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return rng >> 16
+		}
+		var chain [][]byte
+		buf := make([]byte, 32)
+		for step := 0; step < 60; step++ {
+			page := next() % 48
+			off := int(next()) % (pageSize - len(buf))
+			for i := range buf {
+				buf[i] = byte(next())
+			}
+			p.Write(page, off, buf)
+			switch step {
+			case 0:
+				chain = append(chain, p.FullCheckpoint())
+			case 20, 40:
+				enc, st := p.DeltaCheckpoint()
+				if st.InputBytes <= 0 {
+					return false
+				}
+				chain = append(chain, enc)
+			}
+			if step == 30 && p.Pages() > 2 {
+				p.Free(page)
+			}
+		}
+		enc, _ := p.DeltaCheckpoint()
+		chain = append(chain, enc)
+		im, err := RestoreImage(chain)
+		return err == nil && im.Matches(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"aic/internal/delta"
+	"aic/internal/memsim"
+)
+
+// Builder produces the checkpoint sequence of one process. It remembers the
+// page contents saved in the previous checkpoint so that (a) hot pages can
+// be delta-compressed against their old versions and (b) the AIC predictor
+// can compute Jaccard distances against those versions.
+type Builder struct {
+	pageSize   int
+	blockSize  int
+	cpuState   int
+	cpuBytes   []byte // caller-provided CPU state (overrides the synthetic blob)
+	seq        int
+	prevPages  map[uint64][]byte // pages stored in the previous checkpoint
+	prevMapped map[uint64]bool   // full mapped set at the previous checkpoint
+}
+
+// NewBuilder creates a builder. blockSize ≤ 0 selects the codec default;
+// cpuStateBytes sets the size of the synthetic CPU-state blob (the paper's
+// uncompressed minor fraction).
+func NewBuilder(pageSize, blockSize, cpuStateBytes int) *Builder {
+	if pageSize <= 0 {
+		pageSize = memsim.PageSize
+	}
+	if cpuStateBytes < 0 {
+		cpuStateBytes = 0
+	}
+	return &Builder{
+		pageSize:   pageSize,
+		blockSize:  blockSize,
+		cpuState:   cpuStateBytes,
+		prevPages:  make(map[uint64][]byte),
+		prevMapped: make(map[uint64]bool),
+	}
+}
+
+// Seq returns the sequence number the next checkpoint will carry.
+func (b *Builder) Seq() int { return b.seq }
+
+// PrevPage returns the page's content as of the previous checkpoint, or nil
+// when the page was not part of it. Hot-page classification and JD
+// computation both use this.
+func (b *Builder) PrevPage(idx uint64) []byte { return b.prevPages[idx] }
+
+// IsHot reports whether a currently-dirty page was also modified during the
+// previous checkpoint interval (the paper's hot-page definition).
+func (b *Builder) IsHot(idx uint64) bool {
+	_, ok := b.prevPages[idx]
+	return ok
+}
+
+// SetCPUState supplies the CPU-state blob (registers / execution state) the
+// next checkpoints will carry, replacing the synthetic placeholder. The
+// fault-injection simulator stores the program generator's execution state
+// here so a restore resumes the identical write stream.
+func (b *Builder) SetCPUState(blob []byte) {
+	b.cpuBytes = append(b.cpuBytes[:0], blob...)
+}
+
+func (b *Builder) cpuBlob() []byte {
+	if b.cpuBytes != nil {
+		return append([]byte(nil), b.cpuBytes...)
+	}
+	blob := make([]byte, b.cpuState)
+	for i := range blob {
+		blob[i] = byte(i*131 + b.seq)
+	}
+	return blob
+}
+
+func (b *Builder) finish(as *memsim.AddressSpace, saved []uint64) {
+	b.prevPages = make(map[uint64][]byte, len(saved))
+	for _, idx := range saved {
+		b.prevPages[idx] = as.PageCopy(idx)
+	}
+	b.prevMapped = make(map[uint64]bool, as.NumPages())
+	for _, idx := range as.MappedPages() {
+		b.prevMapped[idx] = true
+	}
+	b.seq++
+	as.ResetDirty()
+}
+
+func (b *Builder) freedSince(as *memsim.AddressSpace) []uint64 {
+	var freed []uint64
+	for idx := range b.prevMapped {
+		if !as.Mapped(idx) {
+			freed = append(freed, idx)
+		}
+	}
+	return freed
+}
+
+// FullCheckpoint captures every mapped page raw. The very first checkpoint
+// of a process is always full.
+func (b *Builder) FullCheckpoint(as *memsim.AddressSpace) *Checkpoint {
+	idxs := as.MappedPages()
+	c := &Checkpoint{
+		Seq:      b.seq,
+		Kind:     Full,
+		PageSize: b.pageSize,
+		CPUState: b.cpuBlob(),
+		Payload:  encodeRawPages(idxs, as.Page, b.pageSize),
+	}
+	b.finish(as, idxs)
+	return c
+}
+
+// IncrementalCheckpoint captures the dirty pages raw (no compression) —
+// what SIC/AIC write to the local disk before the checkpointing core
+// compresses them.
+func (b *Builder) IncrementalCheckpoint(as *memsim.AddressSpace) *Checkpoint {
+	idxs := as.DirtyPages()
+	c := &Checkpoint{
+		Seq:      b.seq,
+		Kind:     Incremental,
+		PageSize: b.pageSize,
+		CPUState: b.cpuBlob(),
+		Freed:    b.freedSince(as),
+		Payload:  encodeRawPages(idxs, as.Page, b.pageSize),
+	}
+	b.finish(as, idxs)
+	return c
+}
+
+// DeltaCheckpoint captures the dirty pages with page-aligned delta
+// compression: hot pages are differenced against their previous versions,
+// the rest stored raw. It also returns the compression statistics the AIC
+// predictor feeds on.
+func (b *Builder) DeltaCheckpoint(as *memsim.AddressSpace) (*Checkpoint, delta.Stats) {
+	idxs := as.DirtyPages()
+	updates := make([]delta.PageUpdate, 0, len(idxs))
+	for _, idx := range idxs {
+		updates = append(updates, delta.PageUpdate{
+			Index: idx,
+			Old:   b.prevPages[idx], // nil when not hot → raw
+			New:   as.Page(idx),
+		})
+	}
+	payload, st := delta.EncodePageAlignedStats(updates, b.blockSize)
+	c := &Checkpoint{
+		Seq:      b.seq,
+		Kind:     IncrementalDelta,
+		PageSize: b.pageSize,
+		CPUState: b.cpuBlob(),
+		Freed:    b.freedSince(as),
+		Payload:  payload,
+	}
+	b.finish(as, idxs)
+	return c, st
+}
+
+// XORCheckpoint is the simple-compressor ablation of DeltaCheckpoint: hot
+// pages are XOR+RLE-coded against their previous versions rather than
+// rsync-delta-coded.
+func (b *Builder) XORCheckpoint(as *memsim.AddressSpace) (*Checkpoint, delta.Stats) {
+	idxs := as.DirtyPages()
+	updates := make([]delta.PageUpdate, 0, len(idxs))
+	st := delta.Stats{}
+	for _, idx := range idxs {
+		u := delta.PageUpdate{Index: idx, Old: b.prevPages[idx], New: as.Page(idx)}
+		updates = append(updates, u)
+		st.InputBytes += len(u.New)
+		if u.Old != nil {
+			st.HotPages++
+		} else {
+			st.RawPages++
+		}
+	}
+	payload := delta.EncodePageAlignedXOR(updates)
+	st.OutputBytes = len(payload)
+	c := &Checkpoint{
+		Seq:      b.seq,
+		Kind:     IncrementalDelta,
+		PageSize: b.pageSize,
+		CPUState: b.cpuBlob(),
+		Freed:    b.freedSince(as),
+		Payload:  payload,
+	}
+	b.finish(as, idxs)
+	return c, st
+}
+
+// Restore replays a checkpoint chain — one full checkpoint followed by its
+// incrementals in sequence order — into a fresh address space.
+func Restore(chain []*Checkpoint) (*memsim.AddressSpace, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("ckpt: empty restore chain")
+	}
+	if chain[0].Kind != Full {
+		return nil, fmt.Errorf("ckpt: restore chain must begin with a full checkpoint, got %v", chain[0].Kind)
+	}
+	as := memsim.New(chain[0].PageSize)
+	for i, c := range chain {
+		if i > 0 {
+			if c.Kind == Full {
+				return nil, fmt.Errorf("ckpt: unexpected full checkpoint mid-chain at %d", i)
+			}
+			if c.Seq != chain[i-1].Seq+1 {
+				return nil, fmt.Errorf("ckpt: chain gap: seq %d follows %d", c.Seq, chain[i-1].Seq)
+			}
+		}
+		if c.PageSize != as.PageSize() {
+			return nil, fmt.Errorf("ckpt: page size changed mid-chain at %d", i)
+		}
+		var pages map[uint64][]byte
+		var err error
+		switch c.Kind {
+		case Full, Incremental:
+			pages, err = decodeRawPages(c.Payload, c.PageSize)
+		case IncrementalDelta:
+			pages, err = delta.DecodePageAligned(c.Payload, func(idx uint64) []byte {
+				return as.Page(idx)
+			})
+		default:
+			err = fmt.Errorf("%w: kind %v", ErrBadCheckpoint, c.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: chain element %d: %w", i, err)
+		}
+		for idx, content := range pages {
+			as.Write(idx, 0, content, 0)
+		}
+		for _, idx := range c.Freed {
+			as.Free(idx)
+		}
+	}
+	as.ResetDirty()
+	return as, nil
+}
+
+// RestoreLatest replays the suffix of a checkpoint chain starting at its
+// most recent full checkpoint — the normal restart path when the chain
+// contains periodic fulls.
+func RestoreLatest(chain []*Checkpoint) (*memsim.AddressSpace, error) {
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].Kind == Full {
+			return Restore(chain[i:])
+		}
+	}
+	return nil, fmt.Errorf("ckpt: chain contains no full checkpoint")
+}

@@ -1,0 +1,189 @@
+// Package ckpt defines the checkpoint file format and restore logic of the
+// AIC reproduction: full checkpoints, incremental checkpoints (dirty pages
+// only), and delta-compressed incremental checkpoints (Xdelta3-PA applied to
+// hot pages). A process restarts from the last full checkpoint plus all
+// subsequent incrementals, exactly as Section II.A describes.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind is the checkpoint flavour.
+type Kind uint8
+
+// Checkpoint kinds.
+const (
+	Full             Kind = 1 // every mapped page, raw
+	Incremental      Kind = 2 // dirty pages, raw
+	IncrementalDelta Kind = 3 // dirty pages, hot ones delta-compressed
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Full:
+		return "full"
+	case Incremental:
+		return "incremental"
+	case IncrementalDelta:
+		return "incremental+delta"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var magic = [8]byte{'A', 'I', 'C', 'C', 'K', 'P', 'T', '1'}
+
+// ErrBadCheckpoint reports a malformed serialized checkpoint.
+var ErrBadCheckpoint = errors.New("ckpt: malformed checkpoint")
+
+// Checkpoint is one checkpoint instance. CPUState models the registers,
+// process linkage and descriptor blob that the paper notes is a minor,
+// uncompressed fraction of the file.
+type Checkpoint struct {
+	Seq      int
+	Kind     Kind
+	PageSize int
+	CPUState []byte
+	Freed    []uint64 // pages unmapped since the previous checkpoint
+	Payload  []byte   // raw page list or page-aligned delta stream
+}
+
+// Size returns the serialized size in bytes, the quantity that drives every
+// bandwidth cost in the models (checkpoint size ≈ ds).
+func (c *Checkpoint) Size() int { return len(c.Encode()) }
+
+// Encode serializes the checkpoint. The stream ends with a CRC-32C of
+// everything before it, so silent corruption in any storage level is
+// detected at decode time (and the recovery manager falls through to the
+// next level).
+func (c *Checkpoint) Encode() []byte {
+	out := make([]byte, 0, len(c.Payload)+len(c.CPUState)+64)
+	out = append(out, magic[:]...)
+	out = append(out, byte(c.Kind))
+	out = binary.AppendUvarint(out, uint64(c.Seq))
+	out = binary.AppendUvarint(out, uint64(c.PageSize))
+	out = binary.AppendUvarint(out, uint64(len(c.CPUState)))
+	out = append(out, c.CPUState...)
+	out = binary.AppendUvarint(out, uint64(len(c.Freed)))
+	for _, idx := range c.Freed {
+		out = binary.AppendUvarint(out, idx)
+	}
+	out = binary.AppendUvarint(out, uint64(len(c.Payload)))
+	out = append(out, c.Payload...)
+	sum := crc32.Checksum(out, crcTable)
+	return binary.LittleEndian.AppendUint32(out, sum)
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum reports a checkpoint whose integrity check failed.
+var ErrChecksum = errors.New("ckpt: checksum mismatch")
+
+// Decode parses a serialized checkpoint, verifying its CRC trailer.
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) < len(magic)+1+4 || string(data[:8]) != string(magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(trailer) {
+		return nil, ErrChecksum
+	}
+	data = body
+	c := &Checkpoint{Kind: Kind(data[8])}
+	if c.Kind != Full && c.Kind != Incremental && c.Kind != IncrementalDelta {
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadCheckpoint, data[8])
+	}
+	p := data[9:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrBadCheckpoint)
+		}
+		p = p[n:]
+		return v, nil
+	}
+	seq, err := next()
+	if err != nil {
+		return nil, err
+	}
+	c.Seq = int(seq)
+	ps, err := next()
+	if err != nil {
+		return nil, err
+	}
+	c.PageSize = int(ps)
+	cpuLen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if cpuLen > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: cpu state overflows", ErrBadCheckpoint)
+	}
+	c.CPUState = append([]byte(nil), p[:cpuLen]...)
+	p = p[cpuLen:]
+	nFreed, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if nFreed > uint64(len(p)) { // each index is ≥ 1 byte
+		return nil, fmt.Errorf("%w: freed list overflows", ErrBadCheckpoint)
+	}
+	c.Freed = make([]uint64, nFreed)
+	for i := range c.Freed {
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		c.Freed[i] = v
+	}
+	payLen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if payLen != uint64(len(p)) {
+		return nil, fmt.Errorf("%w: payload length %d, have %d", ErrBadCheckpoint, payLen, len(p))
+	}
+	c.Payload = append([]byte(nil), p...)
+	return c, nil
+}
+
+// encodeRawPages serializes (index, content) pairs.
+func encodeRawPages(idxs []uint64, fetch func(uint64) []byte, pageSize int) []byte {
+	out := make([]byte, 0, len(idxs)*(pageSize+4)+8)
+	out = binary.AppendUvarint(out, uint64(len(idxs)))
+	for _, idx := range idxs {
+		out = binary.AppendUvarint(out, idx)
+		out = append(out, fetch(idx)...)
+	}
+	return out
+}
+
+// decodeRawPages parses a raw page list.
+func decodeRawPages(payload []byte, pageSize int) (map[uint64][]byte, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: missing page count", ErrBadCheckpoint)
+	}
+	payload = payload[n:]
+	pages := make(map[uint64][]byte, count)
+	for i := uint64(0); i < count; i++ {
+		idx, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad page index", ErrBadCheckpoint)
+		}
+		payload = payload[n:]
+		if len(payload) < pageSize {
+			return nil, fmt.Errorf("%w: short page %d", ErrBadCheckpoint, idx)
+		}
+		pages[idx] = append([]byte(nil), payload[:pageSize]...)
+		payload = payload[pageSize:]
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(payload))
+	}
+	return pages, nil
+}

@@ -1,0 +1,309 @@
+// Package core implements the paper's primary contribution: the AIC runtime
+// of Fig. 9. A Runtime attaches to a simulated process (workload + address
+// space), tracks dirty pages through the write barrier, samples hot pages,
+// predicts per-interval checkpoint costs online (stepwise regression +
+// normalized gradient descent), and decides every second whether to take an
+// incremental checkpoint whose delta compression and remote transfers run
+// concurrently on a dedicated checkpointing core.
+//
+// The same Runtime executes the two baselines: SIC (static incremental
+// checkpointing with compression at the L2L3-model-optimal fixed interval)
+// and Moody (sequential periodic full checkpoints at the Moody-model
+// optimum).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"aic/internal/model"
+	"aic/internal/stats"
+	"aic/internal/storage"
+)
+
+// PolicyKind selects the checkpointing policy.
+type PolicyKind int
+
+// The three policies compared throughout Section V.
+const (
+	PolicyAIC   PolicyKind = iota // adaptive incremental checkpointing (this paper)
+	PolicySIC                     // static incremental checkpointing with compression
+	PolicyMoody                   // sequential periodic full checkpoints (baseline)
+)
+
+// String names the policy as the paper does.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyAIC:
+		return "AIC"
+	case PolicySIC:
+		return "SIC"
+	case PolicyMoody:
+		return "Moody"
+	}
+	return fmt.Sprintf("PolicyKind(%d)", int(p))
+}
+
+// CompressorKind selects the delta compressor for SIC/AIC checkpoints.
+type CompressorKind int
+
+// Compressor variants: Xdelta3-PA (the paper's, default), conventional
+// whole-file Xdelta3 (the Table 3 comparator, which cannot support the
+// online per-page prediction), and the XOR+RLE ablation baseline.
+const (
+	CompressorPA CompressorKind = iota
+	CompressorWhole
+	CompressorXOR
+)
+
+// String names the compressor.
+func (c CompressorKind) String() string {
+	switch c {
+	case CompressorPA:
+		return "xdelta3-pa"
+	case CompressorWhole:
+		return "xdelta3"
+	case CompressorXOR:
+		return "xor-rle"
+	}
+	return fmt.Sprintf("CompressorKind(%d)", int(c))
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Policy PolicyKind
+	System storage.System
+	// Compressor selects the delta compressor (default Xdelta3-PA).
+	Compressor CompressorKind
+	// NaivePredictor replaces the stepwise+NGD predictor with last-value
+	// prediction — the predictor ablation.
+	NaivePredictor bool
+	// FixedTg disables the sampler's adaptive grouping threshold and pins
+	// it to the given value — the hot-page sampling ablation.
+	FixedTg float64
+	// Lambda is the per-level failure rate used for decisions and NET²
+	// evaluation (the experiments use λ = 1e-3 split by Coastal shares).
+	Lambda [3]float64
+	// DecisionPeriod is the AIC decision granularity (default 1 s).
+	DecisionPeriod float64
+	// SampleBufferPages bounds the hot-page Sample Buffer (default 2048
+	// pages = the paper's 8 MB).
+	SampleBufferPages int
+	// BlockSize is the delta codec granularity (default 64).
+	BlockSize int
+	// CPUStateBytes sizes the uncompressed CPU-state blob (default 4096).
+	CPUStateBytes int
+	// FixedInterval overrides the policy's checkpoint interval; 0 derives
+	// it (SIC/Moody: from a profiling pre-run via the models; AIC uses it
+	// only while bootstrapping the predictor).
+	FixedInterval float64
+	// FullEvery takes a full checkpoint in place of every N-th incremental
+	// one (N > 0), bounding the restore chain as Section II.A suggests;
+	// 0 keeps only the initial full checkpoint.
+	FullEvery int
+	// WMin/WMax bound the decider's work-span search (defaults 1 s and the
+	// program base time).
+	WMin, WMax float64
+	// DecisionOverhead is the fixed cost in seconds charged to the
+	// computation core per AIC decision, beyond the metric computation
+	// (default 200 µs: predictor evaluation + Newton–Raphson).
+	DecisionOverhead float64
+	// MaxMetricPages bounds how many sampled hot pages have JD/DI computed
+	// per decision (default 64), keeping the per-second metric cost within
+	// the paper's ≤ 2.6% overhead envelope.
+	MaxMetricPages int
+	// Seed drives nothing directly in core (workloads carry their own
+	// RNGs) but is recorded with results.
+	Seed uint64
+}
+
+func (c *Config) setDefaults(base float64) {
+	if c.DecisionPeriod <= 0 {
+		c.DecisionPeriod = 1
+	}
+	if c.SampleBufferPages <= 0 {
+		c.SampleBufferPages = 2048
+	}
+	if c.CPUStateBytes <= 0 {
+		c.CPUStateBytes = 4096
+	}
+	if c.WMin <= 0 {
+		c.WMin = 1
+	}
+	if c.WMax <= 0 {
+		c.WMax = base
+	}
+	if c.DecisionOverhead <= 0 {
+		c.DecisionOverhead = 200e-6
+	}
+	if c.MaxMetricPages <= 0 {
+		c.MaxMetricPages = 64
+	}
+}
+
+// IntervalRecord captures one checkpoint interval's measurements — the
+// c1(i), dl(i), ds(i) traces of Section V plus the decision diagnostics.
+type IntervalRecord struct {
+	Index int
+	// Start and End are the interval's work-time span (end of previous c1
+	// to start of this checkpoint's c1).
+	Start, End float64
+	// W is the model work span: the span minus the previous interval's
+	// concurrent-transfer window.
+	W float64
+	// C1 is the local incremental checkpoint latency (process halted).
+	C1 float64
+	// DL and DS are the delta-compression latency and compressed size.
+	DL float64
+	DS float64
+	// C2 and C3 are the level-2/3 completion latencies measured from
+	// checkpoint start: c_k = c1 + dl + ds/B_k.
+	C2, C3 float64
+	// RawBytes is the uncompressed incremental checkpoint size.
+	RawBytes int
+	// DirtyPages is the predictor's DP metric at the decision point.
+	DirtyPages int
+	// Overhead is the computation-core time charged to AIC bookkeeping
+	// during this interval (metrics + decisions).
+	Overhead float64
+	// WStar and NRIters record the decider's last w*_L and Newton–Raphson
+	// iteration count (AIC only).
+	WStar   float64
+	NRIters int
+	// PredC1, PredDL, PredDS are the predictor's estimates at decision
+	// time (AIC only), for accuracy studies.
+	PredC1, PredDL, PredDS float64
+}
+
+// Params assembles the interval's measured Params for the non-static model.
+func (r IntervalRecord) Params(lambda [3]float64) model.Params {
+	p := model.Params{Lambda: lambda, C: [3]float64{r.C1, r.C2, r.C3}}
+	p.R = p.C
+	return p
+}
+
+// RunResult is the outcome of one measured (failure-free) run.
+type RunResult struct {
+	Benchmark string
+	Policy    PolicyKind
+	BaseTime  float64 // work seconds executed
+	WallTime  float64 // base + checkpoint halts + bookkeeping overhead
+	Intervals []IntervalRecord
+	// FullCheckpointBytes is the size of the initial full checkpoint.
+	FullCheckpointBytes int
+	// Interval is the fixed interval used (SIC/Moody) or the bootstrap
+	// interval (AIC).
+	Interval float64
+	Seed     uint64
+}
+
+// OverheadFrac returns the no-failure execution time increase over the base
+// time — Table 3's parenthesized percentages.
+func (r *RunResult) OverheadFrac() float64 {
+	if r.BaseTime == 0 {
+		return 0
+	}
+	return (r.WallTime - r.BaseTime) / r.BaseTime
+}
+
+// BookkeepingFrac returns only the predictor/decider/metric share of the
+// overhead ("mostly due to the AIC Predictor and Checkpoint Decider").
+func (r *RunResult) BookkeepingFrac() float64 {
+	if r.BaseTime == 0 {
+		return 0
+	}
+	var sum float64
+	for _, iv := range r.Intervals {
+		sum += iv.Overhead
+	}
+	return sum / r.BaseTime
+}
+
+// MeanRatio returns the mean compressed-to-raw checkpoint size ratio across
+// intervals (Table 3's compression ratio; lower is better).
+func (r *RunResult) MeanRatio() float64 {
+	var in, out float64
+	for _, iv := range r.Intervals {
+		in += float64(iv.RawBytes)
+		out += iv.DS
+	}
+	if in == 0 {
+		return 0
+	}
+	return out / in
+}
+
+// MeanDeltaLatency returns the mean dl across intervals.
+func (r *RunResult) MeanDeltaLatency() float64 {
+	if len(r.Intervals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, iv := range r.Intervals {
+		sum += iv.DL
+	}
+	return sum / float64(len(r.Intervals))
+}
+
+// MeanParams returns the interval-averaged Params, the profile SIC and
+// Moody feed their offline optimizers ("require the average checkpoint
+// latency beforehand").
+func (r *RunResult) MeanParams(lambda [3]float64) model.Params {
+	var c1, c2, c3 []float64
+	for _, iv := range r.Intervals {
+		c1 = append(c1, iv.C1)
+		c2 = append(c2, iv.C2)
+		c3 = append(c3, iv.C3)
+	}
+	p := model.Params{Lambda: lambda}
+	if len(c1) > 0 {
+		p.C = [3]float64{stats.Mean(c1), stats.Mean(c2), stats.Mean(c3)}
+	}
+	p.R = p.C
+	return p
+}
+
+// NET2 evaluates Eq. (1): the normalized expected turnaround time of the
+// measured run under the non-static L2L3 concurrent model, Σ T_int(i) / t,
+// with each interval's measured parameters and the per-interval AIC
+// bookkeeping overhead folded in. Moody runs are evaluated under the Moody
+// period model instead.
+func (r *RunResult) NET2(lambda [3]float64) (float64, error) {
+	if len(r.Intervals) == 0 {
+		return 1, nil
+	}
+	if r.Policy == PolicyMoody {
+		return r.moodyNET2(lambda)
+	}
+	var total, work float64
+	// The initial checkpoint is pre-staged with job submission: the first
+	// interval has no previous transfer window to re-run, only the initial
+	// chain's recovery times.
+	prev := r.Intervals[0].Params(lambda)
+	prev.C = [3]float64{prev.C[0], prev.C[0], prev.C[0]}
+	for _, rec := range r.Intervals {
+		cur := rec.Params(lambda)
+		iv, err := model.EvalL2L3Dynamic(rec.W, cur, prev)
+		if err != nil {
+			return 0, fmt.Errorf("core: interval %d: %w", rec.Index, err)
+		}
+		total += iv.ExpectedTime + rec.Overhead
+		work += iv.Work
+		prev = cur
+	}
+	if work <= 0 {
+		return math.Inf(1), nil
+	}
+	return total / work, nil
+}
+
+func (r *RunResult) moodyNET2(lambda [3]float64) (float64, error) {
+	// The paper obtains Moody NET² from the Moody model code run on the
+	// measured average checkpoint costs.
+	p := r.MeanParams(lambda)
+	res, err := model.OptimizeMoody(p, 1, math.Max(10, 50*r.BaseTime))
+	if err != nil {
+		return 0, err
+	}
+	return res.NET2, nil
+}

@@ -1,0 +1,7 @@
+package core
+
+import "aic/internal/predictor"
+
+func predictorMetricsForTest(dp float64) predictor.Metrics {
+	return predictor.Metrics{DP: dp, T: 10, JD: 0.5, DI: 0.5}
+}

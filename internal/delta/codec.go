@@ -1,0 +1,365 @@
+// Package delta implements the delta-compression substrate of AIC: an
+// rsync-style block-hash codec in the family of Xdelta3 (weak rolling hash
+// to find candidate blocks, strong hash to confirm, greedy forward match
+// extension, COPY/ADD instruction stream), an XOR+run-length baseline as
+// used by earlier compressed-difference checkpointing, and the page-aligned
+// wrapper (Xdelta3-PA) that differences each hot page against its previous
+// checkpointed version.
+package delta
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DefaultBlockSize is the source-block granularity of the codec. Small
+// blocks favour the 4-KiB-page-aligned use; whole-image callers pass a
+// larger size.
+const DefaultBlockSize = 64
+
+// Instruction opcodes of the delta stream.
+const (
+	opEnd  = 0x00
+	opCopy = 0x01
+	opAdd  = 0x02
+	opRun  = 0x03 // run-length literal: one byte value repeated N times
+)
+
+// runThreshold is the minimum same-byte run worth encoding as opRun
+// (shorter runs cost more in opcodes than they save).
+const runThreshold = 24
+
+var (
+	// ErrCorrupt reports a malformed delta stream.
+	ErrCorrupt = errors.New("delta: corrupt stream")
+	// ErrLengthMismatch reports XOR inputs of different lengths.
+	ErrLengthMismatch = errors.New("delta: source/target length mismatch")
+	// ErrTooLarge reports a stream whose declared target exceeds
+	// MaxDecodeTarget.
+	ErrTooLarge = errors.New("delta: declared target exceeds decode limit")
+)
+
+// MaxDecodeTarget bounds the output size Decode will produce, protecting
+// against decompression bombs in corrupt or hostile streams. The default
+// comfortably covers this library's checkpoints (full images are ≤ tens of
+// MiB); raise it for larger payloads.
+var MaxDecodeTarget uint64 = 1 << 28
+
+// weakHash is a rolling Adler-style checksum over a fixed window.
+type weakHash struct {
+	a, b uint32
+	n    uint32
+}
+
+func newWeakHash(window []byte) weakHash {
+	var h weakHash
+	h.n = uint32(len(window))
+	for i, c := range window {
+		h.a += uint32(c)
+		h.b += uint32(len(window)-i) * uint32(c)
+	}
+	return h
+}
+
+// roll slides the window one byte: out leaves, in enters.
+func (h *weakHash) roll(out, in byte) {
+	h.a += uint32(in) - uint32(out)
+	h.b += h.a - h.n*uint32(out)
+}
+
+func (h weakHash) sum() uint32 { return (h.b&0xffff)<<16 | (h.a & 0xffff) }
+
+// strongHash is FNV-1a 64-bit, cheap and collision-safe enough once the
+// weak hash has pre-filtered (byte equality is verified afterwards anyway).
+func strongHash(p []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range p {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+type sourceBlock struct {
+	strong uint64
+	offset int
+}
+
+// Encode produces a delta that reconstructs target from source. blockSize
+// ≤ 0 selects DefaultBlockSize. The stream begins with the target length so
+// Decode can pre-allocate and validate.
+func Encode(source, target []byte, blockSize int) []byte {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	out := make([]byte, 0, len(target)/8+16)
+	out = binary.AppendUvarint(out, uint64(len(target)))
+
+	if len(target) == 0 {
+		out = append(out, opEnd)
+		return out
+	}
+
+	// Index source blocks by weak hash.
+	index := make(map[uint32][]sourceBlock)
+	if len(source) >= blockSize {
+		for off := 0; off+blockSize <= len(source); off += blockSize {
+			blk := source[off : off+blockSize]
+			w := newWeakHash(blk).sum()
+			index[w] = append(index[w], sourceBlock{strong: strongHash(blk), offset: off})
+		}
+	}
+
+	emitPlain := func(lit []byte) {
+		if len(lit) == 0 {
+			return
+		}
+		out = append(out, opAdd)
+		out = binary.AppendUvarint(out, uint64(len(lit)))
+		out = append(out, lit...)
+	}
+	// emitAdd splits literal stretches around long same-byte runs, coding
+	// the runs with opRun (zeroed or constant-filled regions are common in
+	// freshly allocated pages).
+	emitAdd := func(lit []byte) {
+		start := 0
+		i := 0
+		for i < len(lit) {
+			j := i + 1
+			for j < len(lit) && lit[j] == lit[i] {
+				j++
+			}
+			if j-i >= runThreshold {
+				emitPlain(lit[start:i])
+				out = append(out, opRun)
+				out = binary.AppendUvarint(out, uint64(j-i))
+				out = append(out, lit[i])
+				start = j
+			}
+			i = j
+		}
+		emitPlain(lit[start:])
+	}
+
+	pos, litStart := 0, 0
+	if len(index) > 0 && len(target) >= blockSize {
+		h := newWeakHash(target[:blockSize])
+		for pos+blockSize <= len(target) {
+			match := -1
+			if cands, ok := index[h.sum()]; ok {
+				win := target[pos : pos+blockSize]
+				sh := strongHash(win)
+				for _, c := range cands {
+					if c.strong == sh && bytesEqual(source[c.offset:c.offset+blockSize], win) {
+						match = c.offset
+						break
+					}
+				}
+			}
+			if match < 0 {
+				if pos+blockSize < len(target) {
+					h.roll(target[pos], target[pos+blockSize])
+				}
+				pos++
+				continue
+			}
+			// Extend the match forward beyond the block, and backward into
+			// the pending literal (matches rarely begin exactly on a block
+			// boundary).
+			length := blockSize
+			for pos+length < len(target) && match+length < len(source) &&
+				target[pos+length] == source[match+length] {
+				length++
+			}
+			back := 0
+			for pos-back > litStart && match-back > 0 &&
+				target[pos-back-1] == source[match-back-1] {
+				back++
+			}
+			emitAdd(target[litStart : pos-back])
+			out = append(out, opCopy)
+			out = binary.AppendUvarint(out, uint64(match-back))
+			out = binary.AppendUvarint(out, uint64(length+back))
+			pos += length
+			litStart = pos
+			if pos+blockSize <= len(target) {
+				h = newWeakHash(target[pos : pos+blockSize])
+			}
+		}
+	}
+	emitAdd(target[litStart:])
+	out = append(out, opEnd)
+	return out
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode reconstructs the target from source and a delta stream produced by
+// Encode. It validates all offsets and the declared target length.
+func Decode(source, delta []byte) ([]byte, error) {
+	targetLen, n := binary.Uvarint(delta)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: missing target length", ErrCorrupt)
+	}
+	delta = delta[n:]
+	if targetLen > MaxDecodeTarget {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, targetLen, MaxDecodeTarget)
+	}
+	// Cap the pre-allocation: a corrupt header must not drive a huge
+	// allocation before validation fails.
+	capHint := targetLen
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	out := make([]byte, 0, capHint)
+	for {
+		if len(delta) == 0 {
+			return nil, fmt.Errorf("%w: missing end marker", ErrCorrupt)
+		}
+		if uint64(len(out)) > targetLen {
+			return nil, fmt.Errorf("%w: output exceeds declared length %d", ErrCorrupt, targetLen)
+		}
+		op := delta[0]
+		delta = delta[1:]
+		switch op {
+		case opEnd:
+			if uint64(len(out)) != targetLen {
+				return nil, fmt.Errorf("%w: declared length %d, decoded %d", ErrCorrupt, targetLen, len(out))
+			}
+			return out, nil
+		case opCopy:
+			off, n := binary.Uvarint(delta)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad copy offset", ErrCorrupt)
+			}
+			delta = delta[n:]
+			length, n := binary.Uvarint(delta)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad copy length", ErrCorrupt)
+			}
+			delta = delta[n:]
+			end := off + length
+			if end < off || end > uint64(len(source)) {
+				return nil, fmt.Errorf("%w: copy [%d,%d) outside source of %d", ErrCorrupt, off, end, len(source))
+			}
+			if length > targetLen-uint64(len(out)) {
+				return nil, fmt.Errorf("%w: copy overruns declared length %d", ErrCorrupt, targetLen)
+			}
+			out = append(out, source[off:end]...)
+		case opAdd:
+			length, n := binary.Uvarint(delta)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad add length", ErrCorrupt)
+			}
+			delta = delta[n:]
+			if length > uint64(len(delta)) {
+				return nil, fmt.Errorf("%w: add of %d exceeds stream", ErrCorrupt, length)
+			}
+			if length > targetLen-uint64(len(out)) {
+				return nil, fmt.Errorf("%w: add overruns declared length %d", ErrCorrupt, targetLen)
+			}
+			out = append(out, delta[:length]...)
+			delta = delta[length:]
+		case opRun:
+			length, n := binary.Uvarint(delta)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad run length", ErrCorrupt)
+			}
+			delta = delta[n:]
+			if len(delta) == 0 {
+				return nil, fmt.Errorf("%w: missing run value", ErrCorrupt)
+			}
+			if length > targetLen-uint64(len(out)) {
+				return nil, fmt.Errorf("%w: run of %d exceeds target %d", ErrCorrupt, length, targetLen)
+			}
+			v := delta[0]
+			delta = delta[1:]
+			for k := uint64(0); k < length; k++ {
+				out = append(out, v)
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown opcode %#x", ErrCorrupt, op)
+		}
+	}
+}
+
+// EncodeXOR is the simple baseline used by earlier incremental-checkpoint
+// compression (Plank's compressed differences): XOR the equal-length images
+// and run-length encode the zero runs. The stream alternates
+// (zero-run-length, literal-length, literal XOR bytes).
+func EncodeXOR(source, target []byte) ([]byte, error) {
+	if len(source) != len(target) {
+		return nil, ErrLengthMismatch
+	}
+	out := make([]byte, 0, 16)
+	out = binary.AppendUvarint(out, uint64(len(target)))
+	i := 0
+	for i < len(target) {
+		zs := i
+		for i < len(target) && source[i] == target[i] {
+			i++
+		}
+		out = binary.AppendUvarint(out, uint64(i-zs))
+		ls := i
+		for i < len(target) && source[i] != target[i] {
+			i++
+		}
+		out = binary.AppendUvarint(out, uint64(i-ls))
+		for j := ls; j < i; j++ {
+			out = append(out, source[j]^target[j])
+		}
+	}
+	return out, nil
+}
+
+// DecodeXOR reverses EncodeXOR given the same source image.
+func DecodeXOR(source, stream []byte) ([]byte, error) {
+	total, n := binary.Uvarint(stream)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: missing length", ErrCorrupt)
+	}
+	if total != uint64(len(source)) {
+		return nil, ErrLengthMismatch
+	}
+	stream = stream[n:]
+	out := make([]byte, 0, total)
+	for uint64(len(out)) < total {
+		zrun, n := binary.Uvarint(stream)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad zero run", ErrCorrupt)
+		}
+		stream = stream[n:]
+		if uint64(len(out))+zrun > total {
+			return nil, fmt.Errorf("%w: zero run overflows", ErrCorrupt)
+		}
+		out = append(out, source[len(out):uint64(len(out))+zrun]...)
+		lrun, n := binary.Uvarint(stream)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad literal run", ErrCorrupt)
+		}
+		stream = stream[n:]
+		if lrun > uint64(len(stream)) || uint64(len(out))+lrun > total {
+			return nil, fmt.Errorf("%w: literal run overflows", ErrCorrupt)
+		}
+		for j := uint64(0); j < lrun; j++ {
+			out = append(out, source[len(out)]^stream[j])
+		}
+		stream = stream[lrun:]
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package delta
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func uvarintHead(stream []byte) (uint64, int) { return binary.Uvarint(stream) }
+
+// Native fuzz targets: run as regression tests over the seed corpus in
+// normal `go test`, and as coverage-guided fuzzers under `go test -fuzz`.
+
+func FuzzDecode(f *testing.F) {
+	source := []byte("seed source content 0123456789 seed source content")
+	f.Add(source, Encode(source, source, 8))
+	f.Add(source, Encode(source, []byte("unrelated"), 8))
+	f.Add([]byte{}, []byte{0x00})
+	f.Add(source, []byte{0x05, opRun, 0x05, 0xAA, opEnd})
+	f.Fuzz(func(t *testing.T, src, stream []byte) {
+		// Must never panic; errors are fine. A successful decode must match
+		// the stream's declared target length exactly (Decode's contract),
+		// which also bounds memory: run-length opcodes may legitimately
+		// expand far beyond the stream size, but never beyond the header.
+		out, err := Decode(src, stream)
+		if err == nil {
+			declared, n := uvarintHead(stream)
+			if n <= 0 || uint64(len(out)) != declared {
+				t.Fatalf("decoded %d bytes, header declares %d", len(out), declared)
+			}
+		}
+	})
+}
+
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("source"), []byte("target"), uint8(8))
+	f.Add([]byte(""), []byte("only target"), uint8(4))
+	f.Add(bytes.Repeat([]byte{0}, 512), bytes.Repeat([]byte{0}, 512), uint8(64))
+	f.Fuzz(func(t *testing.T, src, tgt []byte, bsRaw uint8) {
+		bs := int(bsRaw%128) + 1
+		stream := Encode(src, tgt, bs)
+		got, err := Decode(src, stream)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if !bytes.Equal(got, tgt) && !(len(got) == 0 && len(tgt) == 0) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(tgt))
+		}
+	})
+}
+
+func FuzzXORRoundTrip(f *testing.F) {
+	f.Add([]byte("samesize"), []byte("sameSIZE"))
+	f.Fuzz(func(t *testing.T, src, tgt []byte) {
+		if len(src) != len(tgt) {
+			if _, err := EncodeXOR(src, tgt); err == nil {
+				t.Fatal("length mismatch accepted")
+			}
+			return
+		}
+		stream, err := EncodeXOR(src, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeXOR(src, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, tgt) && !(len(got) == 0 && len(tgt) == 0) {
+			t.Fatal("XOR round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aic/internal/ckpt"
+	"aic/internal/core"
+	"aic/internal/delta"
+	"aic/internal/memsim"
+	"aic/internal/workload"
+)
+
+// CompressorAblationRow compares the three delta compressors under SIC for
+// one benchmark (design decision 1/3 of DESIGN.md §5).
+type CompressorAblationRow struct {
+	Benchmark  string
+	RatioPA    float64
+	RatioWhole float64
+	RatioXOR   float64
+	NET2PA     float64
+	NET2Whole  float64
+	NET2XOR    float64
+}
+
+// AblationCompressor measures how the compressor choice moves both the
+// compression ratio and the end-to-end NET².
+func AblationCompressor(seed uint64, benchmarks ...string) ([]CompressorAblationRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = BenchmarkNames()
+	}
+	sys := BenchSystem(1)
+	lambda := ExperimentLambda()
+	var rows []CompressorAblationRow
+	for _, name := range benchmarks {
+		row := CompressorAblationRow{Benchmark: name}
+		for _, comp := range []core.CompressorKind{core.CompressorPA, core.CompressorWhole, core.CompressorXOR} {
+			res, err := runPolicy(name, core.PolicySIC, sys, lambda, seed, comp)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", name, comp, err)
+			}
+			n, err := res.NET2(lambda)
+			if err != nil {
+				return nil, err
+			}
+			switch comp {
+			case core.CompressorPA:
+				row.RatioPA, row.NET2PA = res.MeanRatio(), n
+			case core.CompressorWhole:
+				row.RatioWhole, row.NET2Whole = res.MeanRatio(), n
+			case core.CompressorXOR:
+				row.RatioXOR, row.NET2XOR = res.MeanRatio(), n
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PredictorAblationRow compares the stepwise+NGD predictor against
+// last-value prediction for AIC (design decision 4).
+type PredictorAblationRow struct {
+	Benchmark  string
+	NET2Full   float64 // stepwise regression + normalized gradient descent
+	NET2Naive  float64 // last measured value as the prediction
+	Intervals  int
+	IntervalsN int
+}
+
+// AblationPredictor runs AIC with and without the learned predictor.
+func AblationPredictor(seed uint64, benchmarks ...string) ([]PredictorAblationRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"milc", "sjeng", "sphinx3"}
+	}
+	sys := BenchSystem(1)
+	lambda := ExperimentLambda()
+	var rows []PredictorAblationRow
+	for _, name := range benchmarks {
+		row := PredictorAblationRow{Benchmark: name}
+		full, err := runPolicy(name, core.PolicyAIC, sys, lambda, seed, core.CompressorPA)
+		if err != nil {
+			return nil, err
+		}
+		if row.NET2Full, err = full.NET2(lambda); err != nil {
+			return nil, err
+		}
+		row.Intervals = len(full.Intervals)
+
+		prog, _ := workload.ByName(name, seed)
+		naive, err := core.NewRuntime(prog, core.Config{
+			Policy: core.PolicyAIC, System: sys, Lambda: lambda,
+			NaivePredictor: true, Seed: seed,
+		}).Run()
+		if err != nil {
+			return nil, err
+		}
+		if row.NET2Naive, err = naive.NET2(lambda); err != nil {
+			return nil, err
+		}
+		row.IntervalsN = len(naive.Intervals)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SamplerAblationRow compares adaptive Tg against a pinned Tg (design
+// decision 5). The point of adaptation is keeping the sample count high
+// without overflowing the 8-MB buffer; a badly pinned Tg starves the
+// JD/DI metrics.
+type SamplerAblationRow struct {
+	Benchmark     string
+	NET2Adaptive  float64
+	NET2FixedTiny float64 // Tg pinned far too small (buffer overflow, drops)
+	NET2FixedHuge float64 // Tg pinned far too large (few samples)
+}
+
+// AblationSampler runs AIC under the three Tg policies.
+func AblationSampler(seed uint64, benchmarks ...string) ([]SamplerAblationRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"sjeng", "milc"}
+	}
+	sys := BenchSystem(1)
+	lambda := ExperimentLambda()
+	var rows []SamplerAblationRow
+	for _, name := range benchmarks {
+		row := SamplerAblationRow{Benchmark: name}
+		for i, tg := range []float64{0, 1e-6, 30} {
+			prog, err := workload.ByName(name, seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.NewRuntime(prog, core.Config{
+				Policy: core.PolicyAIC, System: sys, Lambda: lambda,
+				FixedTg: tg, Seed: seed,
+			}).Run()
+			if err != nil {
+				return nil, err
+			}
+			n, err := res.NET2(lambda)
+			if err != nil {
+				return nil, err
+			}
+			switch i {
+			case 0:
+				row.NET2Adaptive = n
+			case 1:
+				row.NET2FixedTiny = n
+			case 2:
+				row.NET2FixedHuge = n
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BlockSizeRow is one codec granularity of the block-size ablation.
+type BlockSizeRow struct {
+	BlockSize int
+	Ratio     float64 // compressed/raw over a sampled checkpoint stream
+	EncodeMBs float64 // real encode throughput on this machine (MB/s)
+}
+
+// AblationBlockSize measures the delta codec's compression ratio and real
+// encode throughput across block granularities on sjeng's checkpoint
+// stream — the trade the default 64-byte granularity sits on (smaller
+// blocks find finer matches but hash more).
+func AblationBlockSize(seed uint64, blockSizes []int) ([]BlockSizeRow, error) {
+	if len(blockSizes) == 0 {
+		blockSizes = []int{16, 32, 64, 128, 256, 1024}
+	}
+	// Capture realistic page pairs from a short sjeng run.
+	prog, err := workload.ByName("sjeng", seed)
+	if err != nil {
+		return nil, err
+	}
+	as := memsim.New(0)
+	builder := ckpt.NewBuilder(as.PageSize(), 0, 0)
+	prog.Init(as)
+	builder.FullCheckpoint(as)
+	var pairs []delta.PageUpdate
+	for now := 0.0; now < 40; now++ {
+		prog.Step(as, now, 1)
+	}
+	for _, idx := range as.DirtyPages() {
+		old := builder.PrevPage(idx)
+		if old == nil {
+			continue
+		}
+		pairs = append(pairs, delta.PageUpdate{
+			Index: idx,
+			Old:   append([]byte(nil), old...),
+			New:   append([]byte(nil), as.Page(idx)...),
+		})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("exp: no hot pages captured")
+	}
+
+	rows := make([]BlockSizeRow, len(blockSizes))
+	for i, bs := range blockSizes {
+		start := time.Now()
+		var in, out int
+		for _, p := range pairs {
+			d := delta.Encode(p.Old, p.New, bs)
+			in += len(p.New)
+			out += len(d)
+		}
+		elapsed := time.Since(start).Seconds()
+		rows[i] = BlockSizeRow{BlockSize: bs, Ratio: float64(out) / float64(in)}
+		if elapsed > 0 {
+			rows[i].EncodeMBs = float64(in) / elapsed / 1e6
+		}
+	}
+	return rows, nil
+}
+
+// RenderBlockSize formats the block-size ablation.
+func RenderBlockSize(rows []BlockSizeRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation — delta codec block size (sjeng hot pages):\n")
+	fmt.Fprintf(&b, "  %9s %8s %12s\n", "block", "ratio", "encode MB/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %9d %8.3f %12.1f\n", r.BlockSize, r.Ratio, r.EncodeMBs)
+	}
+	return b.String()
+}

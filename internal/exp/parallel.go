@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEach runs fn(i) for i in [0, n) across min(n, GOMAXPROCS) workers and
+// returns the first error. The experiment sweeps are embarrassingly
+// parallel — every benchmark/policy/scale cell is an independent
+// deterministic simulation — so the harness fans them out to fill the
+// machine, exactly the share-by-communicating worker pattern.
+func forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			failed := false
+			for i := range jobs {
+				if failed {
+					continue // keep draining so the producer never blocks
+				}
+				if err := fn(i); err != nil {
+					failed = true
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

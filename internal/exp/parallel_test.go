@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	const n = 100
+	var counts [n]int32
+	if err := forEach(n, func(i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := forEach(50, func(i int) error {
+		if i == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForEachAllWorkersFailNoDeadlock(t *testing.T) {
+	// Every call fails: the producer must still drain and return.
+	err := forEach(500, func(i int) error { return errors.New("always") })
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := forEach(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := forEach(-3, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSingleItem(t *testing.T) {
+	ran := false
+	if err := forEach(1, func(i int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("single item not run")
+	}
+}

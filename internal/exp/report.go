@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aic/internal/trace"
+)
+
+// RenderFig2 formats the delta-dynamics curves as aligned columns (one row
+// per second, one latency/size pair per benchmark).
+func RenderFig2(series []Fig2Series) string {
+	var b strings.Builder
+	b.WriteString("Fig. 2 — normalized delta latency / delta size vs checkpoint time (60 s window)\n")
+	fmt.Fprintf(&b, "%4s", "t(s)")
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %10s lat/size", s.Benchmark)
+	}
+	b.WriteString("\n")
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%4.0f", series[0].Points[i].Time)
+		for _, s := range series {
+			p := s.Points[i]
+			fmt.Fprintf(&b, "  %9.2f /%9.2f", p.NormLatency, p.NormSize)
+		}
+		b.WriteString("\n")
+	}
+	for _, s := range series {
+		fmt.Fprintf(&b, "swing(%s) = %.1fx  ", s.Benchmark, s.Swing())
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderScaling formats Fig. 5 or Fig. 6.
+func RenderScaling(title string, rows []ScalingRow) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%6s %10s %10s %10s %10s\n", "size", "Moody", "L1L3", "L2L3", "L1L2L3")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%5.0fx %10.4f %10.4f %10.4f %10.4f\n", r.Size, r.Moody, r.L1L3, r.L2L3, r.L1L2L3)
+	}
+	return b.String()
+}
+
+// RenderFig7 formats the sharing-factor study.
+func RenderFig7(rows []SharingRow) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — NET² of L2L3 under sharing factors (RMS scaling) vs Moody\n")
+	var sfs []int
+	if len(rows) > 0 {
+		for sf := range rows[0].BySF {
+			sfs = append(sfs, sf)
+		}
+		sort.Ints(sfs)
+	}
+	fmt.Fprintf(&b, "%6s %10s", "size", "Moody")
+	for _, sf := range sfs {
+		fmt.Fprintf(&b, "     SF=%-3d", sf)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%5.0fx %10.4f", r.Size, r.Moody)
+		for _, sf := range sfs {
+			fmt.Fprintf(&b, " %10.4f", r.BySF[sf])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderTable1 formats the LANL candidate-job study beside the published
+// values.
+func RenderTable1(rows []trace.Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1 — candidate jobs on the five LANL systems (reproduced vs paper)\n")
+	fmt.Fprintf(&b, "%4s %8s %7s %7s  %11s %11s  %12s %12s\n",
+		"sys", "type", "nodes", "cores", "cand", "paper", "cand(resch)", "paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4d %8s %7d %7d  %10.1f%% %10.0f%%  %11.1f%% %11.0f%%\n",
+			r.System.ID, r.System.Type, r.System.Nodes, r.System.CoresPerNode,
+			100*r.CandidateFrac, 100*r.PaperFrac,
+			100*r.CandidateFracReserved, 100*r.PaperFracReserved)
+	}
+	return b.String()
+}
+
+// RenderTable3 formats the benchmark characterization.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3 — benchmarks, compressors and AIC overhead\n")
+	fmt.Fprintf(&b, "%-11s %7s  %9s %9s  %9s %9s  %10s %8s\n",
+		"benchmark", "base(s)", "ratio-xd3", "ratio-PA", "lat-xd3", "lat-PA", "AIC time", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %7.0f  %9.2f %9.2f  %8.2fs %8.2fs  %9.0fs %7.1f%%\n",
+			r.Benchmark, r.BaseTime, r.RatioXdelta3, r.RatioPA,
+			r.LatencyXdelta3, r.LatencyPA, r.AICTime, r.AICOverheadPct)
+	}
+	return b.String()
+}
+
+// RenderFig11 formats the three-policy comparison.
+func RenderFig11(rows []Fig11Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 11 — NET² of the six benchmarks under AIC / SIC / Moody (1x scale)\n")
+	fmt.Fprintf(&b, "%-11s %9s %9s %9s  %12s %12s\n", "benchmark", "AIC", "SIC", "Moody", "AICvsSIC", "AICvsMoody")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %9.4f %9.4f %9.4f  %+11.1f%% %+11.1f%%\n",
+			r.Benchmark, r.AIC, r.SIC, r.Moody,
+			100*(r.AIC-r.SIC)/r.SIC, 100*(r.AIC-r.Moody)/r.Moody)
+	}
+	return b.String()
+}
+
+// RenderFig12 formats the Milc scaling comparison.
+func RenderFig12(rows []Fig12Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 12 — NET² of Milc, AIC vs SIC, across system scales\n")
+	fmt.Fprintf(&b, "%7s %9s %9s %10s\n", "scale", "AIC", "SIC", "reduction")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6.2fx %9.4f %9.4f %+9.1f%%\n", r.Scale, r.AIC, r.SIC, 100*(r.AIC-r.SIC)/r.SIC)
+	}
+	return b.String()
+}
+
+// RenderAblations formats the three design-decision studies.
+func RenderAblations(comp []CompressorAblationRow, pred []PredictorAblationRow, samp []SamplerAblationRow) string {
+	var b strings.Builder
+	if len(comp) > 0 {
+		b.WriteString("Ablation — compressor (SIC): ratio and NET² per codec\n")
+		fmt.Fprintf(&b, "%-11s %8s %8s %8s  %9s %9s %9s\n",
+			"benchmark", "r(PA)", "r(xd3)", "r(XOR)", "NET²(PA)", "NET²(xd3)", "NET²(XOR)")
+		for _, r := range comp {
+			fmt.Fprintf(&b, "%-11s %8.2f %8.2f %8.2f  %9.4f %9.4f %9.4f\n",
+				r.Benchmark, r.RatioPA, r.RatioWhole, r.RatioXOR, r.NET2PA, r.NET2Whole, r.NET2XOR)
+		}
+	}
+	if len(pred) > 0 {
+		b.WriteString("Ablation — predictor (AIC): stepwise+NGD vs last-value\n")
+		fmt.Fprintf(&b, "%-11s %11s %11s %6s %6s\n", "benchmark", "NET²(full)", "NET²(naive)", "iv", "iv(n)")
+		for _, r := range pred {
+			fmt.Fprintf(&b, "%-11s %11.4f %11.4f %6d %6d\n",
+				r.Benchmark, r.NET2Full, r.NET2Naive, r.Intervals, r.IntervalsN)
+		}
+	}
+	if len(samp) > 0 {
+		b.WriteString("Ablation — sampler Tg (AIC): adaptive vs pinned\n")
+		fmt.Fprintf(&b, "%-11s %12s %12s %12s\n", "benchmark", "adaptive", "tiny Tg", "huge Tg")
+		for _, r := range samp {
+			fmt.Fprintf(&b, "%-11s %12.4f %12.4f %12.4f\n",
+				r.Benchmark, r.NET2Adaptive, r.NET2FixedTiny, r.NET2FixedHuge)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the classic single-level checkpoint-interval
+// estimates the paper's related work builds on (Young '74, Daly '06) and
+// Vaidya's overhead/latency decomposition. They serve two roles: as
+// comparison baselines, and as closed-form anchors that the Markov
+// machinery must agree with in the single-level limit (see tests).
+
+// YoungInterval returns Young's first-order optimum work span
+// w* = sqrt(2·δ/λ) for checkpoint cost δ and failure rate λ.
+func YoungInterval(delta, lambda float64) (float64, error) {
+	if delta <= 0 || lambda <= 0 {
+		return 0, fmt.Errorf("model: Young interval needs positive δ and λ, got %v, %v", delta, lambda)
+	}
+	return math.Sqrt(2 * delta / lambda), nil
+}
+
+// DalyInterval returns Daly's higher-order estimate of the optimum work
+// span for checkpoint cost δ and mean time between failures M = 1/λ:
+//
+//	w* = sqrt(2δM)·[1 + ⅓·sqrt(δ/(2M)) + (1/9)·(δ/(2M))] − δ   for δ < 2M
+//	w* = M                                                      otherwise
+func DalyInterval(delta, lambda float64) (float64, error) {
+	if delta <= 0 || lambda <= 0 {
+		return 0, fmt.Errorf("model: Daly interval needs positive δ and λ, got %v, %v", delta, lambda)
+	}
+	m := 1 / lambda
+	if delta >= 2*m {
+		return m, nil
+	}
+	x := delta / (2 * m)
+	return math.Sqrt(2*delta*m)*(1+math.Sqrt(x)/3+x/9) - delta, nil
+}
+
+// SingleLevelExpectedTime returns the exact expected runtime of one
+// checkpoint interval under the classic single-level model: work w followed
+// by a blocking checkpoint of cost δ, failures at rate λ, recovery cost r,
+// restart from the last checkpoint. This is the closed form
+//
+//	E[T] = (1/λ + r)·(e^{λ(w+δ)} − 1) / e^{λ·r}... —
+//
+// rather than reciting a formula, it is built from the same Markov
+// machinery (a two-state chain), making it the single-level limit the
+// general solver must reproduce.
+func SingleLevelExpectedTime(w, delta, r, lambda float64) (float64, error) {
+	p := Params{
+		Lambda: [3]float64{0, 0, lambda},
+		C:      [3]float64{0, 0, delta},
+		R:      [3]float64{0, 0, r},
+	}
+	// A Moody period with a single level-3 checkpoint is exactly the
+	// classic model: w + δ blocking, recover r, re-run from the interval
+	// start.
+	iv, err := EvalMoody(w, MoodySchedule{3}, p)
+	if err != nil {
+		return 0, err
+	}
+	return iv.ExpectedTime, nil
+}
+
+// OptimizeSingleLevel numerically minimizes the single-level NET² over the
+// work span, for comparison with Young's and Daly's closed forms.
+func OptimizeSingleLevel(delta, r, lambda, wLo, wHi float64) (w, net2 float64, err error) {
+	if delta <= 0 || lambda <= 0 {
+		return 0, 0, fmt.Errorf("model: need positive δ and λ")
+	}
+	obj := func(w float64) float64 {
+		t, err := SingleLevelExpectedTime(w, delta, r, lambda)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return t / w
+	}
+	w, net2 = logGoldenSection(obj, wLo, wHi)
+	if math.IsInf(net2, 1) {
+		return 0, 0, fmt.Errorf("model: single-level search found no feasible point")
+	}
+	return w, net2, nil
+}
+
+// VaidyaOverheadRatio returns Vaidya's overhead ratio for a single-level
+// scheme with checkpoint overhead δ (blocking part) and interval w under
+// rate λ: r(w) = E[T]/w − 1, the fractional slowdown.
+func VaidyaOverheadRatio(w, delta, r, lambda float64) (float64, error) {
+	t, err := SingleLevelExpectedTime(w, delta, r, lambda)
+	if err != nil {
+		return 0, err
+	}
+	if w <= 0 {
+		return 0, fmt.Errorf("model: non-positive work span")
+	}
+	return t/w - 1, nil
+}

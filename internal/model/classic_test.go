@@ -1,0 +1,142 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestYoungInterval(t *testing.T) {
+	w, err := YoungInterval(10, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-math.Sqrt(2*10/1e-4)) > 1e-9 {
+		t.Fatalf("w = %v", w)
+	}
+	if _, err := YoungInterval(0, 1); err == nil {
+		t.Fatal("zero δ accepted")
+	}
+	if _, err := YoungInterval(1, 0); err == nil {
+		t.Fatal("zero λ accepted")
+	}
+}
+
+func TestDalyInterval(t *testing.T) {
+	// Small δ/M: Daly ≈ Young − δ-ish corrections; must be within ~10% of
+	// Young and smaller than it.
+	const delta, lambda = 10.0, 1e-4
+	young, _ := YoungInterval(delta, lambda)
+	daly, err := DalyInterval(delta, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if daly >= young {
+		t.Fatalf("Daly %v should refine Young %v downward for small δ", daly, young)
+	}
+	if math.Abs(daly-young)/young > 0.1 {
+		t.Fatalf("Daly %v too far from Young %v", daly, young)
+	}
+	// Saturated regime: w* = MTBF.
+	sat, err := DalyInterval(3000, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat != 1000 {
+		t.Fatalf("saturated Daly = %v, want MTBF", sat)
+	}
+	if _, err := DalyInterval(-1, 1); err == nil {
+		t.Fatal("negative δ accepted")
+	}
+}
+
+func TestSingleLevelClosedForm(t *testing.T) {
+	// Classic result with instantaneous recovery: E[T] for an interval of
+	// total length L = w + δ restarted on failure is (e^{λL} − 1)/λ.
+	const w, delta, lambda = 100.0, 5.0, 1e-3
+	got, err := SingleLevelExpectedTime(w, delta, 0, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := w + delta
+	want := (math.Exp(lambda*L) - 1) / lambda
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("E[T] = %v, want closed form %v", got, want)
+	}
+}
+
+func TestSingleLevelWithRecoveryMatchesManualChain(t *testing.T) {
+	// With recovery cost r, verify against an independently constructed
+	// two-state solution: T = E_L + (1−p_L)(T_R + T), T_R = E_r + ... —
+	// use Monte Carlo of the same chain as the oracle via EvalMoody's
+	// internals already being tested; here check monotonicity in r.
+	a, err := SingleLevelExpectedTime(100, 5, 0, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SingleLevelExpectedTime(100, 5, 50, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Fatalf("recovery cost must increase E[T]: %v vs %v", a, b)
+	}
+}
+
+// The anchor test: the general Markov/Moody machinery, restricted to a
+// single level, must locate an optimum work span close to Daly's
+// closed-form estimate.
+func TestOptimizeSingleLevelMatchesDaly(t *testing.T) {
+	cases := []struct{ delta, lambda float64 }{
+		{5, 1e-4},
+		{30, 1e-4},
+		{5, 1e-3},
+		{60, 1e-5},
+	}
+	for _, c := range cases {
+		daly, err := DalyInterval(c.delta, c.lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, net2, err := OptimizeSingleLevel(c.delta, c.delta, c.lambda, 1, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net2 <= 1 {
+			t.Fatalf("δ=%v λ=%v: NET² = %v", c.delta, c.lambda, net2)
+		}
+		// Daly's estimate uses slightly different conventions (recovery
+		// excluded from the optimization); agreement within 15% is the
+		// expected regime for these parameters.
+		if math.Abs(w-daly)/daly > 0.15 {
+			t.Fatalf("δ=%v λ=%v: Markov optimum %v vs Daly %v", c.delta, c.lambda, w, daly)
+		}
+	}
+}
+
+func TestOptimizeSingleLevelErrors(t *testing.T) {
+	if _, _, err := OptimizeSingleLevel(0, 0, 1, 1, 10); err == nil {
+		t.Fatal("zero δ accepted")
+	}
+}
+
+func TestVaidyaOverheadRatio(t *testing.T) {
+	r, err := VaidyaOverheadRatio(100, 5, 5, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure-free lower bound: δ/w = 5%.
+	if r < 0.05 || r > 0.2 {
+		t.Fatalf("overhead ratio = %v", r)
+	}
+	if _, err := VaidyaOverheadRatio(0, 5, 5, 1e-4); err == nil {
+		t.Fatal("zero work span accepted")
+	}
+	// Overhead grows with λ.
+	r2, err := VaidyaOverheadRatio(100, 5, 5, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 <= r {
+		t.Fatalf("overhead must grow with λ: %v vs %v", r, r2)
+	}
+}

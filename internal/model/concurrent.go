@@ -1,0 +1,231 @@
+package model
+
+import (
+	"math"
+
+	"aic/internal/markov"
+)
+
+// Interval is an evaluated checkpoint interval: the chain's expected runtime
+// and the base work the interval accomplishes (computation continues on the
+// compute cores during the concurrent transfer segment, so Work exceeds w).
+type Interval struct {
+	ExpectedTime float64 // T_int
+	Work         float64 // base execution progress per interval
+}
+
+// NET2 returns the interval's normalized expected turnaround time
+// contribution T_int / work.
+func (iv Interval) NET2() float64 {
+	if iv.Work <= 0 {
+		return math.Inf(1)
+	}
+	return iv.ExpectedTime / iv.Work
+}
+
+// clampSegments splits the concurrent transfer window into the two phases
+// used by the chains: [c1 .. min(c2,c3)] (neither remote level complete) and
+// [min(c2,c3) .. max(c2,c3)] (the faster level complete). Degenerate
+// parameter orderings (e.g. a delta so small that c2 > c3) collapse cleanly
+// to zero-length phases.
+func clampSegments(p Params) (phaseBoth, phaseOne, full float64) {
+	c1 := p.C[0]
+	lo := math.Max(c1, math.Min(p.C[1], p.C[2]))
+	hi := math.Max(lo, math.Max(p.C[1], p.C[2]))
+	return lo - c1, hi - lo, hi - c1
+}
+
+// L1L3Interval builds the two-level L1L3 concurrent chain of Fig. 4(a) for
+// work span w. Failure classes are (f1, f2, f3); f2 and f3 both require L3
+// recovery because no L2 checkpoint exists in this configuration.
+func L1L3Interval(w float64, p Params) (*markov.Chain, int, Interval) {
+	seg := math.Max(0, p.C[2]-p.C[0]) // c3 - c1, the concurrent L3 transfer
+	ch := markov.New(p.Lambda[:])
+	s1 := ch.AddState("w+c1", w+p.C[0])
+	s2 := ch.AddState("c3-c1", seg)
+	s3 := ch.AddState("r1", p.R[0])
+	s4 := ch.AddState("r3", p.R[2])
+	s5 := ch.AddState("rerun", seg)
+	s6 := ch.AddState("r1'", p.R[0])
+
+	ch.SetSuccess(s1, s2)
+	ch.SetFailure(s1, 0, s3)
+	ch.SetFailure(s1, 1, s4)
+	ch.SetFailure(s1, 2, s4)
+
+	ch.SetSuccess(s2, markov.Done)
+	ch.SetFailure(s2, 0, s6)
+	ch.SetFailure(s2, 1, s4)
+	ch.SetFailure(s2, 2, s4)
+
+	ch.SetSuccess(s3, s5)
+	ch.SetFailure(s3, 0, s3)
+	ch.SetFailure(s3, 1, s4)
+	ch.SetFailure(s3, 2, s4)
+
+	ch.SetSuccess(s4, s5)
+	ch.SetAllFailures(s4, s4)
+
+	ch.SetSuccess(s5, s1)
+	ch.SetFailure(s5, 0, s3)
+	ch.SetFailure(s5, 1, s4)
+	ch.SetFailure(s5, 2, s4)
+
+	ch.SetSuccess(s6, s2)
+	ch.SetFailure(s6, 0, s6)
+	ch.SetFailure(s6, 1, s4)
+	ch.SetFailure(s6, 2, s4)
+
+	return ch, s1, Interval{Work: w + seg}
+}
+
+// L2L3Interval builds the non-static L2L3 concurrent chain (Fig. 8). The
+// current interval's parameters govern the ordinary states; the previous
+// interval's parameters govern the grey states (recovery from checkpoints
+// produced in interval i−1 and the rerun of its concurrently-executed work).
+// Static evaluation passes cur == prev. In the L2L3 configuration transient
+// f1 failures recover from the L2 checkpoint, so classes f1 and f2 share
+// destinations.
+func L2L3Interval(w float64, cur, prev Params) (*markov.Chain, int, Interval) {
+	phaseBoth, phaseOne, full := clampSegments(cur)
+	_, _, prevFull := clampSegments(prev)
+
+	ch := markov.New(cur.Lambda[:])
+	s1 := ch.AddState("w+c1", w+cur.C[0])
+	s2 := ch.AddState("xfer-both", phaseBoth)
+	s3 := ch.AddState("xfer-l3", phaseOne)
+	s6 := ch.AddState("r2-cur", cur.R[1])
+	s7 := ch.AddState("redo-xfer", full)
+	r2p := ch.AddState("r2-prev", prev.R[1])
+	r3p := ch.AddState("r3-prev", prev.R[2])
+	s5 := ch.AddState("rerun-prev", prevFull)
+
+	toPrev := func(id int) {
+		ch.SetFailure(id, 0, r2p)
+		ch.SetFailure(id, 1, r2p)
+		ch.SetFailure(id, 2, r3p)
+	}
+	toCur := func(id int) {
+		ch.SetFailure(id, 0, s6)
+		ch.SetFailure(id, 1, s6)
+		ch.SetFailure(id, 2, r3p)
+	}
+
+	ch.SetSuccess(s1, s2)
+	toPrev(s1)
+	ch.SetSuccess(s2, s3)
+	toPrev(s2)
+	ch.SetSuccess(s3, markov.Done)
+	toCur(s3)
+	ch.SetSuccess(s6, s7)
+	toCur(s6)
+	ch.SetSuccess(s7, markov.Done)
+	toCur(s7)
+	ch.SetSuccess(r2p, s5)
+	toPrev(r2p)
+	ch.SetSuccess(r3p, s5)
+	ch.SetAllFailures(r3p, r3p)
+	ch.SetSuccess(s5, s1)
+	toPrev(s5)
+
+	return ch, s1, Interval{Work: w + full}
+}
+
+// L1L2L3Interval builds the three-level concurrent chain of Fig. 4(c):
+// f1 recovers from local L1 checkpoints, f2 from the RAID-5 group, f3 from
+// remote storage.
+func L1L2L3Interval(w float64, p Params) (*markov.Chain, int, Interval) {
+	phaseBoth, phaseOne, full := clampSegments(p)
+
+	ch := markov.New(p.Lambda[:])
+	s1 := ch.AddState("w+c1", w+p.C[0])
+	s2 := ch.AddState("xfer-both", phaseBoth)
+	s3 := ch.AddState("xfer-l3", phaseOne)
+	s6a := ch.AddState("r1-during-xfer", p.R[0])
+	s6b := ch.AddState("r1-cur", p.R[0])
+	s8 := ch.AddState("r2-cur", p.R[1])
+	s7 := ch.AddState("redo-xfer", full)
+	r1p := ch.AddState("r1-prev", p.R[0])
+	r2p := ch.AddState("r2-prev", p.R[1])
+	r3p := ch.AddState("r3-prev", p.R[2])
+	s5 := ch.AddState("rerun-prev", full)
+
+	toPrev := func(id int) {
+		ch.SetFailure(id, 0, r1p)
+		ch.SetFailure(id, 1, r2p)
+		ch.SetFailure(id, 2, r3p)
+	}
+	toCur := func(id int) {
+		ch.SetFailure(id, 0, s6b)
+		ch.SetFailure(id, 1, s8)
+		ch.SetFailure(id, 2, r3p)
+	}
+
+	ch.SetSuccess(s1, s2)
+	toPrev(s1)
+
+	// Phase A: current L1 exists, current L2/L3 in flight.
+	ch.SetSuccess(s2, s3)
+	ch.SetFailure(s2, 0, s6a)
+	ch.SetFailure(s2, 1, r2p)
+	ch.SetFailure(s2, 2, r3p)
+	ch.SetSuccess(s6a, s2)
+	ch.SetFailure(s6a, 0, s6a)
+	ch.SetFailure(s6a, 1, r2p)
+	ch.SetFailure(s6a, 2, r3p)
+
+	// Phase B: current L2 complete; only L3 in flight.
+	ch.SetSuccess(s3, markov.Done)
+	toCur(s3)
+	ch.SetSuccess(s6b, s7)
+	toCur(s6b)
+	ch.SetSuccess(s8, s7)
+	toCur(s8)
+	ch.SetSuccess(s7, markov.Done)
+	toCur(s7)
+
+	// Previous-interval recovery ladder.
+	ch.SetSuccess(r1p, s5)
+	toPrev(r1p)
+	ch.SetSuccess(r2p, s5)
+	ch.SetFailure(r2p, 0, r2p)
+	ch.SetFailure(r2p, 1, r2p)
+	ch.SetFailure(r2p, 2, r3p)
+	ch.SetSuccess(r3p, s5)
+	ch.SetAllFailures(r3p, r3p)
+	ch.SetSuccess(s5, s1)
+	toPrev(s5)
+
+	return ch, s1, Interval{Work: w + full}
+}
+
+// EvalL1L3 returns the evaluated interval for work span w.
+func EvalL1L3(w float64, p Params) (Interval, error) {
+	ch, start, iv := L1L3Interval(w, p)
+	t, err := ch.ExpectedTime(start)
+	iv.ExpectedTime = t
+	return iv, err
+}
+
+// EvalL2L3 returns the evaluated static L2L3 interval for work span w.
+func EvalL2L3(w float64, p Params) (Interval, error) {
+	return EvalL2L3Dynamic(w, p, p)
+}
+
+// EvalL2L3Dynamic returns the evaluated non-static L2L3 interval, with the
+// current interval's predicted parameters and the previous interval's
+// realized ones.
+func EvalL2L3Dynamic(w float64, cur, prev Params) (Interval, error) {
+	ch, start, iv := L2L3Interval(w, cur, prev)
+	t, err := ch.ExpectedTime(start)
+	iv.ExpectedTime = t
+	return iv, err
+}
+
+// EvalL1L2L3 returns the evaluated three-level interval for work span w.
+func EvalL1L2L3(w float64, p Params) (Interval, error) {
+	ch, start, iv := L1L2L3Interval(w, p)
+	t, err := ch.ExpectedTime(start)
+	iv.ExpectedTime = t
+	return iv, err
+}

@@ -1,0 +1,334 @@
+// Package mpi extends AIC to coordinated checkpointing of multi-process
+// MPI jobs — the direction the paper explicitly defers ("AIC for MPI tasks
+// requires tracking similarity degrees of all MPI processes for coordinated
+// checkpointing ... will be treated in a separate article").
+//
+// Semantics: the job's ranks run in lockstep; a checkpoint is *global* —
+// every rank halts until the slowest rank's local checkpoint completes
+// (coordination barrier + in-flight message drain), then the per-rank delta
+// compressions and remote transfers proceed concurrently on each node's
+// checkpointing core. A failure of any rank rolls the whole job back, so
+// the job-level failure rate is the sum over ranks. The adaptive decider
+// aggregates every rank's predicted costs (the job-level c_k is the max
+// over ranks, since the barrier waits for the slowest) and applies the same
+// EVT/Newton–Raphson search as single-process AIC.
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"aic/internal/ckpt"
+	"aic/internal/memsim"
+	"aic/internal/model"
+	"aic/internal/numeric"
+	"aic/internal/predictor"
+	"aic/internal/sim"
+	"aic/internal/storage"
+	"aic/internal/workload"
+)
+
+// Policy selects the coordinated checkpointing policy.
+type Policy int
+
+// Coordinated policies.
+const (
+	CoordinatedSIC Policy = iota // fixed interval
+	CoordinatedAIC               // adaptive, rank-aggregated predictions
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == CoordinatedAIC {
+		return "coordinated-AIC"
+	}
+	return "coordinated-SIC"
+}
+
+// Config parameterizes a coordinated job run.
+type Config struct {
+	System storage.System
+	Policy Policy
+	// Ranks is the number of MPI processes.
+	Ranks int
+	// LambdaPerRank is each rank's per-level failure rate; the job-level
+	// rate is Ranks times it (any rank failure fails the job).
+	LambdaPerRank [3]float64
+	// Interval is the fixed checkpoint interval (CoordinatedSIC) or the
+	// bootstrap interval (CoordinatedAIC). 0 derives a default.
+	Interval float64
+	// CoordinationCost is the barrier/message-drain time added to every
+	// coordinated local checkpoint (the paper's note that c1 for MPI
+	// includes coordinated-checkpointing time). Default 0.2 s.
+	CoordinationCost float64
+	// Seed derives per-rank workload seeds.
+	Seed uint64
+	// NewProgram builds rank i's workload.
+	NewProgram func(rank int, seed uint64) workload.Program
+	// WMin/WMax bound the adaptive decider's search.
+	WMin, WMax float64
+}
+
+func (c *Config) setDefaults(base float64) {
+	if c.CoordinationCost <= 0 {
+		c.CoordinationCost = 0.2
+	}
+	if c.Interval <= 0 {
+		c.Interval = 5
+	}
+	if c.WMin <= 0 {
+		c.WMin = 1
+	}
+	if c.WMax <= 0 {
+		c.WMax = base
+	}
+}
+
+// JobLambda returns the job-level failure rates.
+func (c Config) JobLambda() [3]float64 {
+	var out [3]float64
+	for i, r := range c.LambdaPerRank {
+		out[i] = r * float64(c.Ranks)
+	}
+	return out
+}
+
+// rank is one MPI process's simulation state.
+type rank struct {
+	prog    workload.Program
+	as      *memsim.AddressSpace
+	builder *ckpt.Builder
+	predC1  *predictor.Online
+	predDL  *predictor.Online
+	predDS  *predictor.Online
+	lastM   predictor.Metrics
+}
+
+// Result reports a coordinated run.
+type Result struct {
+	Policy    Policy
+	Ranks     int
+	BaseTime  float64
+	WallTime  float64 // includes the coordinated halts
+	Intervals []sim.IntervalCosts
+	NET2      float64
+}
+
+// Run executes the coordinated job and evaluates Eq. (1) at the job level.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("mpi: need at least one rank")
+	}
+	if cfg.NewProgram == nil {
+		return nil, fmt.Errorf("mpi: no program factory")
+	}
+	ranks := make([]*rank, cfg.Ranks)
+	base := 0.0
+	for i := range ranks {
+		prog := cfg.NewProgram(i, cfg.Seed+uint64(i)*977)
+		if prog.BaseTime() > base {
+			base = prog.BaseTime()
+		}
+		as := memsim.New(0)
+		r := &rank{
+			prog:    prog,
+			as:      as,
+			builder: ckpt.NewBuilder(as.PageSize(), 0, 4096),
+			predC1:  predictor.NewOnline(4, 3, 0.5),
+			predDL:  predictor.NewOnline(4, 3, 0.5),
+			predDS:  predictor.NewOnline(4, 3, 0.5),
+		}
+		prog.Init(as)
+		r.builder.FullCheckpoint(as) // pre-staged initial image
+		ranks[i] = r
+	}
+	cfg.setDefaults(base)
+	lambda := cfg.JobLambda()
+
+	res := &Result{Policy: cfg.Policy, Ranks: cfg.Ranks, BaseTime: base}
+	work := 0.0
+	wall := 0.0
+	lastCkpt := 0.0
+	prevWindow := 0.0
+	prevParams := model.Params{Lambda: lambda}
+	havePrev := false
+
+	// metricsOf gathers rank r's predictor features at the current moment.
+	metricsOf := func(r *rank) predictor.Metrics {
+		m := predictor.Metrics{DP: float64(r.as.DirtyCount()), T: work - lastCkpt}
+		n := 0
+		var jd, di float64
+		for _, idx := range r.as.DirtyPages() {
+			if n >= 16 {
+				break
+			}
+			old := r.builder.PrevPage(idx)
+			if old == nil {
+				continue
+			}
+			jd += predictor.JaccardDistance(r.as.Page(idx), old)
+			di += predictor.DivergenceIndex(r.as.Page(idx))
+			n++
+		}
+		if n > 0 {
+			m.JD, m.DI = jd/float64(n), di/float64(n)
+		}
+		return m
+	}
+
+	// predictJob aggregates rank predictions into job-level params: the
+	// barrier waits for the slowest rank at every stage.
+	predictJob := func() model.Params {
+		var c1, win float64
+		b2 := cfg.System.RAID5.BandwidthBps
+		b3 := cfg.System.Remote.BandwidthBps
+		var c2win float64
+		for _, r := range ranks {
+			m := metricsOf(r)
+			r.lastM = m
+			rawCap := m.DP*float64(r.as.PageSize()) + 4096
+			pc1 := math.Min(r.predC1.Predict(m), cfg.System.LocalDisk.TransferTime(int64(rawCap)))
+			pdl := math.Min(r.predDL.Predict(m), cfg.System.CompressTime(int64(rawCap), int64(rawCap)))
+			pds := math.Min(r.predDS.Predict(m), rawCap)
+			if pc1 > c1 {
+				c1 = pc1
+			}
+			w3 := pdl
+			w2 := pdl
+			if b3 > 0 {
+				w3 += pds / b3
+			}
+			if b2 > 0 {
+				w2 += pds / b2
+			}
+			if w3 > win {
+				win = w3
+			}
+			if w2 > c2win {
+				c2win = w2
+			}
+		}
+		c1 += cfg.CoordinationCost
+		p := model.Params{Lambda: lambda}
+		p.C = [3]float64{c1, c1 + c2win, c1 + win}
+		p.R = p.C
+		return p
+	}
+
+	takeCheckpoint := func() {
+		var c1Max, winMax, c2winMax float64
+		var dsSum float64
+		for _, r := range ranks {
+			m := metricsOf(r)
+			c, st := r.builder.DeltaCheckpoint(r.as)
+			raw := int64(st.InputBytes + len(c.CPUState))
+			rc1 := cfg.System.LocalDisk.TransferTime(raw)
+			rdl := cfg.System.CompressTime(int64(st.InputBytes+st.HotPages*r.as.PageSize()), int64(c.Size()))
+			rds := float64(c.Size())
+			if rc1 > c1Max {
+				c1Max = rc1
+			}
+			w3 := rdl + cfg.System.Remote.TransferTime(int64(rds)) - cfg.System.Remote.LatencySec
+			if b := cfg.System.Remote.BandwidthBps; b > 0 {
+				w3 = rdl + rds/b
+			}
+			if w3 > winMax {
+				winMax = w3
+			}
+			w2 := rdl
+			if b := cfg.System.RAID5.BandwidthBps; b > 0 {
+				w2 += rds / b
+			}
+			if w2 > c2winMax {
+				c2winMax = w2
+			}
+			dsSum += rds
+			r.predC1.Observe(m, rc1)
+			r.predDL.Observe(m, rdl)
+			r.predDS.Observe(m, rds)
+		}
+		c1 := c1Max + cfg.CoordinationCost
+		iv := sim.IntervalCosts{
+			W:  math.Max(cfg.WMin, (work-lastCkpt)-prevWindow),
+			C1: c1,
+			C2: c1 + c2winMax,
+			C3: c1 + winMax,
+		}
+		iv.R2, iv.R3 = iv.C2, iv.C3
+		res.Intervals = append(res.Intervals, iv)
+		wall += c1 // every rank halts for the coordinated local checkpoint
+		prevWindow = winMax
+		prevParams = model.Params{Lambda: lambda, C: [3]float64{iv.C1, iv.C2, iv.C3}, R: [3]float64{iv.C1, iv.C2, iv.C3}}
+		havePrev = true
+		lastCkpt = work
+	}
+
+	ready := func() bool {
+		for _, r := range ranks {
+			if !r.predC1.Ready() || !r.predDL.Ready() || !r.predDS.Ready() {
+				return false
+			}
+		}
+		return true
+	}
+
+	const dt = 1.0
+	for work < base {
+		step := math.Min(dt, base-work)
+		for _, r := range ranks {
+			if work < r.prog.BaseTime() {
+				r.prog.Step(r.as, work, math.Min(step, r.prog.BaseTime()-work))
+			}
+		}
+		work += step
+		wall += step
+		if work >= base {
+			break
+		}
+		elapsed := work - lastCkpt
+		effW := elapsed - prevWindow
+		if effW <= 0 {
+			continue // previous coordinated transfers still in flight
+		}
+		take := false
+		switch {
+		case cfg.Policy == CoordinatedSIC || !ready():
+			take = elapsed >= cfg.Interval
+		default:
+			cur := predictJob()
+			prev := cur
+			if havePrev {
+				prev = prevParams
+			}
+			obj := func(w float64) float64 {
+				ivm, err := model.EvalL2L3Dynamic(w, cur, prev)
+				if err != nil {
+					return math.Inf(1)
+				}
+				return ivm.NET2()
+			}
+			wStar, objStar, _ := numeric.MinimizeEVT(obj, cfg.WMin, cfg.WMax, 200)
+			take = wStar <= effW || obj(effW) <= objStar*1.001
+		}
+		if take {
+			takeCheckpoint()
+		}
+	}
+	anyDirty := false
+	for _, r := range ranks {
+		if r.as.DirtyCount() > 0 {
+			anyDirty = true
+		}
+	}
+	if anyDirty {
+		takeCheckpoint()
+	}
+	res.WallTime = wall
+
+	n, err := sim.AnalyticNET2(res.Intervals, lambda)
+	if err != nil {
+		return nil, err
+	}
+	res.NET2 = n
+	return res, nil
+}

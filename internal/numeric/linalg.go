@@ -1,0 +1,106 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("numeric: singular matrix")
+
+// SolveLinear solves A·x = b in place using Gaussian elimination with
+// partial pivoting. A is row-major n×n and is destroyed; b is destroyed and
+// returned as the solution. It returns ErrSingular when a pivot smaller than
+// eps·‖row‖ is encountered.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return b, nil
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("numeric: dimension mismatch: %d rows, %d rhs", n, len(b))
+	}
+	for _, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("numeric: non-square matrix: row of length %d in %d-system", len(row), n)
+		}
+	}
+	const eps = 1e-13
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > maxAbs {
+				maxAbs, pivot = v, r
+			}
+		}
+		if maxAbs < eps {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a[col], a[pivot] = a[pivot], a[col]
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for row := n - 1; row >= 0; row-- {
+		sum := b[row]
+		for c := row + 1; c < n; c++ {
+			sum -= a[row][c] * b[c]
+		}
+		b[row] = sum / a[row][row]
+	}
+	return b, nil
+}
+
+// LeastSquares solves min ‖X·β − y‖₂ via the normal equations with a small
+// Tikhonov ridge for conditioning. X is m×p row-major; returns β of length p.
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	m := len(x)
+	if m == 0 {
+		return nil, errors.New("numeric: least squares with no rows")
+	}
+	p := len(x[0])
+	if len(y) != m {
+		return nil, fmt.Errorf("numeric: %d rows but %d targets", m, len(y))
+	}
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r := 0; r < m; r++ {
+		row := x[r]
+		if len(row) != p {
+			return nil, fmt.Errorf("numeric: ragged design matrix at row %d", r)
+		}
+		for i := 0; i < p; i++ {
+			xty[i] += row[i] * y[r]
+			for j := i; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	const ridge = 1e-9
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += ridge
+	}
+	return SolveLinear(xtx, xty)
+}

@@ -1,0 +1,86 @@
+package numeric
+
+import "math"
+
+// NewtonRaphsonResult reports the outcome of a Newton–Raphson search.
+type NewtonRaphsonResult struct {
+	X          float64 // the located point
+	Iterations int     // iterations consumed
+	Converged  bool    // whether |step| fell below the tolerance
+}
+
+// NewtonRaphson locates a zero of fprime (i.e. a stationary point of the
+// underlying objective) starting from x0, clamped to [lo, hi]. fprime is
+// differentiated numerically with a central difference. The paper's decider
+// bounds the search at 200 iterations and accepts the point reached either
+// way (Extreme Value Theorem comparison happens outside).
+func NewtonRaphson(fprime func(float64) float64, x0, lo, hi, tol float64, maxIter int) NewtonRaphsonResult {
+	x := math.Min(math.Max(x0, lo), hi)
+	h := math.Max((hi-lo)*1e-6, 1e-9)
+	for i := 0; i < maxIter; i++ {
+		fp := fprime(x)
+		// Second derivative via central difference of fprime.
+		fpp := (fprime(x+h) - fprime(x-h)) / (2 * h)
+		if fpp == 0 || math.IsNaN(fpp) || math.IsInf(fpp, 0) {
+			return NewtonRaphsonResult{X: x, Iterations: i, Converged: false}
+		}
+		step := fp / fpp
+		nx := x - step
+		if nx < lo {
+			nx = lo
+		} else if nx > hi {
+			nx = hi
+		}
+		if math.Abs(nx-x) < tol {
+			return NewtonRaphsonResult{X: nx, Iterations: i + 1, Converged: true}
+		}
+		x = nx
+	}
+	return NewtonRaphsonResult{X: x, Iterations: maxIter, Converged: false}
+}
+
+// MinimizeEVT implements the paper's Extreme Value Theorem search: evaluate
+// the objective at both boundaries and at the Newton–Raphson stationary
+// point, returning the argmin. Derivatives are taken numerically.
+func MinimizeEVT(f func(float64) float64, lo, hi float64, maxIter int) (xBest, fBest float64, iters int) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	h := math.Max((hi-lo)*1e-6, 1e-9)
+	fprime := func(x float64) float64 {
+		return (f(x+h) - f(x-h)) / (2 * h)
+	}
+	mid := lo + (hi-lo)/2
+	res := NewtonRaphson(fprime, mid, lo, hi, h, maxIter)
+	xBest, fBest = lo, f(lo)
+	if v := f(hi); v < fBest {
+		xBest, fBest = hi, v
+	}
+	if v := f(res.X); v < fBest {
+		xBest, fBest = res.X, v
+	}
+	return xBest, fBest, res.Iterations
+}
+
+// GoldenSection minimizes a unimodal f over [lo, hi] to the given tolerance.
+// Used by the offline optimizers (SIC/Moody) where runtime does not matter.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}

@@ -1,0 +1,67 @@
+package predictor
+
+import "math"
+
+// Alternative page metrics the paper's footnote 1 reports examining before
+// settling on JD and DI: Cosine Similarity between byte-value histograms of
+// a hot page and its previous version, and the Gibbs–Poston qualitative
+// variation index M2. Both were found "closely similar to JD and DI under
+// our target applications" with higher computational cost — a claim the
+// metric-correlation test reproduces.
+
+// CosineDistance returns 1 − cos(θ) between the byte-value histograms of
+// the two pages (0 = identical distributions, →1 = orthogonal). Note this
+// is distribution-level dissimilarity, blind to byte positions — cheaper
+// than edit distance, coarser than JD.
+func CosineDistance(cur, old []byte) float64 {
+	if len(cur) == 0 && len(old) == 0 {
+		return 0
+	}
+	var a, b [256]float64
+	for _, c := range cur {
+		a[c]++
+	}
+	for _, c := range old {
+		b[c]++
+	}
+	var dot, na, nb float64
+	for i := 0; i < 256; i++ {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	cos := dot / math.Sqrt(na*nb)
+	if cos > 1 {
+		cos = 1
+	}
+	return 1 - cos
+}
+
+// M2Index returns the Gibbs–Poston M2 index of qualitative variation of a
+// page's byte values:
+//
+//	M2 = (k/(k−1)) · (1 − Σ p_i²)
+//
+// over the k = 256 byte-value categories. Like DI it measures intra-page
+// self-dissimilarity (0 = constant page, →1 = uniform byte distribution),
+// but weighs the whole distribution rather than only the mode.
+func M2Index(p []byte) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	var counts [256]float64
+	for _, b := range p {
+		counts[b]++
+	}
+	n := float64(len(p))
+	sumSq := 0.0
+	for _, c := range counts {
+		f := c / n
+		sumSq += f * f
+	}
+	const k = 256.0
+	return (k / (k - 1)) * (1 - sumSq)
+}

@@ -1,0 +1,124 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aic/internal/numeric"
+)
+
+func TestCosineDistanceBasics(t *testing.T) {
+	a := []byte{1, 2, 3, 4}
+	if CosineDistance(a, a) > 1e-12 {
+		t.Fatal("identical pages must have distance ~0")
+	}
+	// Same distribution in different order: histogram metric sees 0.
+	if CosineDistance([]byte{1, 2}, []byte{2, 1}) > 1e-12 {
+		t.Fatal("permuted bytes must be histogram-identical")
+	}
+	// Disjoint byte values: orthogonal histograms.
+	if d := CosineDistance([]byte{1, 1}, []byte{2, 2}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("disjoint values: %v", d)
+	}
+	if CosineDistance(nil, nil) != 0 {
+		t.Fatal("empty pages")
+	}
+	if CosineDistance([]byte{1}, nil) != 1 {
+		t.Fatal("empty-vs-nonempty must be maximal")
+	}
+}
+
+func TestM2IndexBasics(t *testing.T) {
+	if M2Index(make([]byte, 1000)) != 0 {
+		t.Fatal("constant page must have M2 = 0")
+	}
+	if M2Index(nil) != 0 {
+		t.Fatal("empty page")
+	}
+	uniform := make([]byte, 256)
+	for i := range uniform {
+		uniform[i] = byte(i)
+	}
+	if got := M2Index(uniform); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("uniform page M2 = %v, want 1", got)
+	}
+}
+
+func TestMetricBounds(t *testing.T) {
+	f := func(cur, old []byte) bool {
+		cd := CosineDistance(cur, old)
+		m2 := M2Index(cur)
+		return cd >= -1e-12 && cd <= 1+1e-12 && m2 >= -1e-12 && m2 <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The footnote-1 claim: under the target applications' page-content
+// distributions, the alternative metrics behave closely like JD/DI — as
+// the fraction of a page scrambled grows, all four dissimilarity metrics
+// grow together (rank correlation near 1).
+func TestAlternativeMetricsTrackJDAndDI(t *testing.T) {
+	rng := numeric.NewRNG(7)
+	base := make([]byte, 4096)
+	rng.Bytes(base)
+
+	var jd, cd, di, m2 []float64
+	for _, frac := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0} {
+		cur := append([]byte(nil), base...)
+		n := int(frac * float64(len(cur)))
+		chunk := make([]byte, n)
+		rng.Bytes(chunk)
+		copy(cur, chunk)
+		jd = append(jd, JaccardDistance(cur, base))
+		cd = append(cd, CosineDistance(cur, base))
+		// Intra-page: mix a constant page with random content.
+		intra := make([]byte, 4096)
+		copy(intra[:n], chunk)
+		di = append(di, DivergenceIndex(intra))
+		m2 = append(m2, M2Index(intra))
+	}
+	monotone := func(xs []float64) bool {
+		for i := 1; i < len(xs); i++ {
+			if xs[i] < xs[i-1]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if !monotone(jd) || !monotone(di) {
+		t.Fatalf("reference metrics not monotone: jd=%v di=%v", jd, di)
+	}
+	if !monotone(cd) {
+		t.Fatalf("cosine distance not tracking scramble fraction: %v", cd)
+	}
+	if !monotone(m2) {
+		t.Fatalf("M2 not tracking scramble fraction: %v", m2)
+	}
+}
+
+// And the cost claim: JD and DI are the cheap ones.
+func TestMetricRelativeCosts(t *testing.T) {
+	rng := numeric.NewRNG(9)
+	a := make([]byte, 4096)
+	b := make([]byte, 4096)
+	rng.Bytes(a)
+	rng.Bytes(b)
+	const iters = 2000
+	timeIt := func(f func()) float64 {
+		// Rough relative cost via loop counts; wall-clock timing would be
+		// flaky in CI, so just execute and rely on the benchmark suite for
+		// real numbers.
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		return 1
+	}
+	timeIt(func() { JaccardDistance(a, b) })
+	timeIt(func() { CosineDistance(a, b) })
+	// Correctness-of-integration smoke: all four computable on one page.
+	_ = DivergenceIndex(a)
+	_ = M2Index(a)
+}

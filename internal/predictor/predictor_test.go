@@ -1,0 +1,207 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aic/internal/numeric"
+)
+
+func TestJaccardDistance(t *testing.T) {
+	a := []byte{1, 2, 3, 4}
+	if JaccardDistance(a, a) != 0 {
+		t.Fatal("identical pages must have JD 0")
+	}
+	b := []byte{9, 9, 9, 9}
+	if JaccardDistance(a, b) != 1 {
+		t.Fatal("totally different pages must have JD 1")
+	}
+	half := []byte{1, 2, 9, 9}
+	if JaccardDistance(a, half) != 0.5 {
+		t.Fatalf("JD = %v, want 0.5", JaccardDistance(a, half))
+	}
+	if JaccardDistance(nil, nil) != 0 {
+		t.Fatal("empty pages")
+	}
+	// Length mismatch: excess counts as dissimilar.
+	if got := JaccardDistance([]byte{1, 2}, []byte{1, 2, 3, 4}); got != 0.5 {
+		t.Fatalf("mismatched lengths JD = %v", got)
+	}
+}
+
+func TestDivergenceIndex(t *testing.T) {
+	if DivergenceIndex(make([]byte, 100)) != 0 {
+		t.Fatal("constant page must have DI 0")
+	}
+	if DivergenceIndex(nil) != 0 {
+		t.Fatal("empty page")
+	}
+	p := make([]byte, 256)
+	for i := range p {
+		p[i] = byte(i)
+	}
+	want := 1 - 1.0/256
+	if math.Abs(DivergenceIndex(p)-want) > 1e-12 {
+		t.Fatalf("uniform page DI = %v, want %v", DivergenceIndex(p), want)
+	}
+}
+
+func TestMetricRanges(t *testing.T) {
+	f := func(cur, old []byte) bool {
+		jd := JaccardDistance(cur, old)
+		di := DivergenceIndex(cur)
+		return jd >= 0 && jd <= 1 && di >= 0 && di <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCandidatesShape(t *testing.T) {
+	m := Metrics{DP: 2, T: 3, JD: 0.5, DI: 0.25}
+	c := m.Candidates()
+	if len(c) != NumCandidates || len(CandidateNames()) != NumCandidates {
+		t.Fatalf("candidate count %d", len(c))
+	}
+	if c[0] != 2 || c[4] != 4 || c[8] != 6 || c[13] != 0.125 {
+		t.Fatalf("candidates = %v", c)
+	}
+}
+
+func TestFitStepwiseRecoversLinearTruth(t *testing.T) {
+	// y = 10 + 3·DP + 2·t: stepwise must select DP and t.
+	rng := numeric.NewRNG(1)
+	var samples []Metrics
+	var targets []float64
+	for i := 0; i < 40; i++ {
+		m := Metrics{DP: rng.Float64() * 100, T: rng.Float64() * 50, JD: rng.Float64(), DI: rng.Float64()}
+		samples = append(samples, m)
+		targets = append(targets, 10+3*m.DP+2*m.T+0.01*rng.NormFloat64())
+	}
+	model, err := FitStepwise(samples, targets, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check predictive accuracy on fresh points.
+	for i := 0; i < 20; i++ {
+		m := Metrics{DP: rng.Float64() * 100, T: rng.Float64() * 50, JD: rng.Float64(), DI: rng.Float64()}
+		want := 10 + 3*m.DP + 2*m.T
+		got := model.Predict(m)
+		if math.Abs(got-want) > 0.05*math.Abs(want)+1 {
+			t.Fatalf("predict %v, want %v (selected %v)", got, want, model.Selected)
+		}
+	}
+	if len(model.Selected) > 3 {
+		t.Fatalf("selected %d terms", len(model.Selected))
+	}
+}
+
+func TestFitStepwiseSelectsComposite(t *testing.T) {
+	// y driven purely by DP·JD: the composite term must carry the fit.
+	rng := numeric.NewRNG(2)
+	var samples []Metrics
+	var targets []float64
+	for i := 0; i < 60; i++ {
+		m := Metrics{DP: rng.Float64() * 1000, T: rng.Float64() * 10, JD: rng.Float64(), DI: rng.Float64()}
+		samples = append(samples, m)
+		targets = append(targets, 5*m.DP*m.JD)
+	}
+	model, err := FitStepwise(samples, targets, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics{DP: 500, T: 5, JD: 0.5, DI: 0.5}
+	if got, want := model.Predict(m), 5*500*0.5; math.Abs(got-want) > 0.05*want {
+		t.Fatalf("composite prediction %v, want %v", got, want)
+	}
+}
+
+func TestFitStepwiseErrors(t *testing.T) {
+	if _, err := FitStepwise(nil, []float64{1}, 3, 0.5); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	s := []Metrics{{DP: 1}, {DP: 2}}
+	if _, err := FitStepwise(s, []float64{1, 2}, 3, 0.5); err != ErrTooFewSamples {
+		t.Fatalf("err = %v, want ErrTooFewSamples", err)
+	}
+}
+
+func TestNormalizedGDConvergesOnDrift(t *testing.T) {
+	// Start from a fitted model, then shift the underlying relationship;
+	// online updates must track the drift.
+	rng := numeric.NewRNG(3)
+	model := &Model{Selected: []int{0}, Weights: []float64{0, 1}, LearnRate: 0.5} // y ≈ DP
+	truth := func(m Metrics) float64 { return 4*m.DP + 7 }
+	var lastErr float64
+	for i := 0; i < 500; i++ {
+		m := Metrics{DP: 1 + rng.Float64()*10}
+		y := truth(m)
+		lastErr = math.Abs(model.Predict(m) - y)
+		model.Update(m, y)
+	}
+	if lastErr > 2 {
+		t.Fatalf("online model did not converge: err %v", lastErr)
+	}
+}
+
+func TestModelUpdateZeroVectorIsNoop(t *testing.T) {
+	m := &Model{Selected: nil, Weights: []float64{1}, LearnRate: 0.5}
+	// Intercept design is never zero, so force the degenerate branch via a
+	// model whose only inputs vanish.
+	zero := &Model{Selected: []int{0}, Weights: []float64{0, 0}, LearnRate: 0.5}
+	_ = m
+	zeroBefore := append([]float64(nil), zero.Weights...)
+	// The design vector includes the intercept 1, so norm > 0; verify a
+	// plain update moves weights.
+	zero.Update(Metrics{}, 5)
+	if zero.Weights[0] == zeroBefore[0] {
+		t.Fatal("update with intercept must move weights")
+	}
+}
+
+func TestOnlineLifecycle(t *testing.T) {
+	o := NewOnline(4, 3, 0.5)
+	if o.Ready() {
+		t.Fatal("ready before any sample")
+	}
+	truth := func(m Metrics) float64 { return 2 * m.DP }
+	rng := numeric.NewRNG(4)
+	// Before bootstrap: running-mean predictions.
+	o.Observe(Metrics{DP: 10}, 20)
+	if got := o.Predict(Metrics{DP: 1000}); got != 20 {
+		t.Fatalf("pre-bootstrap predict = %v, want running mean 20", got)
+	}
+	for i := 0; i < 3; i++ {
+		m := Metrics{DP: rng.Float64() * 100, T: rng.Float64()}
+		o.Observe(m, truth(m))
+	}
+	if !o.Ready() {
+		t.Fatal("not ready after 4 samples")
+	}
+	for i := 0; i < 50; i++ {
+		m := Metrics{DP: rng.Float64() * 100, T: rng.Float64()}
+		o.Observe(m, truth(m))
+	}
+	m := Metrics{DP: 40}
+	if got := o.Predict(m); math.Abs(got-80) > 8 {
+		t.Fatalf("online predict = %v, want ~80", got)
+	}
+}
+
+func TestOnlinePredictNonNegative(t *testing.T) {
+	o := NewOnline(2, 1, 0.5)
+	o.Observe(Metrics{DP: 10}, 1)
+	o.Observe(Metrics{DP: 20}, 0.5)
+	// Extrapolating far below the data could go negative; clamp to 0.
+	if got := o.Predict(Metrics{DP: 1e6}); got < 0 {
+		t.Fatalf("negative prediction %v", got)
+	}
+}
+
+func TestOnlineDefaults(t *testing.T) {
+	o := NewOnline(0, 0, 0)
+	if o.bootstrap != 4 || o.maxTerms != 3 {
+		t.Fatalf("defaults: %d %d", o.bootstrap, o.maxTerms)
+	}
+}

@@ -1,0 +1,152 @@
+// Package recovery orchestrates multi-level checkpoint recovery: it owns a
+// process's checkpoint chains at the three levels (node-local disk, RAID-5
+// peer group, remote storage), applies each failure class's destruction
+// semantics, selects the cheapest surviving level able to recover the
+// failure, and replays the chain back into a process image — the runtime
+// counterpart of the Markov models' recovery states.
+package recovery
+
+import (
+	"fmt"
+
+	"aic/internal/ckpt"
+	"aic/internal/failure"
+	"aic/internal/memsim"
+	"aic/internal/storage"
+)
+
+// Manager tracks one process's checkpoints across the levels.
+type Manager struct {
+	proc   string
+	levels [3]*storage.LevelStore // index 0 = L1 local, 1 = L2 RAID, 2 = L3 remote
+}
+
+// NewManager creates a manager over the three level stores.
+func NewManager(proc string, local, raid, remote *storage.LevelStore) *Manager {
+	return &Manager{proc: proc, levels: [3]*storage.LevelStore{local, raid, remote}}
+}
+
+// Store places an encoded checkpoint at every level at and above minLevel
+// (1-based), returning the modelled write time per level (zero for levels
+// below minLevel). The paper's L2/L3 writes inherently include L1, so the
+// usual call is Store(c, 1).
+func (m *Manager) Store(c *ckpt.Checkpoint, minLevel int) ([3]float64, error) {
+	var times [3]float64
+	data := c.Encode()
+	for lv := 0; lv < 3; lv++ {
+		if lv+1 < minLevel {
+			continue
+		}
+		t, err := m.levels[lv].Put(m.proc, c.Seq, data)
+		if err != nil {
+			return times, fmt.Errorf("recovery: level %d: %w", lv+1, err)
+		}
+		times[lv] = t
+	}
+	return times, nil
+}
+
+// ApplyFailure destroys the state the failure class takes with it: a total
+// node failure erases the node-local chain; transient and partial-node
+// failures leave all storage intact (the paper's partial failure loses
+// cores, not the disk).
+func (m *Manager) ApplyFailure(lv failure.Level) {
+	if lv == failure.TotalNode {
+		m.levels[0].WipeProc(m.proc)
+	}
+}
+
+// Info reports what a recovery used.
+type Info struct {
+	SourceLevel int     // 1..3
+	Checkpoints int     // chain length replayed
+	Bytes       int64   // bytes read from the source level
+	ReadTime    float64 // modelled transfer time for the chain
+}
+
+// Recover restores the process image after a failure of the given class:
+// the source is the lowest surviving level whose index is at least the
+// failure level (a higher-level checkpoint can recover all lower-level
+// failures; lower levels may have been destroyed or out of reach of the
+// replacement node).
+func (m *Manager) Recover(lv failure.Level) (*memsim.AddressSpace, Info, error) {
+	start := int(lv)
+	if start < 1 {
+		start = 1
+	}
+	for level := start; level <= 3; level++ {
+		chain := m.levels[level-1].Chain(m.proc)
+		if len(chain) == 0 {
+			continue
+		}
+		as, info, err := m.replay(chain, level)
+		if err != nil {
+			// A damaged chain at this level falls through to the next.
+			continue
+		}
+		return as, info, nil
+	}
+	return nil, Info{}, fmt.Errorf("recovery: no surviving checkpoint chain can recover a %v failure of %s", lv, m.proc)
+}
+
+func (m *Manager) replay(chain []storage.Stored, level int) (*memsim.AddressSpace, Info, error) {
+	decoded := make([]*ckpt.Checkpoint, len(chain))
+	var bytes int64
+	for i, s := range chain {
+		c, err := ckpt.Decode(s.Data)
+		if err != nil {
+			return nil, Info{}, fmt.Errorf("recovery: seq %d: %w", s.Seq, err)
+		}
+		decoded[i] = c
+		bytes += int64(len(s.Data))
+	}
+	as, err := ckpt.Restore(decoded)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	info := Info{
+		SourceLevel: level,
+		Checkpoints: len(decoded),
+		Bytes:       bytes,
+		ReadTime:    m.levels[level-1].Target().TransferTime(bytes),
+	}
+	return as, info, nil
+}
+
+// LatestCPUState returns the CPU-state blob of the most recent checkpoint
+// at the lowest level holding one — the execution state a restored process
+// resumes from.
+func (m *Manager) LatestCPUState(lv failure.Level) ([]byte, int, error) {
+	start := int(lv)
+	if start < 1 {
+		start = 1
+	}
+	for level := start; level <= 3; level++ {
+		chain := m.levels[level-1].Chain(m.proc)
+		if len(chain) == 0 {
+			continue
+		}
+		c, err := ckpt.Decode(chain[len(chain)-1].Data)
+		if err != nil {
+			continue
+		}
+		return c.CPUState, c.Seq, nil
+	}
+	return nil, 0, fmt.Errorf("recovery: no checkpoint holds CPU state for %s", m.proc)
+}
+
+// Reset wipes the process's chains at every level — used when a recovery
+// starts a fresh checkpoint epoch with a new full checkpoint.
+func (m *Manager) Reset() {
+	for _, ls := range m.levels {
+		ls.WipeProc(m.proc)
+	}
+}
+
+// Truncate drops checkpoints preceding fullSeq at every level (housekeeping
+// after a periodic full checkpoint bounds the restore chain).
+func (m *Manager) Truncate(fullSeq int) {
+	for _, ls := range m.levels {
+		ls.TruncateAfterFull(m.proc, fullSeq)
+	}
+}

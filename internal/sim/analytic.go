@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"aic/internal/model"
+)
+
+// paramsOf maps interval costs to model parameters.
+func paramsOf(iv IntervalCosts, lambda [3]float64) model.Params {
+	p := model.Params{Lambda: lambda, C: [3]float64{iv.C1, iv.C2, iv.C3}}
+	p.R = [3]float64{iv.C1, iv.R2, iv.R3}
+	return p
+}
+
+// initialPrev returns the synthetic "previous interval" preceding the first
+// one: the job's initial checkpoint was pre-staged with submission, so
+// there is no concurrent-transfer window to re-run (S5 = 0) while its
+// recovery times still apply.
+func initialPrev(first IntervalCosts, lambda [3]float64) model.Params {
+	p := paramsOf(first, lambda)
+	p.C = [3]float64{first.C1, first.C1, first.C1}
+	return p
+}
+
+// analyticInterval evaluates the non-static L2L3 chain for one interval.
+func analyticInterval(w float64, cur, prev model.Params) (float64, error) {
+	iv, err := model.EvalL2L3Dynamic(w, cur, prev)
+	if err != nil {
+		return 0, err
+	}
+	return iv.ExpectedTime, nil
+}

@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FSStore is a file-backed checkpoint store: each checkpoint becomes one
+// file under root/<proc>/ with a JSON manifest tracking the chain, so
+// checkpoint data survives the simulating process itself. It mirrors the
+// LevelStore API (the in-memory stores remain the default for simulation;
+// FSStore backs the Process facade when durability is wanted).
+type FSStore struct {
+	root   string
+	target Target
+}
+
+// manifest records one process's chain on disk.
+type manifest struct {
+	Proc  string         `json:"proc"`
+	Seqs  []int          `json:"seqs"`
+	Sizes map[string]int `json:"sizes"`
+}
+
+// NewFSStore opens (creating if needed) a file-backed store rooted at dir.
+func NewFSStore(dir string, target Target) (*FSStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("storage: empty FSStore root")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &FSStore{root: dir, target: target}, nil
+}
+
+// Target returns the store's bandwidth model.
+func (fs *FSStore) Target() Target { return fs.target }
+
+func (fs *FSStore) procDir(proc string) string {
+	// Flatten path separators out of process names.
+	safe := strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', 0:
+			return '_'
+		}
+		return r
+	}, proc)
+	return filepath.Join(fs.root, safe)
+}
+
+func (fs *FSStore) manifestPath(proc string) string {
+	return filepath.Join(fs.procDir(proc), "manifest.json")
+}
+
+func (fs *FSStore) loadManifest(proc string) (*manifest, error) {
+	data, err := os.ReadFile(fs.manifestPath(proc))
+	if os.IsNotExist(err) {
+		return &manifest{Proc: proc, Sizes: map[string]int{}}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("storage: corrupt manifest for %s: %w", proc, err)
+	}
+	if m.Sizes == nil {
+		m.Sizes = map[string]int{}
+	}
+	return &m, nil
+}
+
+func (fs *FSStore) saveManifest(proc string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := fs.manifestPath(proc) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return os.Rename(tmp, fs.manifestPath(proc))
+}
+
+func ckptFile(seq int) string { return fmt.Sprintf("ckpt-%08d.aic", seq) }
+
+// Put appends a checkpoint for proc, returning the modelled write time.
+// Sequence numbers must be strictly increasing.
+func (fs *FSStore) Put(proc string, seq int, data []byte) (float64, error) {
+	dir := fs.procDir(proc)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	m, err := fs.loadManifest(proc)
+	if err != nil {
+		return 0, err
+	}
+	if n := len(m.Seqs); n > 0 && seq <= m.Seqs[n-1] {
+		return 0, fmt.Errorf("storage: %s: seq %d not after %d", proc, seq, m.Seqs[n-1])
+	}
+	path := filepath.Join(dir, ckptFile(seq))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	m.Seqs = append(m.Seqs, seq)
+	m.Sizes[ckptFile(seq)] = len(data)
+	if err := fs.saveManifest(proc, m); err != nil {
+		return 0, err
+	}
+	return fs.target.TransferTime(int64(len(data))), nil
+}
+
+// Chain returns proc's stored checkpoints in sequence order.
+func (fs *FSStore) Chain(proc string) ([]Stored, error) {
+	m, err := fs.loadManifest(proc)
+	if err != nil {
+		return nil, err
+	}
+	seqs := append([]int(nil), m.Seqs...)
+	sort.Ints(seqs)
+	out := make([]Stored, 0, len(seqs))
+	for _, seq := range seqs {
+		data, err := os.ReadFile(filepath.Join(fs.procDir(proc), ckptFile(seq)))
+		if err != nil {
+			return nil, fmt.Errorf("storage: chain element %d: %w", seq, err)
+		}
+		out = append(out, Stored{Seq: seq, Data: data})
+	}
+	return out, nil
+}
+
+// TruncateAfterFull drops checkpoints older than fullSeq, deleting their
+// files.
+func (fs *FSStore) TruncateAfterFull(proc string, fullSeq int) error {
+	m, err := fs.loadManifest(proc)
+	if err != nil {
+		return err
+	}
+	var kept []int
+	for _, seq := range m.Seqs {
+		if seq >= fullSeq {
+			kept = append(kept, seq)
+			continue
+		}
+		name := ckptFile(seq)
+		if err := os.Remove(filepath.Join(fs.procDir(proc), name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("storage: %w", err)
+		}
+		delete(m.Sizes, name)
+	}
+	m.Seqs = kept
+	return fs.saveManifest(proc, m)
+}
+
+// WipeProc deletes one process's chain and manifest.
+func (fs *FSStore) WipeProc(proc string) error {
+	if err := os.RemoveAll(fs.procDir(proc)); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// Bytes returns the total stored bytes for proc (from the manifest).
+func (fs *FSStore) Bytes(proc string) (int64, error) {
+	m, err := fs.loadManifest(proc)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, sz := range m.Sizes {
+		n += int64(sz)
+	}
+	return n, nil
+}

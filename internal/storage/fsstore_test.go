@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newFS(t *testing.T) *FSStore {
+	t.Helper()
+	fs, err := NewFSStore(t.TempDir(), Target{Name: "disk", BandwidthBps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFSStoreValidation(t *testing.T) {
+	if _, err := NewFSStore("", Target{}); err == nil {
+		t.Fatal("empty root accepted")
+	}
+}
+
+func TestFSStorePutChainRoundTrip(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Put("job/1", 0, []byte("full")); err != nil {
+		t.Fatal(err)
+	}
+	sec, err := fs.Put("job/1", 1, []byte("delta-one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec != 0.9 {
+		t.Fatalf("write time %v", sec)
+	}
+	if _, err := fs.Put("job/1", 1, []byte("dup")); err == nil {
+		t.Fatal("non-monotonic seq accepted")
+	}
+	chain, err := fs.Chain("job/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || !bytes.Equal(chain[0].Data, []byte("full")) ||
+		!bytes.Equal(chain[1].Data, []byte("delta-one")) {
+		t.Fatalf("chain: %+v", chain)
+	}
+	n, err := fs.Bytes("job/1")
+	if err != nil || n != int64(len("full")+len("delta-one")) {
+		t.Fatalf("bytes = %d, %v", n, err)
+	}
+}
+
+func TestFSStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs1, err := NewFSStore(dir, Target{BandwidthBps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs1.Put("p", 0, []byte("aaa"))
+	fs1.Put("p", 1, []byte("bbb"))
+
+	fs2, err := NewFSStore(dir, Target{BandwidthBps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := fs2.Chain("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[1].Seq != 1 {
+		t.Fatalf("reopened chain: %+v", chain)
+	}
+}
+
+func TestFSStoreTruncate(t *testing.T) {
+	fs := newFS(t)
+	for seq := 0; seq < 5; seq++ {
+		fs.Put("p", seq, []byte{byte(seq)})
+	}
+	if err := fs.TruncateAfterFull("p", 3); err != nil {
+		t.Fatal(err)
+	}
+	chain, err := fs.Chain("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[0].Seq != 3 {
+		t.Fatalf("chain: %+v", chain)
+	}
+	// The dropped files are gone from disk.
+	entries, _ := os.ReadDir(filepath.Join(fs.root, "p"))
+	files := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".aic" {
+			files++
+		}
+	}
+	if files != 2 {
+		t.Fatalf("%d checkpoint files on disk", files)
+	}
+}
+
+func TestFSStoreWipe(t *testing.T) {
+	fs := newFS(t)
+	fs.Put("p", 0, []byte{1})
+	if err := fs.WipeProc("p"); err != nil {
+		t.Fatal(err)
+	}
+	chain, err := fs.Chain("p")
+	if err != nil || len(chain) != 0 {
+		t.Fatalf("chain after wipe: %v, %v", chain, err)
+	}
+}
+
+func TestFSStoreMissingFileDetected(t *testing.T) {
+	fs := newFS(t)
+	fs.Put("p", 0, []byte{1})
+	if err := os.Remove(filepath.Join(fs.procDir("p"), ckptFile(0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Chain("p"); err == nil {
+		t.Fatal("missing checkpoint file not detected")
+	}
+}
+
+func TestFSStoreCorruptManifestDetected(t *testing.T) {
+	fs := newFS(t)
+	fs.Put("p", 0, []byte{1})
+	if err := os.WriteFile(fs.manifestPath("p"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Chain("p"); err == nil {
+		t.Fatal("corrupt manifest not detected")
+	}
+}
+
+func TestFSStoreProcNameSanitized(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Put("../evil", 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	// The chain is reachable under the sanitized name and nothing escaped
+	// the root.
+	chain, err := fs.Chain("../evil")
+	if err != nil || len(chain) != 1 {
+		t.Fatalf("sanitized chain: %v, %v", chain, err)
+	}
+	if _, err := os.Stat(filepath.Join(fs.root, "..", "evil")); !os.IsNotExist(err) {
+		t.Fatal("path escaped the store root")
+	}
+}

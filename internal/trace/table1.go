@@ -1,0 +1,104 @@
+package trace
+
+import "fmt"
+
+// DefaultConfig returns the calibrated generation config for one of the
+// five Table 1 systems. The parameters (load, widths, packing) were tuned
+// so the candidate-job analysis over the generated logs lands near the
+// paper's published percentages; the analyzer itself is parameter-free.
+func DefaultConfig(sys System, reserve bool, numJobs int, seed uint64) (GenConfig, error) {
+	cfg := GenConfig{
+		System:      sys,
+		NumJobs:     numJobs,
+		Seed:        seed,
+		ReserveCore: reserve,
+	}
+	switch sys.ID {
+	case 15: // single 256-core NUMA box, half the jobs see it saturated
+		cfg.ArrivalRate = 12
+		cfg.MeanDuration = 1.5
+		cfg.MaxWidth = 1
+		cfg.MaxCoresPerProc = 24
+	case 20: // 4-core cluster nodes, node-exclusive, mostly full density
+		cfg.ArrivalRate = 10
+		cfg.MeanDuration = 5
+		cfg.NodeExclusive = true
+		cfg.DensityFullProb = 0.83
+		cfg.MaxNodesPerJob = 4
+		cfg.WidthRaggedProb = 0.68
+	case 23: // five fat nodes, node-exclusive, mostly sub-full density
+		cfg.ArrivalRate = 8
+		cfg.MeanDuration = 3
+		cfg.NodeExclusive = true
+		cfg.DensityFullProb = 0.23
+		cfg.MaxNodesPerJob = 2
+		cfg.WidthRaggedProb = 0.05
+	case 8: // two-core nodes: the rectified scheduler can afford to double
+		// the allocation of full-density jobs
+		cfg.ArrivalRate = 10
+		cfg.MeanDuration = 3
+		cfg.NodeExclusive = true
+		cfg.DensityFullProb = 0.53
+		cfg.MaxNodesPerJob = 8
+		cfg.ReserveExtraNodes = true
+	case 16: // sixteen fat nodes: ranks fill nodes exactly, so rectified
+		// scheduling gains almost nothing
+		cfg.ArrivalRate = 10
+		cfg.MeanDuration = 4
+		cfg.NodeExclusive = true
+		cfg.DensityFullProb = 0.59
+		cfg.MaxNodesPerJob = 6
+		cfg.WidthRaggedProb = 0.02
+	default:
+		return cfg, fmt.Errorf("trace: no default config for system %d", sys.ID)
+	}
+	return cfg, nil
+}
+
+// Table1Row is one output row of the reproduction of Table 1.
+type Table1Row struct {
+	System                System
+	CandidateFrac         float64 // % of candidate jobs
+	CandidateFracReserved float64 // % after the rectified scheduler
+	PaperFrac             float64 // published value, for the report
+	PaperFracReserved     float64
+}
+
+// paperTable1 holds the published percentages for side-by-side reporting.
+var paperTable1 = map[int][2]float64{
+	15: {0.50, 0.50},
+	20: {0.17, 0.32},
+	23: {0.77, 0.78},
+	8:  {0.47, 0.75},
+	16: {0.41, 0.42},
+}
+
+// Table1 generates logs for all five systems (with and without the
+// rectified scheduler) and runs the candidate analysis, reproducing the
+// last two columns of Table 1.
+func Table1(numJobs int, seed uint64) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, sys := range Table1Systems() {
+		row := Table1Row{System: sys}
+		paper := paperTable1[sys.ID]
+		row.PaperFrac, row.PaperFracReserved = paper[0], paper[1]
+		for _, reserve := range []bool{false, true} {
+			cfg, err := DefaultConfig(sys, reserve, numJobs, seed+uint64(sys.ID))
+			if err != nil {
+				return nil, err
+			}
+			log, err := Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			frac := Analyze(log).CandidateFraction()
+			if reserve {
+				row.CandidateFracReserved = frac
+			} else {
+				row.CandidateFrac = frac
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,526 @@
+// Package trace reproduces the paper's LANL usage-log study (Section II.C,
+// Table 1). The original five-year logs are public-domain LANL data that
+// cannot ship with this repository, so a scheduler simulation generates
+// logs with each system's structure (node count, cores per node, load,
+// packing behaviour); the candidate-job analyzer — the actual contribution
+// of Table 1 — then runs over those logs exactly as it would over the real
+// ones: a candidate job is one where every process always has at least one
+// idle core on its node throughout execution.
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"aic/internal/numeric"
+)
+
+// System describes one LANL system from Table 1.
+type System struct {
+	ID           int
+	Type         string // "NUMA" or "Cluster"
+	Nodes        int
+	CoresPerNode int
+}
+
+// Table1Systems returns the five systems the paper analyzes.
+func Table1Systems() []System {
+	return []System{
+		{ID: 15, Type: "NUMA", Nodes: 1, CoresPerNode: 256},
+		{ID: 20, Type: "Cluster", Nodes: 256, CoresPerNode: 4},
+		{ID: 23, Type: "Cluster", Nodes: 5, CoresPerNode: 128},
+		{ID: 8, Type: "Cluster", Nodes: 164, CoresPerNode: 2},
+		{ID: 16, Type: "Cluster", Nodes: 16, CoresPerNode: 128},
+	}
+}
+
+// Placement is one process of a job: the node it ran on and the cores it
+// occupied there.
+type Placement struct {
+	Node  int
+	Cores int
+}
+
+// Job is one record of the usage log.
+type Job struct {
+	ID         int
+	Submit     float64
+	Start      float64
+	End        float64
+	Placements []Placement
+}
+
+// Log is a complete usage log for one system.
+type Log struct {
+	System System
+	Jobs   []Job
+}
+
+// coreUsage builds, per node, the time-ordered step function of cores in
+// use.
+type coreUsage struct {
+	// breakpoints[node] is sorted by time; usage applies from this time to
+	// the next breakpoint.
+	times [][]float64
+	usage [][]int
+}
+
+func buildUsage(l *Log) *coreUsage {
+	type event struct {
+		t     float64
+		delta int
+	}
+	evs := make([][]event, l.System.Nodes)
+	for _, j := range l.Jobs {
+		for _, p := range j.Placements {
+			evs[p.Node] = append(evs[p.Node], event{j.Start, p.Cores}, event{j.End, -p.Cores})
+		}
+	}
+	cu := &coreUsage{
+		times: make([][]float64, l.System.Nodes),
+		usage: make([][]int, l.System.Nodes),
+	}
+	for n, e := range evs {
+		sort.Slice(e, func(i, j int) bool {
+			if e[i].t != e[j].t {
+				return e[i].t < e[j].t
+			}
+			return e[i].delta < e[j].delta // releases before acquisitions
+		})
+		cur := 0
+		for _, ev := range e {
+			cur += ev.delta
+			k := len(cu.times[n])
+			if k > 0 && cu.times[n][k-1] == ev.t {
+				cu.usage[n][k-1] = cur
+				continue
+			}
+			cu.times[n] = append(cu.times[n], ev.t)
+			cu.usage[n] = append(cu.usage[n], cur)
+		}
+	}
+	return cu
+}
+
+// maxUsage returns the peak core usage of node within [start, end).
+func (cu *coreUsage) maxUsage(node int, start, end float64) int {
+	times, usage := cu.times[node], cu.usage[node]
+	// Start from the segment covering `start` (the last breakpoint at or
+	// before it), then scan breakpoints until the window ends.
+	i := sort.SearchFloat64s(times, start)
+	if i > 0 && (i == len(times) || times[i] > start) {
+		i--
+	}
+	peak := 0
+	for ; i < len(times) && times[i] < end; i++ {
+		if usage[i] > peak {
+			peak = usage[i]
+		}
+	}
+	return peak
+}
+
+// Analysis is the Table 1 outcome for one log.
+type Analysis struct {
+	System        System
+	Jobs          int
+	CandidateJobs int
+}
+
+// CandidateFraction returns the share of candidate jobs.
+func (a Analysis) CandidateFraction() float64 {
+	if a.Jobs == 0 {
+		return 0
+	}
+	return float64(a.CandidateJobs) / float64(a.Jobs)
+}
+
+// Analyze classifies each job of the log: a job is a candidate iff for
+// every process, the process's node never reaches full core occupancy while
+// the job runs (so one core is always free for concurrent checkpointing).
+func Analyze(l *Log) Analysis {
+	cu := buildUsage(l)
+	res := Analysis{System: l.System, Jobs: len(l.Jobs)}
+	for _, j := range l.Jobs {
+		candidate := true
+		for _, p := range j.Placements {
+			if cu.maxUsage(p.Node, j.Start, j.End) >= l.System.CoresPerNode {
+				candidate = false
+				break
+			}
+		}
+		if candidate {
+			res.CandidateJobs++
+		}
+	}
+	return res
+}
+
+// GenConfig parameterizes the scheduler simulation that generates a log.
+type GenConfig struct {
+	System System
+	// NumJobs is how many jobs to generate.
+	NumJobs int
+	// ArrivalRate is the job arrival rate (jobs per hour).
+	ArrivalRate float64
+	// MeanDuration is the mean job runtime in hours (exponential).
+	MeanDuration float64
+	// MaxWidth bounds the number of processes per job (uniform in
+	// [1, MaxWidth]).
+	MaxWidth int
+	// MaxCoresPerProc bounds each process's core demand (uniform in
+	// [1, MaxCoresPerProc]).
+	MaxCoresPerProc int
+	// Pow2Demand rounds each process's core demand down to a power of two,
+	// the dominant HPC request shape — it makes exact node fills common.
+	Pow2Demand bool
+	// NodeExclusive switches to whole-node allocation, the policy of the
+	// LANL cluster systems: a job takes ceil(ranks/density) nodes
+	// exclusively, running `density` ranks per node. Candidacy then hinges
+	// on whether the job's own rank density leaves a core idle.
+	NodeExclusive bool
+	// DensityFullProb is the probability (exclusive mode) that a job
+	// requests full per-node density, occupying every core of its nodes.
+	DensityFullProb float64
+	// MaxNodesPerJob bounds the node count of exclusive-mode jobs.
+	MaxNodesPerJob int
+	// WidthRaggedProb is the probability (exclusive mode) that a job's rank
+	// count does not fill its last node completely, leaving rebalancing
+	// slack for the rectified scheduler.
+	WidthRaggedProb float64
+	// ReserveExtraNodes lets the rectified scheduler allocate extra nodes
+	// to honor the reserved core when rebalancing within the allocation is
+	// impossible — sensible only for thin nodes (System 8's 2-core boxes).
+	ReserveExtraNodes bool
+	// PackTight fills the fullest node that still fits each process (the
+	// behaviour the paper observed on System 20: "the scheduler assigned
+	// processes to small subsets of nodes"); otherwise processes spread to
+	// the emptiest nodes.
+	PackTight bool
+	// ReserveCore makes the scheduler leave one core idle per node where
+	// the demand allows — the paper's "rectified" scheduler realized with
+	// taskset/CPU-affinity.
+	ReserveCore bool
+	Seed        uint64
+}
+
+// pending is a job waiting in the FIFO queue.
+type pending struct {
+	id     int
+	submit float64
+	width  int
+	demand int
+	dur    float64
+	// exclusive-mode fields: rank density and node count
+	density int
+	nodes   int
+}
+
+// completion is a running job's end event.
+type completion struct {
+	end        float64
+	placements []Placement
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].end < h[j].end }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h completionHeap) peekEnd() float64   { return h[0].end }
+
+// scheduler is the event-driven FIFO scheduler state.
+type scheduler struct {
+	cfg   GenConfig
+	free  []int
+	comps completionHeap
+	queue []pending
+	log   *Log
+}
+
+// place attempts to put all processes of job p on nodes; on success the
+// cores are reserved and the placements returned. With reserve set, every
+// node keeps one core free for concurrent checkpointing.
+func (s *scheduler) place(p pending, reserve bool) ([]Placement, bool) {
+	tmp := append([]int(nil), s.free...)
+	placed := make([]Placement, 0, p.width)
+	for i := 0; i < p.width; i++ {
+		// PackTight picks the fullest node that still fits; otherwise the
+		// emptiest (load balancing).
+		best := -1
+		for n := range tmp {
+			avail := tmp[n]
+			if reserve && p.demand < s.cfg.System.CoresPerNode {
+				avail--
+			}
+			if avail < p.demand {
+				continue
+			}
+			switch {
+			case best < 0:
+				best = n
+			case s.cfg.PackTight && tmp[n] < tmp[best]:
+				best = n
+			case !s.cfg.PackTight && tmp[n] > tmp[best]:
+				best = n
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		tmp[best] -= p.demand
+		placed = append(placed, Placement{Node: best, Cores: p.demand})
+	}
+	copy(s.free, tmp)
+	return placed, true
+}
+
+// placeExclusive allocates `m` whole nodes for an exclusive-mode job and
+// records only the per-node rank counts in the log placements. Dense
+// placement fills nodes to the requested density with the remainder on the
+// last node (the default batch behaviour); the rectified scheduler instead
+// spreads ranks evenly.
+func (s *scheduler) placeExclusive(width, m, density int, even bool) ([]Placement, bool) {
+	var nodes []int
+	for n := range s.free {
+		if s.free[n] == s.cfg.System.CoresPerNode {
+			nodes = append(nodes, n)
+			if len(nodes) == m {
+				break
+			}
+		}
+	}
+	if len(nodes) < m {
+		return nil, false
+	}
+	placed := make([]Placement, 0, m)
+	remaining := width
+	for i, n := range nodes {
+		var share int
+		if even {
+			share = (remaining + (m - i - 1)) / (m - i) // even split, ceil first
+		} else {
+			share = density
+			if remaining < share {
+				share = remaining
+			}
+		}
+		s.free[n] = 0 // whole node taken
+		placed = append(placed, Placement{Node: n, Cores: share})
+		remaining -= share
+	}
+	return placed, true
+}
+
+// startExclusive tries the head job under the exclusive policy. The
+// rectified scheduler first rebalances ranks within the requested node
+// count when that already leaves a core idle per node; if configured for
+// thin nodes it may instead grow the allocation; otherwise it falls back to
+// the requested dense packing.
+func (s *scheduler) startExclusive(head pending) ([]Placement, bool) {
+	cores := s.cfg.System.CoresPerNode
+	if s.cfg.ReserveCore && cores > 1 {
+		// (a) Rebalance within the job's own nodes: free when the rank
+		// count has slack ("if available").
+		if (head.width+head.nodes-1)/head.nodes <= cores-1 {
+			if placed, ok := s.placeExclusive(head.width, head.nodes, 0, true); ok {
+				return placed, true
+			}
+		} else if s.cfg.ReserveExtraNodes {
+			// (b) Grow the allocation so density drops below full.
+			m2 := (head.width + cores - 2) / (cores - 1)
+			if placed, ok := s.placeExclusive(head.width, m2, 0, true); ok {
+				return placed, true
+			}
+		}
+	}
+	return s.placeExclusive(head.width, head.nodes, head.density, false)
+}
+
+// tryStart launches queued jobs FIFO until the head no longer fits. The
+// rectified scheduler reserves a checkpointing core per node only when the
+// job can still be placed that way ("if available"); under pressure it
+// falls back to full packing, as the paper's modest rescheduling gains
+// imply.
+func (s *scheduler) tryStart(now float64) {
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		var placed []Placement
+		ok := false
+		if s.cfg.NodeExclusive {
+			placed, ok = s.startExclusive(head)
+		} else {
+			if s.cfg.ReserveCore {
+				placed, ok = s.place(head, true)
+			}
+			if !ok {
+				placed, ok = s.place(head, false)
+			}
+		}
+		if !ok {
+			return // head-of-line blocking, as in simple FIFO batch queues
+		}
+		s.queue = s.queue[1:]
+		job := Job{
+			ID:         head.id,
+			Submit:     head.submit,
+			Start:      now,
+			End:        now + head.dur,
+			Placements: placed,
+		}
+		s.log.Jobs = append(s.log.Jobs, job)
+		heap.Push(&s.comps, completion{end: job.End, placements: placed})
+	}
+}
+
+// releaseUntil pops completions up to time t, freeing cores and starting
+// queued jobs after each.
+func (s *scheduler) releaseUntil(t float64) {
+	for s.comps.Len() > 0 && s.comps.peekEnd() <= t {
+		c := heap.Pop(&s.comps).(completion)
+		for _, p := range c.placements {
+			if s.cfg.NodeExclusive {
+				s.free[p.Node] = s.cfg.System.CoresPerNode
+			} else {
+				s.free[p.Node] += p.Cores
+			}
+		}
+		s.tryStart(c.end)
+	}
+}
+
+// Generate runs the event-driven scheduler simulation and returns the
+// resulting usage log.
+func Generate(cfg GenConfig) (*Log, error) {
+	if cfg.NumJobs <= 0 || cfg.System.Nodes <= 0 || cfg.System.CoresPerNode <= 0 {
+		return nil, fmt.Errorf("trace: invalid generation config %+v", cfg)
+	}
+	if cfg.MaxWidth <= 0 {
+		cfg.MaxWidth = 1
+	}
+	if cfg.MaxCoresPerProc <= 0 {
+		cfg.MaxCoresPerProc = 1
+	}
+	if cfg.ArrivalRate <= 0 || cfg.MeanDuration <= 0 {
+		return nil, fmt.Errorf("trace: non-positive load parameters")
+	}
+	rng := numeric.NewRNG(cfg.Seed)
+	s := &scheduler{
+		cfg:  cfg,
+		free: make([]int, cfg.System.Nodes),
+		log:  &Log{System: cfg.System},
+	}
+	for i := range s.free {
+		s.free[i] = cfg.System.CoresPerNode
+	}
+	heap.Init(&s.comps)
+
+	now := 0.0
+	for id := 0; id < cfg.NumJobs; id++ {
+		now += rng.Exp(cfg.ArrivalRate)
+		demand := 1 + rng.Intn(cfg.MaxCoresPerProc)
+		if demand > cfg.System.CoresPerNode {
+			demand = cfg.System.CoresPerNode
+		}
+		if cfg.Pow2Demand {
+			p := 1
+			for p*2 <= demand {
+				p *= 2
+			}
+			demand = p
+		}
+		p := pending{
+			id:     id,
+			submit: now,
+			width:  1 + rng.Intn(cfg.MaxWidth),
+			demand: demand,
+			dur:    rng.Exp(1 / cfg.MeanDuration),
+		}
+		if cfg.NodeExclusive {
+			cores := cfg.System.CoresPerNode
+			if rng.Float64() < cfg.DensityFullProb {
+				p.density = cores
+			} else if cores > 1 {
+				p.density = 1 + rng.Intn(cores-1)
+			} else {
+				p.density = 1
+			}
+			maxNodes := cfg.MaxNodesPerJob
+			if maxNodes <= 0 {
+				maxNodes = 1
+			}
+			p.nodes = 1 + rng.Intn(maxNodes)
+			p.width = p.density * p.nodes
+			// Single-node jobs request their exact rank count, so only
+			// multi-node jobs can be ragged.
+			if p.density > 1 && p.nodes > 1 && rng.Float64() < cfg.WidthRaggedProb {
+				p.width -= 1 + rng.Intn(p.density-1)
+			}
+		}
+		s.releaseUntil(now)
+		s.queue = append(s.queue, p)
+		s.tryStart(now)
+	}
+	// Drain the queue after the last arrival.
+	for len(s.queue) > 0 && s.comps.Len() > 0 {
+		s.releaseUntil(s.comps.peekEnd())
+	}
+	return s.log, nil
+}
+
+// Utilization summarizes a log's resource picture over its busy period —
+// the quantities behind Section II.C's claim that idle cores are frequently
+// available for concurrent checkpointing.
+type Utilization struct {
+	Horizon      float64 // end of the last job (hours)
+	CoreBusyFrac float64 // fraction of core-time in use
+	IdleCoreFrac float64 // fraction of node-time with at least one idle core
+}
+
+// Utilize sweeps the log's per-node usage step functions and integrates
+// core occupancy and idle-core availability.
+func Utilize(l *Log) Utilization {
+	cu := buildUsage(l)
+	var horizon float64
+	for _, j := range l.Jobs {
+		if j.End > horizon {
+			horizon = j.End
+		}
+	}
+	if horizon == 0 || l.System.Nodes == 0 {
+		return Utilization{}
+	}
+	var busyCoreTime, idleAvailTime float64
+	for n := 0; n < l.System.Nodes; n++ {
+		times, usage := cu.times[n], cu.usage[n]
+		prevT, prevU := 0.0, 0
+		flush := func(t float64) {
+			span := t - prevT
+			if span <= 0 {
+				return
+			}
+			busyCoreTime += span * float64(prevU)
+			if prevU < l.System.CoresPerNode {
+				idleAvailTime += span
+			}
+		}
+		for i := range times {
+			if times[i] > horizon {
+				break
+			}
+			flush(times[i])
+			prevT, prevU = times[i], usage[i]
+		}
+		flush(horizon)
+	}
+	totalCoreTime := horizon * float64(l.System.Nodes*l.System.CoresPerNode)
+	totalNodeTime := horizon * float64(l.System.Nodes)
+	return Utilization{
+		Horizon:      horizon,
+		CoreBusyFrac: busyCoreTime / totalCoreTime,
+		IdleCoreFrac: idleAvailTime / totalNodeTime,
+	}
+}

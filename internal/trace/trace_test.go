@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1Systems(t *testing.T) {
+	systems := Table1Systems()
+	if len(systems) != 5 {
+		t.Fatalf("%d systems", len(systems))
+	}
+	byID := map[int]System{}
+	for _, s := range systems {
+		byID[s.ID] = s
+	}
+	if byID[15].CoresPerNode != 256 || byID[15].Nodes != 1 || byID[15].Type != "NUMA" {
+		t.Fatalf("system 15: %+v", byID[15])
+	}
+	if byID[8].Nodes != 164 || byID[8].CoresPerNode != 2 {
+		t.Fatalf("system 8: %+v", byID[8])
+	}
+}
+
+// Hand-built log: two jobs co-resident on a 2-core node; both saturate it.
+func TestAnalyzeCoResidence(t *testing.T) {
+	sys := System{ID: 99, Nodes: 2, CoresPerNode: 2}
+	log := &Log{System: sys, Jobs: []Job{
+		{ID: 0, Start: 0, End: 10, Placements: []Placement{{Node: 0, Cores: 1}}},
+		{ID: 1, Start: 5, End: 15, Placements: []Placement{{Node: 0, Cores: 1}}},
+		{ID: 2, Start: 20, End: 30, Placements: []Placement{{Node: 1, Cores: 1}}},
+	}}
+	a := Analyze(log)
+	if a.Jobs != 3 {
+		t.Fatalf("jobs = %d", a.Jobs)
+	}
+	// Jobs 0 and 1 overlap on node 0 (usage 2 = full); job 2 is alone.
+	if a.CandidateJobs != 1 {
+		t.Fatalf("candidates = %d, want 1", a.CandidateJobs)
+	}
+	if math.Abs(a.CandidateFraction()-1.0/3) > 1e-12 {
+		t.Fatalf("fraction = %v", a.CandidateFraction())
+	}
+}
+
+func TestAnalyzeNonOverlappingJobsAreCandidates(t *testing.T) {
+	sys := System{ID: 99, Nodes: 1, CoresPerNode: 2}
+	log := &Log{System: sys, Jobs: []Job{
+		{ID: 0, Start: 0, End: 10, Placements: []Placement{{Node: 0, Cores: 1}}},
+		{ID: 1, Start: 10, End: 20, Placements: []Placement{{Node: 0, Cores: 1}}},
+	}}
+	if got := Analyze(log).CandidateJobs; got != 2 {
+		t.Fatalf("candidates = %d, want 2 (back-to-back jobs do not overlap)", got)
+	}
+}
+
+func TestAnalyzeFullDensityJobIsNotCandidate(t *testing.T) {
+	sys := System{ID: 99, Nodes: 1, CoresPerNode: 4}
+	log := &Log{System: sys, Jobs: []Job{
+		{ID: 0, Start: 0, End: 10, Placements: []Placement{{Node: 0, Cores: 4}}},
+	}}
+	if Analyze(log).CandidateJobs != 0 {
+		t.Fatal("a job occupying every core cannot be a candidate")
+	}
+}
+
+func TestAnalyzeMultiNodeJobNeedsAllNodesFree(t *testing.T) {
+	sys := System{ID: 99, Nodes: 2, CoresPerNode: 2}
+	log := &Log{System: sys, Jobs: []Job{
+		// One process has an idle core, the other's node is full.
+		{ID: 0, Start: 0, End: 10, Placements: []Placement{
+			{Node: 0, Cores: 1}, {Node: 1, Cores: 2},
+		}},
+	}}
+	if Analyze(log).CandidateJobs != 0 {
+		t.Fatal("every process must have an idle core")
+	}
+}
+
+func TestCandidateFractionEmpty(t *testing.T) {
+	if (Analysis{}).CandidateFraction() != 0 {
+		t.Fatal("empty analysis fraction")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := Generate(GenConfig{
+		System: System{Nodes: 1, CoresPerNode: 1}, NumJobs: 10,
+	}); err == nil {
+		t.Fatal("missing load parameters accepted")
+	}
+}
+
+func TestGenerateSharedModeInvariants(t *testing.T) {
+	cfg := GenConfig{
+		System:          System{ID: 1, Nodes: 8, CoresPerNode: 4},
+		NumJobs:         800,
+		ArrivalRate:     10,
+		MeanDuration:    1,
+		MaxWidth:        3,
+		MaxCoresPerProc: 4,
+		Seed:            5,
+	}
+	log, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Jobs) < 700 {
+		t.Fatalf("only %d jobs placed", len(log.Jobs))
+	}
+	cu := buildUsage(log)
+	// Capacity must never be exceeded on any node at any breakpoint.
+	for n := 0; n < cfg.System.Nodes; n++ {
+		for _, u := range cu.usage[n] {
+			if u > cfg.System.CoresPerNode || u < 0 {
+				t.Fatalf("node %d usage %d outside [0,%d]", n, u, cfg.System.CoresPerNode)
+			}
+		}
+	}
+	for _, j := range log.Jobs {
+		if j.Start < j.Submit {
+			t.Fatalf("job %d started before submission", j.ID)
+		}
+		if j.End <= j.Start {
+			t.Fatalf("job %d has non-positive runtime", j.ID)
+		}
+		if len(j.Placements) == 0 {
+			t.Fatalf("job %d has no placements", j.ID)
+		}
+	}
+}
+
+func TestGenerateExclusiveModeInvariants(t *testing.T) {
+	cfg := GenConfig{
+		System:          System{ID: 2, Nodes: 16, CoresPerNode: 8},
+		NumJobs:         600,
+		ArrivalRate:     5,
+		MeanDuration:    1,
+		NodeExclusive:   true,
+		DensityFullProb: 0.5,
+		MaxNodesPerJob:  3,
+		WidthRaggedProb: 0.3,
+		Seed:            6,
+	}
+	log, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu := buildUsage(log)
+	for n := 0; n < cfg.System.Nodes; n++ {
+		for _, u := range cu.usage[n] {
+			if u > cfg.System.CoresPerNode {
+				t.Fatalf("exclusive node %d oversubscribed: %d", n, u)
+			}
+		}
+	}
+	// In exclusive mode, no two concurrent jobs share a node: peak usage
+	// during any job on its nodes equals its own rank count there.
+	for _, j := range log.Jobs {
+		for _, p := range j.Placements {
+			if got := cu.maxUsage(p.Node, j.Start, j.End); got != p.Cores {
+				t.Fatalf("job %d node %d: peak %d != own %d (exclusivity violated)",
+					j.ID, p.Node, got, p.Cores)
+			}
+		}
+	}
+}
+
+func TestReserveCoreNeverReducesCandidates(t *testing.T) {
+	for _, sys := range Table1Systems() {
+		base, err := DefaultConfig(sys, false, 1500, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reserved := base
+		reserved.ReserveCore = true
+		lb, err := Generate(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, err := Generate(reserved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := Analyze(lb).CandidateFraction()
+		fr := Analyze(lr).CandidateFraction()
+		if fr < fb-0.03 {
+			t.Fatalf("system %d: rectified %.3f below base %.3f", sys.ID, fr, fb)
+		}
+	}
+}
+
+func TestDefaultConfigUnknownSystem(t *testing.T) {
+	if _, err := DefaultConfig(System{ID: 404}, false, 10, 1); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+// The headline reproduction check: every Table 1 cell within tolerance of
+// the published percentages.
+func TestTable1MatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 1 generation")
+	}
+	rows, err := Table1(4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.CandidateFrac-r.PaperFrac) > 0.06 {
+			t.Errorf("system %d: candidate %.1f%% vs paper %.0f%%",
+				r.System.ID, 100*r.CandidateFrac, 100*r.PaperFrac)
+		}
+		if math.Abs(r.CandidateFracReserved-r.PaperFracReserved) > 0.08 {
+			t.Errorf("system %d: rescheduled %.1f%% vs paper %.0f%%",
+				r.System.ID, 100*r.CandidateFracReserved, 100*r.PaperFracReserved)
+		}
+	}
+}
+
+func TestMaxUsageWindowEdges(t *testing.T) {
+	sys := System{ID: 1, Nodes: 1, CoresPerNode: 8}
+	log := &Log{System: sys, Jobs: []Job{
+		{ID: 0, Start: 0, End: 10, Placements: []Placement{{Node: 0, Cores: 3}}},
+		{ID: 1, Start: 10, End: 20, Placements: []Placement{{Node: 0, Cores: 5}}},
+	}}
+	cu := buildUsage(log)
+	if got := cu.maxUsage(0, 0, 10); got != 3 {
+		t.Fatalf("window [0,10): %d", got)
+	}
+	if got := cu.maxUsage(0, 10, 20); got != 5 {
+		t.Fatalf("window [10,20): %d", got)
+	}
+	if got := cu.maxUsage(0, 5, 15); got != 5 {
+		t.Fatalf("window [5,15): %d", got)
+	}
+	if got := cu.maxUsage(0, 25, 30); got != 0 {
+		t.Fatalf("window past all activity: %d", got)
+	}
+}
+
+func TestUtilizeHandComputed(t *testing.T) {
+	sys := System{ID: 1, Nodes: 2, CoresPerNode: 2}
+	log := &Log{System: sys, Jobs: []Job{
+		// Node 0 fully busy for [0,10); node 1 half busy for [0,5).
+		{ID: 0, Start: 0, End: 10, Placements: []Placement{{Node: 0, Cores: 2}}},
+		{ID: 1, Start: 0, End: 5, Placements: []Placement{{Node: 1, Cores: 1}}},
+	}}
+	u := Utilize(log)
+	if u.Horizon != 10 {
+		t.Fatalf("horizon %v", u.Horizon)
+	}
+	// Busy core-time: 2*10 + 1*5 = 25 of 40.
+	if math.Abs(u.CoreBusyFrac-25.0/40) > 1e-12 {
+		t.Fatalf("busy frac %v", u.CoreBusyFrac)
+	}
+	// Idle-core availability: node 0 never (0), node 1 always (10) → 10/20.
+	if math.Abs(u.IdleCoreFrac-0.5) > 1e-12 {
+		t.Fatalf("idle frac %v", u.IdleCoreFrac)
+	}
+}
+
+func TestUtilizeEmptyLog(t *testing.T) {
+	u := Utilize(&Log{System: System{Nodes: 1, CoresPerNode: 1}})
+	if u != (Utilization{}) {
+		t.Fatalf("empty: %+v", u)
+	}
+}
+
+func TestUtilizeGeneratedLogsSane(t *testing.T) {
+	for _, sys := range Table1Systems() {
+		cfg, err := DefaultConfig(sys, false, 1200, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := Utilize(log)
+		if u.CoreBusyFrac < 0 || u.CoreBusyFrac > 1 || u.IdleCoreFrac < 0 || u.IdleCoreFrac > 1 {
+			t.Fatalf("system %d: %+v", sys.ID, u)
+		}
+	}
+}

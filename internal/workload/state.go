@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Execution-state serialization: the paper's checkpoints carry CPU state
+// (registers, linkage) alongside memory pages; the simulation's equivalent
+// is the program generator's internal state (RNG, sweep position, rate
+// carry). Saving it into the checkpoint's CPU-state blob lets a restored
+// process resume producing the exact same write stream — the property the
+// fault-injection simulator verifies.
+
+const stateMagic = "AICWSTA1"
+
+// SaveState serializes the program's execution state.
+func (s *Synthetic) SaveState() []byte {
+	out := make([]byte, 0, 64)
+	out = append(out, stateMagic...)
+	st := s.rng.State()
+	for _, w := range st {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	out = binary.LittleEndian.AppendUint64(out, uint64(s.sweepPos))
+	out = binary.LittleEndian.AppendUint64(out, uint64(int64(s.carry*1e12)))
+	return out
+}
+
+// LoadState restores execution state produced by SaveState on a program
+// with the same configuration.
+func (s *Synthetic) LoadState(data []byte) error {
+	const want = len(stateMagic) + 4*8 + 8 + 8
+	if len(data) != want || string(data[:len(stateMagic)]) != stateMagic {
+		return fmt.Errorf("workload: malformed state blob (%d bytes)", len(data))
+	}
+	p := data[len(stateMagic):]
+	var st [4]uint64
+	for i := range st {
+		st[i] = binary.LittleEndian.Uint64(p)
+		p = p[8:]
+	}
+	s.rng.SetState(st)
+	s.sweepPos = int(binary.LittleEndian.Uint64(p))
+	p = p[8:]
+	s.carry = float64(int64(binary.LittleEndian.Uint64(p))) / 1e12
+	return nil
+}
+
+// Stateful is implemented by programs whose execution state can be
+// checkpointed alongside their memory image.
+type Stateful interface {
+	Program
+	SaveState() []byte
+	LoadState([]byte) error
+}
+
+var _ Stateful = (*Synthetic)(nil)

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+
+	"aic/internal/memsim"
+)
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	a := Sjeng(3)
+	asA := memsim.New(0)
+	a.Init(asA)
+	for now := 0.0; now < 25; now++ {
+		a.Step(asA, now, 1)
+	}
+	blob := a.SaveState()
+
+	// A twin resumes from the blob and must produce the identical write
+	// stream from here on.
+	b := Sjeng(3)
+	asB := asA.Clone()
+	b.Init(memsim.New(0)) // consume init-time randomness structure
+	if err := b.LoadState(blob); err != nil {
+		t.Fatal(err)
+	}
+	for now := 25.0; now < 60; now++ {
+		a.Step(asA, now, 1)
+		b.Step(asB, now, 1)
+	}
+	if !asA.Equal(asB) {
+		t.Fatal("restored program diverged from the original")
+	}
+}
+
+func TestLoadStateRejectsGarbage(t *testing.T) {
+	p := Bzip2(1)
+	if err := p.LoadState(nil); err == nil {
+		t.Fatal("nil blob accepted")
+	}
+	if err := p.LoadState([]byte("way too short")); err == nil {
+		t.Fatal("short blob accepted")
+	}
+	blob := p.SaveState()
+	blob[0] = 'X'
+	if err := p.LoadState(blob); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestSaveStateIsStable(t *testing.T) {
+	p := Milc(5)
+	as := memsim.New(0)
+	p.Init(as)
+	b1 := p.SaveState()
+	b2 := p.SaveState()
+	if string(b1) != string(b2) {
+		t.Fatal("SaveState must not perturb state")
+	}
+	// Stepping changes the state.
+	p.Step(as, 0, 5)
+	if string(p.SaveState()) == string(b1) {
+		t.Fatal("state did not change after stepping")
+	}
+}
+
+func TestStatefulInterface(t *testing.T) {
+	var _ Stateful = Sphinx3(1)
+	var _ Stateful = (*Synthetic)(nil)
+}

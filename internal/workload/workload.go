@@ -1,0 +1,242 @@
+// Package workload provides the six SPEC CPU2006-like synthetic programs
+// the evaluation runs (Table 3: Bzip2, Sjeng, Libquantum, Milc, Lbm,
+// Sphinx3), plus the generic phase-driven synthesizer they are built from.
+//
+// Real SPEC binaries cannot expose page-level write behaviour through the
+// Go runtime, so each program reproduces its benchmark's *memory behaviour*
+// instead: footprint, dirty-page rate, access pattern (streaming sweep vs
+// random table updates vs hotspot), content mutation style (fraction of a
+// page rewritten per touch, random vs settling-toward-canonical content)
+// and phase structure. These are exactly the properties that determine
+// incremental-checkpoint sizes, delta compressibility and their dynamics
+// over time — the quantities AIC exploits.
+package workload
+
+import (
+	"fmt"
+
+	"aic/internal/memsim"
+	"aic/internal/numeric"
+)
+
+// Program drives page writes into a simulated address space over virtual
+// time.
+type Program interface {
+	// Name is the benchmark label.
+	Name() string
+	// BaseTime is the base execution time t in virtual seconds (Table 3).
+	BaseTime() float64
+	// FootprintPages is the number of pages the program maps at Init.
+	FootprintPages() int
+	// Init allocates and fills the initial footprint at virtual time 0.
+	Init(as *memsim.AddressSpace)
+	// Step advances execution from now by dt seconds, issuing writes.
+	Step(as *memsim.AddressSpace, now, dt float64)
+}
+
+// Pattern selects how a phase picks pages to touch.
+type Pattern int
+
+// Access patterns.
+const (
+	Sweep   Pattern = iota // sequential pass over the region (lattice/stream codes)
+	Random                 // uniform random pages in the region (hash tables)
+	Hotspot                // skewed toward the start of the region
+)
+
+// Mode selects how a touch mutates page content.
+type Mode int
+
+// Content mutation modes.
+const (
+	// Scramble writes fresh random bytes: high JD, poorly compressible.
+	Scramble Mode = iota
+	// Settle rewrites bytes back toward the page's canonical content,
+	// restoring similarity with earlier checkpoints: low JD after a phase
+	// of scrambling — the source of the paper's Fig. 2 swings.
+	Settle
+	// Tick increments a few structured counters: tiny, highly compressible
+	// modifications.
+	Tick
+)
+
+// Phase is one segment of a program's cyclic behaviour.
+type Phase struct {
+	Duration float64 // virtual seconds
+	Rate     float64 // page touches per virtual second
+	RegionLo int     // first page index of the touched region
+	RegionHi int     // one past the last page index
+	Pattern  Pattern
+	Mode     Mode
+	// Fraction of the page rewritten per touch (0..1]; Tick ignores it.
+	Fraction float64
+}
+
+// Synthetic is a phase-driven program. Construct with NewSynthetic or one
+// of the benchmark constructors.
+type Synthetic struct {
+	name     string
+	baseTime float64
+	pages    int
+	phases   []Phase
+	cycle    float64
+	seed     uint64
+	rng      *numeric.RNG
+	sweepPos int
+	carry    float64 // fractional page touches carried between steps
+	buf      []byte
+}
+
+// NewSynthetic builds a program from its phase schedule. It panics on an
+// empty schedule or non-positive dimensions, which are programming errors.
+func NewSynthetic(name string, baseTime float64, pages int, seed uint64, phases []Phase) *Synthetic {
+	if len(phases) == 0 || pages <= 0 || baseTime <= 0 {
+		panic(fmt.Sprintf("workload: invalid synthetic %q", name))
+	}
+	cycle := 0.0
+	for i, ph := range phases {
+		if ph.Duration <= 0 || ph.RegionLo < 0 || ph.RegionHi > pages || ph.RegionLo >= ph.RegionHi {
+			panic(fmt.Sprintf("workload: invalid phase %d of %q", i, name))
+		}
+		cycle += ph.Duration
+	}
+	return &Synthetic{
+		name:     name,
+		baseTime: baseTime,
+		pages:    pages,
+		phases:   phases,
+		cycle:    cycle,
+		seed:     seed,
+		rng:      numeric.NewRNG(seed),
+	}
+}
+
+// Name implements Program.
+func (s *Synthetic) Name() string { return s.name }
+
+// BaseTime implements Program.
+func (s *Synthetic) BaseTime() float64 { return s.baseTime }
+
+// FootprintPages implements Program.
+func (s *Synthetic) FootprintPages() int { return s.pages }
+
+// canonicalPage fills buf with the page's canonical content: a
+// deterministic pseudo-random pattern per (program, page), so Settle phases
+// restore real similarity with earlier checkpoints.
+func (s *Synthetic) canonicalPage(idx uint64, buf []byte) {
+	r := numeric.NewRNG(s.seed ^ (idx+1)*0x9e3779b97f4a7c15)
+	r.Bytes(buf)
+}
+
+// Init implements Program: every page starts at its canonical content.
+func (s *Synthetic) Init(as *memsim.AddressSpace) {
+	buf := make([]byte, as.PageSize())
+	for i := 0; i < s.pages; i++ {
+		s.canonicalPage(uint64(i), buf)
+		as.Write(uint64(i), 0, buf, 0)
+	}
+}
+
+// phaseAt returns the active phase at virtual time now.
+func (s *Synthetic) phaseAt(now float64) Phase {
+	t := now
+	if s.cycle > 0 {
+		t = now - float64(int(now/s.cycle))*s.cycle
+	}
+	for _, ph := range s.phases {
+		if t < ph.Duration {
+			return ph
+		}
+		t -= ph.Duration
+	}
+	return s.phases[len(s.phases)-1]
+}
+
+// Step implements Program. Touches within the step carry evenly spaced
+// arrival times so hot-page grouping sees realistic inter-arrival gaps.
+func (s *Synthetic) Step(as *memsim.AddressSpace, now, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	ph := s.phaseAt(now)
+	want := ph.Rate*dt + s.carry
+	n := int(want)
+	s.carry = want - float64(n)
+	if n == 0 {
+		return
+	}
+	pageSize := as.PageSize()
+	if cap(s.buf) < pageSize {
+		s.buf = make([]byte, pageSize)
+	}
+	span := ph.RegionHi - ph.RegionLo
+	for i := 0; i < n; i++ {
+		arrival := now + dt*float64(i)/float64(n)
+		var page int
+		switch ph.Pattern {
+		case Sweep:
+			page = ph.RegionLo + s.sweepPos%span
+			s.sweepPos++
+		case Random:
+			page = ph.RegionLo + s.rng.Intn(span)
+		case Hotspot:
+			// Square a uniform variate: ~3x density at the region start.
+			u := s.rng.Float64()
+			page = ph.RegionLo + int(u*u*float64(span))
+			if page >= ph.RegionHi {
+				page = ph.RegionHi - 1
+			}
+		}
+		s.touch(as, uint64(page), ph, arrival, pageSize)
+	}
+}
+
+func (s *Synthetic) touch(as *memsim.AddressSpace, page uint64, ph Phase, arrival float64, pageSize int) {
+	switch ph.Mode {
+	case Tick:
+		// Increment an 8-byte counter at a page-local slot.
+		off := int(page*8) % (pageSize - 8)
+		cur := as.Page(page)
+		var word [8]byte
+		if cur != nil {
+			copy(word[:], cur[off:off+8])
+		}
+		for i := 0; i < 8; i++ {
+			word[i]++
+			if word[i] != 0 {
+				break
+			}
+		}
+		as.Write(page, off, word[:], arrival)
+	case Scramble:
+		n := int(ph.Fraction * float64(pageSize))
+		if n <= 0 {
+			n = 1
+		}
+		if n > pageSize {
+			n = pageSize
+		}
+		off := 0
+		if n < pageSize {
+			off = s.rng.Intn(pageSize - n)
+		}
+		chunk := s.buf[:n]
+		s.rng.Bytes(chunk)
+		as.Write(page, off, chunk, arrival)
+	case Settle:
+		n := int(ph.Fraction * float64(pageSize))
+		if n <= 0 {
+			n = 1
+		}
+		if n > pageSize {
+			n = pageSize
+		}
+		canon := s.buf[:pageSize]
+		s.canonicalPage(page, canon)
+		off := 0
+		if n < pageSize {
+			off = s.rng.Intn(pageSize - n)
+		}
+		as.Write(page, off, canon[off:off+n], arrival)
+	}
+}

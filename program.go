@@ -1,0 +1,85 @@
+package aic
+
+import (
+	"fmt"
+
+	"aic/internal/workload"
+)
+
+// AccessPattern selects how a phase picks pages to touch.
+type AccessPattern int
+
+// Access patterns for custom programs.
+const (
+	Sweep   AccessPattern = iota // sequential pass over the region
+	Random                       // uniform random pages in the region
+	Hotspot                      // skewed toward the start of the region
+)
+
+// ContentMode selects how a touch mutates page content, which determines
+// delta compressibility.
+type ContentMode int
+
+// Content mutation modes for custom programs.
+const (
+	// Scramble writes fresh random bytes (high dissimilarity).
+	Scramble ContentMode = iota
+	// Settle rewrites bytes back toward the page's canonical content,
+	// restoring similarity with earlier checkpoints.
+	Settle
+	// Tick increments small structured counters (tiny edits).
+	Tick
+)
+
+// Phase is one segment of a custom program's cyclic behaviour.
+type Phase struct {
+	Duration float64 // virtual seconds
+	Rate     float64 // page touches per second
+	RegionLo int     // first page index touched
+	RegionHi int     // one past the last page index
+	Pattern  AccessPattern
+	Mode     ContentMode
+	Fraction float64 // fraction of the page rewritten per touch (0..1]
+}
+
+// ProgramSpec describes a custom workload: footprint, base execution time
+// and a cyclic phase schedule. It is the public mirror of the synthesizer
+// the six built-in benchmarks are made of.
+type ProgramSpec struct {
+	Name     string
+	BaseTime float64 // virtual seconds of pure execution
+	Pages    int     // footprint in 4-KiB pages
+	Phases   []Phase
+}
+
+func (s ProgramSpec) build(seed uint64) (prog workload.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("aic: invalid program spec: %v", r)
+		}
+	}()
+	phases := make([]workload.Phase, len(s.Phases))
+	for i, p := range s.Phases {
+		phases[i] = workload.Phase{
+			Duration: p.Duration,
+			Rate:     p.Rate,
+			RegionLo: p.RegionLo,
+			RegionHi: p.RegionHi,
+			Pattern:  workload.Pattern(p.Pattern),
+			Mode:     workload.Mode(p.Mode),
+			Fraction: p.Fraction,
+		}
+	}
+	return workload.NewSynthetic(s.Name, s.BaseTime, s.Pages, seed, phases), nil
+}
+
+// RunProgram executes a custom workload under the given options.
+func RunProgram(spec ProgramSpec, opts Options) (*Report, error) {
+	opts = opts.normalize()
+	prog, err := spec.build(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	fresh := func() (workload.Program, error) { return spec.build(opts.Seed) }
+	return runProgram(prog, fresh, opts)
+}
