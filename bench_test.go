@@ -8,6 +8,7 @@
 package aic_test
 
 import (
+	"fmt"
 	"testing"
 
 	"aic"
@@ -230,6 +231,85 @@ func BenchmarkXOREncode4KiB(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchUpdates builds a dirty set with the AIC steady-state mix: 70% hot
+// lightly-edited pages (delta pays off), 10% hot rewritten pages (raw
+// fallback), 20% fresh pages.
+func benchUpdates(pages int) []delta.PageUpdate {
+	rng := numeric.NewRNG(4)
+	updates := make([]delta.PageUpdate, pages)
+	for i := range updates {
+		newPage := make([]byte, 4096)
+		switch {
+		case i%10 < 7:
+			old := make([]byte, 4096)
+			rng.Bytes(old)
+			copy(newPage, old)
+			for k := 0; k < 8; k++ {
+				newPage[rng.Intn(4096)] ^= byte(1 + rng.Intn(255))
+			}
+			updates[i] = delta.PageUpdate{Index: uint64(i), Old: old, New: newPage}
+		case i%10 < 8:
+			old := make([]byte, 4096)
+			rng.Bytes(old)
+			rng.Bytes(newPage)
+			updates[i] = delta.PageUpdate{Index: uint64(i), Old: old, New: newPage}
+		default:
+			rng.Bytes(newPage)
+			updates[i] = delta.PageUpdate{Index: uint64(i), New: newPage}
+		}
+	}
+	return updates
+}
+
+// BenchmarkPageAlignedEncodeParallel tracks the scaling headline of the
+// concurrent compression pipeline: throughput of the page-aligned encoder
+// at 1/2/4/8 workers over an 8 MiB dirty set.
+func BenchmarkPageAlignedEncodeParallel(b *testing.B) {
+	const pages = 2048
+	updates := benchUpdates(pages)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(pages) * 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				delta.EncodePageAlignedParallel(updates, delta.DefaultBlockSize, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeAllocs tracks the allocation diet of the per-page codec:
+// the one-shot Encode (one exact-size output copy), the reused Encoder
+// (steady-state zero allocations), and the serial page-aligned path.
+func BenchmarkEncodeAllocs(b *testing.B) {
+	src, dst := benchPages(4096)
+	b.Run("Encode", func(b *testing.B) {
+		b.SetBytes(4096)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			delta.Encode(src, dst, delta.DefaultBlockSize)
+		}
+	})
+	b.Run("EncoderReuse", func(b *testing.B) {
+		var e delta.Encoder
+		b.SetBytes(4096)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Encode(src, dst, delta.DefaultBlockSize)
+		}
+	})
+	b.Run("PageAlignedSerial", func(b *testing.B) {
+		updates := benchUpdates(64)
+		b.SetBytes(64 * 4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			delta.EncodePageAligned(updates, delta.DefaultBlockSize)
+		}
+	})
 }
 
 func BenchmarkMarkovSolveL2L3(b *testing.B) {

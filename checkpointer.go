@@ -47,6 +47,13 @@ func NewProcess(pageSize int) *Process {
 // PageSize returns the image's page size.
 func (p *Process) PageSize() int { return p.as.PageSize() }
 
+// SetParallelism sets the number of workers DeltaCheckpoint fans dirty
+// pages across: 0 (the default) uses all of GOMAXPROCS — the paper's
+// dedicated-core compression model — and 1 forces the serial encoder. The
+// encoded stream is byte-identical either way, so the knob only trades
+// latency against core usage.
+func (p *Process) SetParallelism(n int) { p.builder.SetParallelism(n) }
+
 // Write stores data into the page at index starting at offset, allocating
 // on demand. Writes must stay within one page.
 func (p *Process) Write(page uint64, offset int, data []byte) {

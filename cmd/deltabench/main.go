@@ -1,21 +1,29 @@
 // Command deltabench runs the compression-focused experiments: the Fig. 2
-// delta-dynamics study, the Table 3 compressor characterization, and the
-// compressor ablation (Xdelta3-PA vs whole-file Xdelta3 vs XOR+RLE).
+// delta-dynamics study, the Table 3 compressor characterization, the
+// compressor ablation (Xdelta3-PA vs whole-file Xdelta3 vs XOR+RLE), and a
+// throughput/allocation microbenchmark of the serial vs parallel
+// page-aligned encode pipeline.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"aic/internal/delta"
 	"aic/internal/exp"
+	"aic/internal/numeric"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig2 | table3 | ablation | all")
+	experiment := flag.String("experiment", "all", "fig2 | table3 | ablation | throughput | all")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (fig2/ablation)")
+	parallel := flag.Int("parallel", 0, "encode workers for the throughput experiment (0 = GOMAXPROCS)")
+	dirtyMiB := flag.Int("dirty-mib", 64, "dirty-set size in MiB for the throughput experiment")
 	flag.Parse()
 
 	var subset []string
@@ -57,7 +65,114 @@ func main() {
 		}
 		fmt.Print(exp.RenderAblations(rows, nil, nil))
 	}
-	if !run["fig2"] && !run["table3"] && !run["ablation"] {
+	if run["throughput"] {
+		runThroughput(*seed, *dirtyMiB, *parallel)
+	}
+	if !run["fig2"] && !run["table3"] && !run["ablation"] && !run["throughput"] {
 		die(fmt.Errorf("unknown experiment %q", *experiment))
 	}
+}
+
+// throughputUpdates synthesizes a dirty set with the AIC steady-state mix:
+// 70% hot lightly-edited pages, 10% hot rewritten pages (raw fallback),
+// 20% fresh pages without a previous version.
+func throughputUpdates(seed uint64, totalBytes int) []delta.PageUpdate {
+	const pageSize = 4096
+	rng := numeric.NewRNG(seed)
+	pages := totalBytes / pageSize
+	updates := make([]delta.PageUpdate, pages)
+	for i := range updates {
+		newPage := make([]byte, pageSize)
+		switch {
+		case i%10 < 7:
+			old := make([]byte, pageSize)
+			rng.Bytes(old)
+			copy(newPage, old)
+			for k := 0; k < 8; k++ {
+				newPage[rng.Intn(pageSize)] ^= byte(1 + rng.Intn(255))
+			}
+			updates[i] = delta.PageUpdate{Index: uint64(i), Old: old, New: newPage}
+		case i%10 < 8:
+			old := make([]byte, pageSize)
+			rng.Bytes(old)
+			rng.Bytes(newPage)
+			updates[i] = delta.PageUpdate{Index: uint64(i), Old: old, New: newPage}
+		default:
+			rng.Bytes(newPage)
+			updates[i] = delta.PageUpdate{Index: uint64(i), New: newPage}
+		}
+	}
+	return updates
+}
+
+// measureEncode times fn over reps passes and reports throughput plus
+// go-test-benchmem-style allocation counters sampled via runtime.MemStats.
+func measureEncode(name string, bytesPerOp int64, reps int, fn func()) (mbps float64) {
+	fn() // warm the encoder pools so steady-state allocations are measured
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	perOp := elapsed / time.Duration(reps)
+	mbps = float64(bytesPerOp) / perOp.Seconds() / (1 << 20)
+	allocsPerOp := (after.Mallocs - before.Mallocs) / uint64(reps)
+	bPerOp := (after.TotalAlloc - before.TotalAlloc) / uint64(reps)
+	fmt.Printf("  %-14s %10v/op  %8.1f MiB/s  %9d B/op  %7d allocs/op\n",
+		name, perOp.Round(time.Microsecond), mbps, bPerOp, allocsPerOp)
+	return mbps
+}
+
+// runThroughput benchmarks the serial and parallel page-aligned encoders
+// (and decoders) over a synthetic dirty set, reporting throughput,
+// speedup, and allocation counts.
+func runThroughput(seed uint64, dirtyMiB, parallelism int) {
+	if dirtyMiB <= 0 {
+		dirtyMiB = 64
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	totalBytes := int64(dirtyMiB) << 20
+	updates := throughputUpdates(seed, int(totalBytes))
+	reps := 3
+
+	fmt.Printf("Throughput — page-aligned delta pipeline, %d MiB dirty set (%d pages, GOMAXPROCS=%d)\n",
+		dirtyMiB, len(updates), runtime.GOMAXPROCS(0))
+
+	serial := measureEncode("encode serial", totalBytes, reps, func() {
+		delta.EncodePageAlignedParallel(updates, delta.DefaultBlockSize, 1)
+	})
+	par := measureEncode(fmt.Sprintf("encode par=%d", workers), totalBytes, reps, func() {
+		delta.EncodePageAlignedParallel(updates, delta.DefaultBlockSize, workers)
+	})
+	fmt.Printf("  encode speedup ×%.2f at %d workers\n", par/serial, workers)
+
+	stream := delta.EncodePageAlignedParallel(updates, delta.DefaultBlockSize, workers)
+	olds := make(map[uint64][]byte, len(updates))
+	for _, u := range updates {
+		if u.Old != nil {
+			olds[u.Index] = u.Old
+		}
+	}
+	fetch := func(idx uint64) []byte { return olds[idx] }
+	dserial := measureEncode("decode serial", totalBytes, reps, func() {
+		if _, err := delta.DecodePageAlignedParallel(stream, fetch, 1); err != nil {
+			panic(err)
+		}
+	})
+	dpar := measureEncode(fmt.Sprintf("decode par=%d", workers), totalBytes, reps, func() {
+		if _, err := delta.DecodePageAlignedParallel(stream, fetch, workers); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Printf("  decode speedup ×%.2f at %d workers\n", dpar/dserial, workers)
+	fmt.Printf("  stream: %d bytes (ratio %.4f)\n", len(stream), float64(len(stream))/float64(totalBytes))
 }

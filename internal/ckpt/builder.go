@@ -12,13 +12,14 @@ import (
 // be delta-compressed against their old versions and (b) the AIC predictor
 // can compute Jaccard distances against those versions.
 type Builder struct {
-	pageSize   int
-	blockSize  int
-	cpuState   int
-	cpuBytes   []byte // caller-provided CPU state (overrides the synthetic blob)
-	seq        int
-	prevPages  map[uint64][]byte // pages stored in the previous checkpoint
-	prevMapped map[uint64]bool   // full mapped set at the previous checkpoint
+	pageSize    int
+	blockSize   int
+	cpuState    int
+	cpuBytes    []byte // caller-provided CPU state (overrides the synthetic blob)
+	seq         int
+	parallelism int               // delta-encode workers: 0 = GOMAXPROCS, 1 = serial
+	prevPages   map[uint64][]byte // pages stored in the previous checkpoint
+	prevMapped  map[uint64]bool   // full mapped set at the previous checkpoint
 }
 
 // NewBuilder creates a builder. blockSize ≤ 0 selects the codec default;
@@ -42,6 +43,20 @@ func NewBuilder(pageSize, blockSize, cpuStateBytes int) *Builder {
 
 // Seq returns the sequence number the next checkpoint will carry.
 func (b *Builder) Seq() int { return b.seq }
+
+// SetParallelism sets the number of workers DeltaCheckpoint's page-aligned
+// encoder fans pages across: 0 (the default) selects GOMAXPROCS — the
+// paper's model of compression saturating the node's spare cores — and 1
+// forces the serial path. Both paths emit byte-identical streams.
+func (b *Builder) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	b.parallelism = n
+}
+
+// Parallelism reports the configured worker knob (0 = GOMAXPROCS).
+func (b *Builder) Parallelism() int { return b.parallelism }
 
 // PrevPage returns the page's content as of the previous checkpoint, or nil
 // when the page was not part of it. Hot-page classification and JD
@@ -143,7 +158,7 @@ func (b *Builder) DeltaCheckpoint(as *memsim.AddressSpace) (*Checkpoint, delta.S
 			New:   as.Page(idx),
 		})
 	}
-	payload, st := delta.EncodePageAlignedStats(updates, b.blockSize)
+	payload, st := delta.EncodePageAlignedParallelStats(updates, b.blockSize, b.parallelism)
 	c := &Checkpoint{
 		Seq:      b.seq,
 		Kind:     IncrementalDelta,
@@ -215,9 +230,11 @@ func Restore(chain []*Checkpoint) (*memsim.AddressSpace, error) {
 		case Full, Incremental:
 			pages, err = decodeRawPages(c.Payload, c.PageSize)
 		case IncrementalDelta:
-			pages, err = delta.DecodePageAligned(c.Payload, func(idx uint64) []byte {
+			// Page fetches are pure reads of the already-restored state, so
+			// the payloads can decode on all cores.
+			pages, err = delta.DecodePageAlignedParallel(c.Payload, func(idx uint64) []byte {
 				return as.Page(idx)
-			})
+			}, 0)
 		default:
 			err = fmt.Errorf("%w: kind %v", ErrBadCheckpoint, c.Kind)
 		}

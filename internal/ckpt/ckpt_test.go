@@ -307,3 +307,64 @@ func TestChecksumErrorIsTyped(t *testing.T) {
 		t.Fatalf("err = %v, want ErrChecksum", err)
 	}
 }
+
+// TestParallelismProducesIdenticalCheckpoints drives two builders over the
+// same write stream, one serial and one with the full worker pool, and
+// requires byte-identical delta checkpoints — the portability contract of
+// the parallel encode pipeline.
+func TestParallelismProducesIdenticalCheckpoints(t *testing.T) {
+	run := func(parallelism int) [][]byte {
+		rng := numeric.NewRNG(99)
+		as := memsim.New(0)
+		b := NewBuilder(as.PageSize(), 0, 64)
+		b.SetParallelism(parallelism)
+		writeRandomPages(as, rng, []uint64{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+		out := [][]byte{b.FullCheckpoint(as).Encode()}
+		for step := 1; step <= 4; step++ {
+			// Rewrite a moving subset: some lightly edited (hot), one fully
+			// rewritten (raw fallback), one fresh page.
+			as.Write(uint64(step%5), 7, []byte{byte(step), 0x5A}, float64(step))
+			as.Write(uint64(step%3), 900, []byte{0xF0 ^ byte(step)}, float64(step))
+			writeRandomPages(as, rng, []uint64{uint64(step % 7), uint64(20 + step)}, float64(step))
+			c, _ := b.DeltaCheckpoint(as)
+			out = append(out, c.Encode())
+		}
+		return out
+	}
+	serial, parallel := run(1), run(0)
+	if len(serial) != len(parallel) {
+		t.Fatalf("chain lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Fatalf("checkpoint %d differs between serial and parallel builders", i)
+		}
+	}
+	// Both chains must restore to the same image.
+	chain := make([]*Checkpoint, len(parallel))
+	for i, data := range parallel {
+		c, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain[i] = c
+	}
+	if _, err := Restore(chain); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetParallelismClampsNegative(t *testing.T) {
+	b := NewBuilder(0, 0, 0)
+	if b.Parallelism() != 0 {
+		t.Fatal("default parallelism must be 0 (GOMAXPROCS)")
+	}
+	b.SetParallelism(-3)
+	if b.Parallelism() != 0 {
+		t.Fatal("negative parallelism must clamp to the default")
+	}
+	b.SetParallelism(4)
+	if b.Parallelism() != 4 {
+		t.Fatal("explicit parallelism lost")
+	}
+}

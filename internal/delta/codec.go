@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // DefaultBlockSize is the source-block granularity of the codec. Small
@@ -90,14 +91,91 @@ type sourceBlock struct {
 	offset int
 }
 
+// Encoder is a reusable delta encoder: it owns the weak-hash source index
+// and the output scratch buffer, so repeated encodes — the per-page hot
+// loop of the page-aligned wrapper — stop allocating once warm. The zero
+// value is ready to use. An Encoder is not safe for concurrent use; draw
+// one per goroutine from GetEncoder/PutEncoder instead.
+type Encoder struct {
+	heads map[uint32]int32 // weak hash → first candidate in chain
+	tails map[uint32]int32 // weak hash → last candidate (O(1) ordered insert)
+	chain []chainEntry     // arena of candidates, linked per weak hash
+	buf   []byte           // output scratch for Encode
+}
+
+// chainEntry is one indexed source block; next links same-weak-hash
+// candidates in insertion (= ascending offset) order, so match selection is
+// deterministic and identical to a slice-based index.
+type chainEntry struct {
+	blk  sourceBlock
+	next int32
+}
+
+// encoderPool recycles Encoders across pages and goroutines; the parallel
+// page-aligned encoder draws one per worker.
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a pooled Encoder for burst use; return it with
+// PutEncoder when done.
+func GetEncoder() *Encoder { return encoderPool.Get().(*Encoder) }
+
+// PutEncoder returns an Encoder to the pool. Buffers previously returned by
+// its Encode method must no longer be referenced.
+func PutEncoder(e *Encoder) { encoderPool.Put(e) }
+
+// indexSource (re)builds the weak-hash index over source blocks, reusing
+// the maps and candidate arena of previous encodes.
+func (e *Encoder) indexSource(source []byte, blockSize int) {
+	e.chain = e.chain[:0]
+	if e.heads == nil {
+		hint := len(source)/blockSize + 1
+		e.heads = make(map[uint32]int32, hint)
+		e.tails = make(map[uint32]int32, hint)
+	} else {
+		clear(e.heads)
+		clear(e.tails)
+	}
+	for off := 0; off+blockSize <= len(source); off += blockSize {
+		blk := source[off : off+blockSize]
+		w := newWeakHash(blk).sum()
+		id := int32(len(e.chain))
+		e.chain = append(e.chain, chainEntry{blk: sourceBlock{strong: strongHash(blk), offset: off}, next: -1})
+		if tail, ok := e.tails[w]; ok {
+			e.chain[tail].next = id
+		} else {
+			e.heads[w] = id
+		}
+		e.tails[w] = id
+	}
+}
+
 // Encode produces a delta that reconstructs target from source. blockSize
 // ≤ 0 selects DefaultBlockSize. The stream begins with the target length so
 // Decode can pre-allocate and validate.
 func Encode(source, target []byte, blockSize int) []byte {
+	e := GetEncoder()
+	out := append([]byte(nil), e.Encode(source, target, blockSize)...)
+	PutEncoder(e)
+	return out
+}
+
+// Encode produces the delta into the Encoder's internal buffer and returns
+// it. The returned slice is valid only until the next call on this Encoder;
+// callers that keep the stream must copy it (or use AppendEncode).
+func (e *Encoder) Encode(source, target []byte, blockSize int) []byte {
+	e.buf = e.AppendEncode(e.buf[:0], source, target, blockSize)
+	return e.buf
+}
+
+// AppendEncode appends the delta stream reconstructing target from source
+// to dst and returns the extended slice. It is the allocation-free core of
+// Encode: byte-for-byte the same stream, without fresh output buffers or a
+// fresh source index per call.
+func (e *Encoder) AppendEncode(dst, source, target []byte, blockSize int) []byte {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	out := make([]byte, 0, len(target)/8+16)
+	out := dst
 	out = binary.AppendUvarint(out, uint64(len(target)))
 
 	if len(target) == 0 {
@@ -105,15 +183,7 @@ func Encode(source, target []byte, blockSize int) []byte {
 		return out
 	}
 
-	// Index source blocks by weak hash.
-	index := make(map[uint32][]sourceBlock)
-	if len(source) >= blockSize {
-		for off := 0; off+blockSize <= len(source); off += blockSize {
-			blk := source[off : off+blockSize]
-			w := newWeakHash(blk).sum()
-			index[w] = append(index[w], sourceBlock{strong: strongHash(blk), offset: off})
-		}
-	}
+	e.indexSource(source, blockSize)
 
 	emitPlain := func(lit []byte) {
 		if len(lit) == 0 {
@@ -147,14 +217,15 @@ func Encode(source, target []byte, blockSize int) []byte {
 	}
 
 	pos, litStart := 0, 0
-	if len(index) > 0 && len(target) >= blockSize {
+	if len(e.chain) > 0 && len(target) >= blockSize {
 		h := newWeakHash(target[:blockSize])
 		for pos+blockSize <= len(target) {
 			match := -1
-			if cands, ok := index[h.sum()]; ok {
+			if head, ok := e.heads[h.sum()]; ok {
 				win := target[pos : pos+blockSize]
 				sh := strongHash(win)
-				for _, c := range cands {
+				for id := head; id >= 0; id = e.chain[id].next {
+					c := e.chain[id].blk
 					if c.strong == sh && bytesEqual(source[c.offset:c.offset+blockSize], win) {
 						match = c.offset
 						break
@@ -195,6 +266,12 @@ func Encode(source, target []byte, blockSize int) []byte {
 	emitAdd(target[litStart:])
 	out = append(out, opEnd)
 	return out
+}
+
+// Reset drops the Encoder's retained index and buffers, releasing memory
+// after encoding unusually large sources.
+func (e *Encoder) Reset() {
+	e.heads, e.tails, e.chain, e.buf = nil, nil, nil, nil
 }
 
 func bytesEqual(a, b []byte) bool {

@@ -49,6 +49,93 @@ func FuzzRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzPageAlignedParallel derives a page set from the fuzz input and checks
+// the two hard invariants of the parallel pipeline: the parallel stream is
+// byte-identical to the serial one, and both decoders reproduce the pages.
+func FuzzPageAlignedParallel(f *testing.F) {
+	f.Add([]byte("seed page content"), uint8(2), uint8(64))
+	f.Add(bytes.Repeat([]byte{7}, 300), uint8(7), uint8(16))
+	f.Add([]byte{}, uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, pRaw, szRaw uint8) {
+		workers := int(pRaw%8) + 1
+		pageSize := int(szRaw%96) + 8
+		var updates []PageUpdate
+		olds := map[uint64][]byte{}
+		for i := 0; len(data) > 0; i++ {
+			n := pageSize
+			if n > len(data) {
+				n = len(data)
+			}
+			newPage := data[:n]
+			data = data[n:]
+			u := PageUpdate{Index: uint64(i), New: newPage}
+			switch i % 3 {
+			case 0: // similar old version
+				old := append([]byte(nil), newPage...)
+				old[0] ^= 0xFF
+				u.Old = old
+				olds[u.Index] = old
+			case 1: // unrelated old version
+				old := bytes.Repeat([]byte{0xA5}, n)
+				u.Old = old
+				olds[u.Index] = old
+			}
+			updates = append(updates, u)
+		}
+		serial := EncodePageAligned(updates, 16)
+		parallel := EncodePageAlignedParallel(updates, 16, workers)
+		if !bytes.Equal(serial, parallel) {
+			t.Fatalf("parallel stream differs from serial (%d vs %d bytes)", len(parallel), len(serial))
+		}
+		fetch := func(idx uint64) []byte { return olds[idx] }
+		want, err := DecodePageAligned(serial, fetch)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		got, err := DecodePageAlignedParallel(serial, fetch, workers)
+		if err != nil {
+			t.Fatalf("parallel decode of own encoding rejected: %v", err)
+		}
+		for _, u := range updates {
+			if !bytes.Equal(want[u.Index], u.New) || !bytes.Equal(got[u.Index], u.New) {
+				t.Fatalf("page %d round trip mismatch", u.Index)
+			}
+		}
+	})
+}
+
+// FuzzDecodePageAligned feeds arbitrary streams to both decoders: neither
+// may panic, and they must agree on acceptance and content.
+func FuzzDecodePageAligned(f *testing.F) {
+	good := EncodePageAligned([]PageUpdate{
+		{Index: 1, New: []byte("raw page")},
+		{Index: 4, Old: bytes.Repeat([]byte{3}, 64), New: bytes.Repeat([]byte{3}, 64)},
+	}, 16)
+	f.Add(good)
+	f.Add([]byte{0x02, 0x04, PageRaw, 0x01, 0xFF, 0x04, PageRaw, 0x00}) // duplicate index
+	f.Add([]byte{0x01})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		old := bytes.Repeat([]byte{3}, 64)
+		fetch := func(uint64) []byte { return old }
+		want, serr := DecodePageAligned(stream, fetch)
+		got, perr := DecodePageAlignedParallel(stream, fetch, 4)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("decoders disagree: serial err=%v, parallel err=%v", serr, perr)
+		}
+		if serr != nil {
+			return
+		}
+		if len(want) != len(got) {
+			t.Fatalf("decoders produced %d vs %d pages", len(want), len(got))
+		}
+		for idx, page := range want {
+			if !bytes.Equal(got[idx], page) {
+				t.Fatalf("page %d differs between decoders", idx)
+			}
+		}
+	})
+}
+
 func FuzzXORRoundTrip(f *testing.F) {
 	f.Add([]byte("samesize"), []byte("sameSIZE"))
 	f.Fuzz(func(t *testing.T, src, tgt []byte) {

@@ -22,38 +22,61 @@ type PageUpdate struct {
 	New   []byte
 }
 
+// sortUpdates returns a copy of updates in ascending index order — the
+// order both encoders emit and the decoder enforces.
+func sortUpdates(updates []PageUpdate) []PageUpdate {
+	sorted := append([]PageUpdate(nil), updates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	return sorted
+}
+
+// appendPageFrame encodes one page update — index, mode byte, payload — to
+// dst and reports the mode actually emitted. It is the unit of work both
+// the serial and the parallel encoder share, which is what keeps their
+// streams byte-identical.
+func appendPageFrame(e *Encoder, dst []byte, u PageUpdate, blockSize int) ([]byte, byte) {
+	dst = binary.AppendUvarint(dst, u.Index)
+	if u.Old != nil {
+		d := e.Encode(u.Old, u.New, blockSize)
+		if len(d) < len(u.New) {
+			dst = append(dst, PageDelta)
+			dst = binary.AppendUvarint(dst, uint64(len(d)))
+			return append(dst, d...), PageDelta
+		}
+		// Delta did not pay off (page rewritten with unrelated data):
+		// fall back to raw storage, as real delta compressors do.
+	}
+	dst = append(dst, PageRaw)
+	dst = binary.AppendUvarint(dst, uint64(len(u.New)))
+	return append(dst, u.New...), PageRaw
+}
+
 // EncodePageAligned produces the Xdelta3-PA stream for the given page
 // updates: each hot page (Old present) is delta-compressed against its old
 // version independently, enabling the per-page cost estimation the AIC
-// predictor relies on. Pages are emitted in ascending index order.
+// predictor relies on. Pages are emitted in ascending index order. Page
+// indexes must be unique (duplicates would be rejected on decode).
 func EncodePageAligned(updates []PageUpdate, blockSize int) []byte {
-	sorted := append([]PageUpdate(nil), updates...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	out, _ := encodePageAlignedSerial(sortUpdates(updates), blockSize)
+	return out
+}
+
+// encodePageAlignedSerial encodes the already-sorted updates on the calling
+// goroutine, tracking the per-page modes actually emitted.
+func encodePageAlignedSerial(sorted []PageUpdate, blockSize int) ([]byte, Stats) {
+	e := GetEncoder()
+	defer PutEncoder(e)
 
 	out := make([]byte, 0, 64)
 	out = binary.AppendUvarint(out, uint64(len(sorted)))
+	var st Stats
 	for _, u := range sorted {
-		out = binary.AppendUvarint(out, u.Index)
-		if u.Old == nil {
-			out = append(out, PageRaw)
-			out = binary.AppendUvarint(out, uint64(len(u.New)))
-			out = append(out, u.New...)
-			continue
-		}
-		d := Encode(u.Old, u.New, blockSize)
-		if len(d) >= len(u.New) {
-			// Delta did not pay off (page rewritten with unrelated data):
-			// fall back to raw storage, as real delta compressors do.
-			out = append(out, PageRaw)
-			out = binary.AppendUvarint(out, uint64(len(u.New)))
-			out = append(out, u.New...)
-			continue
-		}
-		out = append(out, PageDelta)
-		out = binary.AppendUvarint(out, uint64(len(d)))
-		out = append(out, d...)
+		var mode byte
+		out, mode = appendPageFrame(e, out, u, blockSize)
+		st.count(u, mode)
 	}
-	return out
+	st.OutputBytes = len(out)
+	return out, st
 }
 
 // EncodePageAlignedXOR is the simple-compressor ablation: hot pages are
@@ -61,9 +84,7 @@ func EncodePageAligned(updates []PageUpdate, blockSize int) []byte {
 // difference checkpointing) instead of rsync-delta-coded; the framing is
 // identical to EncodePageAligned.
 func EncodePageAlignedXOR(updates []PageUpdate) []byte {
-	sorted := append([]PageUpdate(nil), updates...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
-
+	sorted := sortUpdates(updates)
 	out := make([]byte, 0, 64)
 	out = binary.AppendUvarint(out, uint64(len(sorted)))
 	for _, u := range sorted {
@@ -85,10 +106,19 @@ func EncodePageAlignedXOR(updates []PageUpdate) []byte {
 	return out
 }
 
-// DecodePageAligned reverses EncodePageAligned. fetchOld must return the
-// previous version of a page stored in delta mode; returning nil reports
-// the page as unavailable and fails decoding.
-func DecodePageAligned(stream []byte, fetchOld func(index uint64) []byte) (map[uint64][]byte, error) {
+// pageFrame is one parsed (but not yet decoded) page entry of the
+// page-aligned stream; payload aliases the input stream.
+type pageFrame struct {
+	idx     uint64
+	mode    byte
+	payload []byte
+}
+
+// scanPageFrames splits a page-aligned stream into frames, validating the
+// framing: varint integrity, payload bounds, known modes, and strictly
+// ascending page indexes (both encoders emit ascending unique indexes, so
+// duplicates or reordering can only be corruption).
+func scanPageFrames(stream []byte) ([]pageFrame, error) {
 	count, n := binary.Uvarint(stream)
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: missing page count", ErrCorrupt)
@@ -98,51 +128,80 @@ func DecodePageAligned(stream []byte, fetchOld func(index uint64) []byte) (map[u
 	if capHint > 1<<16 {
 		capHint = 1 << 16 // corrupt counts must not drive huge allocations
 	}
-	pages := make(map[uint64][]byte, capHint)
+	frames := make([]pageFrame, 0, capHint)
+	var prev uint64
 	for i := uint64(0); i < count; i++ {
 		idx, n := binary.Uvarint(stream)
 		if n <= 0 {
 			return nil, fmt.Errorf("%w: bad page index", ErrCorrupt)
 		}
 		stream = stream[n:]
+		if i > 0 && idx <= prev {
+			return nil, fmt.Errorf("%w: page index %d after %d breaks ascending order", ErrCorrupt, idx, prev)
+		}
+		prev = idx
 		if len(stream) == 0 {
 			return nil, fmt.Errorf("%w: missing page mode", ErrCorrupt)
 		}
 		mode := stream[0]
 		stream = stream[1:]
+		if mode != PageRaw && mode != PageDelta && mode != PageXOR {
+			return nil, fmt.Errorf("%w: unknown page mode %#x", ErrCorrupt, mode)
+		}
 		plen, n := binary.Uvarint(stream)
 		if n <= 0 || plen > uint64(len(stream[n:])) {
 			return nil, fmt.Errorf("%w: bad payload length for page %d", ErrCorrupt, idx)
 		}
 		stream = stream[n:]
-		payload := stream[:plen]
+		frames = append(frames, pageFrame{idx: idx, mode: mode, payload: stream[:plen]})
 		stream = stream[plen:]
-		switch mode {
-		case PageRaw:
-			pages[idx] = append([]byte(nil), payload...)
-		case PageDelta:
-			old := fetchOld(idx)
-			if old == nil {
-				return nil, fmt.Errorf("delta: page %d needs missing previous version", idx)
-			}
-			decoded, err := Decode(old, payload)
-			if err != nil {
-				return nil, fmt.Errorf("page %d: %w", idx, err)
-			}
-			pages[idx] = decoded
-		case PageXOR:
-			old := fetchOld(idx)
-			if old == nil {
-				return nil, fmt.Errorf("delta: page %d needs missing previous version", idx)
-			}
-			decoded, err := DecodeXOR(old, payload)
-			if err != nil {
-				return nil, fmt.Errorf("page %d: %w", idx, err)
-			}
-			pages[idx] = decoded
-		default:
-			return nil, fmt.Errorf("%w: unknown page mode %#x", ErrCorrupt, mode)
+	}
+	return frames, nil
+}
+
+// decodeFrame materializes one page from its frame. It is shared by the
+// serial and parallel decoders.
+func decodeFrame(f pageFrame, fetchOld func(index uint64) []byte) ([]byte, error) {
+	switch f.mode {
+	case PageRaw:
+		return append([]byte(nil), f.payload...), nil
+	case PageDelta, PageXOR:
+		old := fetchOld(f.idx)
+		if old == nil {
+			return nil, fmt.Errorf("delta: page %d needs missing previous version", f.idx)
 		}
+		var decoded []byte
+		var err error
+		if f.mode == PageDelta {
+			decoded, err = Decode(old, f.payload)
+		} else {
+			decoded, err = DecodeXOR(old, f.payload)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("page %d: %w", f.idx, err)
+		}
+		return decoded, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown page mode %#x", ErrCorrupt, f.mode)
+	}
+}
+
+// DecodePageAligned reverses EncodePageAligned. fetchOld must return the
+// previous version of a page stored in delta mode; returning nil reports
+// the page as unavailable and fails decoding. Streams whose page indexes
+// are not strictly ascending are rejected as corrupt.
+func DecodePageAligned(stream []byte, fetchOld func(index uint64) []byte) (map[uint64][]byte, error) {
+	frames, err := scanPageFrames(stream)
+	if err != nil {
+		return nil, err
+	}
+	pages := make(map[uint64][]byte, len(frames))
+	for _, f := range frames {
+		decoded, err := decodeFrame(f, fetchOld)
+		if err != nil {
+			return nil, err
+		}
+		pages[f.idx] = decoded
 	}
 	return pages, nil
 }
@@ -152,8 +211,19 @@ func DecodePageAligned(stream []byte, fetchOld func(index uint64) []byte) (map[u
 type Stats struct {
 	InputBytes  int // bytes of target data considered
 	OutputBytes int // bytes of compressed stream produced
-	HotPages    int // pages compressed as deltas
-	RawPages    int // pages stored verbatim
+	HotPages    int // pages actually emitted as deltas
+	RawPages    int // pages stored verbatim (new pages and failed deltas)
+}
+
+// count accrues one page into the stats given the mode the encoder actually
+// emitted — a hot page whose delta did not pay off counts as raw.
+func (s *Stats) count(u PageUpdate, mode byte) {
+	s.InputBytes += len(u.New)
+	if mode == PageDelta || mode == PageXOR {
+		s.HotPages++
+	} else {
+		s.RawPages++
+	}
 }
 
 // Ratio returns OutputBytes/InputBytes, the paper's compression ratio
@@ -166,16 +236,8 @@ func (s Stats) Ratio() float64 {
 }
 
 // EncodePageAlignedStats encodes and also reports per-operation statistics.
+// Page counts reflect the modes actually emitted: a page with a previous
+// version whose delta fell back to raw storage is counted as raw.
 func EncodePageAlignedStats(updates []PageUpdate, blockSize int) ([]byte, Stats) {
-	out := EncodePageAligned(updates, blockSize)
-	st := Stats{OutputBytes: len(out)}
-	for _, u := range updates {
-		st.InputBytes += len(u.New)
-		if u.Old != nil {
-			st.HotPages++
-		} else {
-			st.RawPages++
-		}
-	}
-	return out, st
+	return encodePageAlignedSerial(sortUpdates(updates), blockSize)
 }

@@ -1,0 +1,147 @@
+package delta
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the concurrent half of the Xdelta3-PA pipeline: the paper's
+// design runs checkpoint compression on dedicated cores of a multicore node
+// (Section III), and because every page of the page-aligned stream is
+// delta-coded independently, the encode fans out embarrassingly. Workers
+// encode pages into per-page frames; a single assembler stitches them in
+// ascending index order, so the parallel stream is byte-identical to the
+// serial one — checkpoints stay portable across both paths.
+
+// resolveParallelism normalizes a worker-count knob: n ≤ 0 selects
+// GOMAXPROCS, and the count never exceeds the number of work items.
+func resolveParallelism(n, items int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > items {
+		n = items
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// EncodePageAlignedParallel produces exactly the stream EncodePageAligned
+// produces, using up to parallelism workers (≤ 0 selects GOMAXPROCS; 1 is
+// the serial path). Page updates may alias shared memory: workers only read
+// them.
+func EncodePageAlignedParallel(updates []PageUpdate, blockSize, parallelism int) []byte {
+	out, _ := encodePageAligned(updates, blockSize, parallelism)
+	return out
+}
+
+// EncodePageAlignedParallelStats is EncodePageAlignedParallel plus the
+// per-operation statistics of EncodePageAlignedStats (identical numbers —
+// the modes emitted do not depend on the worker count).
+func EncodePageAlignedParallelStats(updates []PageUpdate, blockSize, parallelism int) ([]byte, Stats) {
+	return encodePageAligned(updates, blockSize, parallelism)
+}
+
+// encodePageAligned dispatches between the serial and worker-pool encoders.
+func encodePageAligned(updates []PageUpdate, blockSize, parallelism int) ([]byte, Stats) {
+	sorted := sortUpdates(updates)
+	parallelism = resolveParallelism(parallelism, len(sorted))
+	if parallelism <= 1 {
+		return encodePageAlignedSerial(sorted, blockSize)
+	}
+
+	frames := make([][]byte, len(sorted))
+	modes := make([]byte, len(sorted))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := GetEncoder()
+			defer PutEncoder(e)
+			var scratch []byte // reused frame buffer; frames get exact-size copies
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sorted) {
+					return
+				}
+				scratch, modes[i] = appendPageFrame(e, scratch[:0], sorted[i], blockSize)
+				frames[i] = append([]byte(nil), scratch...)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Assemble: count header + frames in ascending index order, exactly as
+	// the serial encoder writes them.
+	total := binary.MaxVarintLen64
+	for _, f := range frames {
+		total += len(f)
+	}
+	out := make([]byte, 0, total)
+	out = binary.AppendUvarint(out, uint64(len(sorted)))
+	var st Stats
+	for i, f := range frames {
+		out = append(out, f...)
+		st.count(sorted[i], modes[i])
+	}
+	st.OutputBytes = len(out)
+	return out, st
+}
+
+// DecodePageAlignedParallel reverses EncodePageAligned using up to
+// parallelism workers (≤ 0 selects GOMAXPROCS). The frame scan and all
+// validation run up front on the calling goroutine; only the per-page
+// payload decodes fan out, so fetchOld must be safe for concurrent calls
+// (a pure read of previous checkpoint state qualifies).
+func DecodePageAlignedParallel(stream []byte, fetchOld func(index uint64) []byte, parallelism int) (map[uint64][]byte, error) {
+	frames, err := scanPageFrames(stream)
+	if err != nil {
+		return nil, err
+	}
+	parallelism = resolveParallelism(parallelism, len(frames))
+	if parallelism <= 1 {
+		pages := make(map[uint64][]byte, len(frames))
+		for _, f := range frames {
+			decoded, err := decodeFrame(f, fetchOld)
+			if err != nil {
+				return nil, err
+			}
+			pages[f.idx] = decoded
+		}
+		return pages, nil
+	}
+
+	decoded := make([][]byte, len(frames))
+	errs := make([]error, len(frames))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(frames) {
+					return
+				}
+				decoded[i], errs[i] = decodeFrame(frames[i], fetchOld)
+			}
+		}()
+	}
+	wg.Wait()
+
+	pages := make(map[uint64][]byte, len(frames))
+	for i, f := range frames {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		pages[f.idx] = decoded[i]
+	}
+	return pages, nil
+}
