@@ -2,10 +2,12 @@ package aic
 
 import (
 	"fmt"
+	"sort"
 
 	"aic/internal/ckpt"
 	"aic/internal/delta"
 	"aic/internal/memsim"
+	"aic/internal/recovery"
 	"aic/internal/storage"
 )
 
@@ -125,6 +127,47 @@ func RestoreImage(chain [][]byte) (*Image, error) {
 	return &Image{as: as}, nil
 }
 
+// RestoreReport describes what RestoreLatestGood kept and discarded. For
+// the chain-slice form the values are chain positions; for
+// CheckpointDir.RestoreLatestGood they are stored sequence numbers.
+type RestoreReport struct {
+	AnchorSeq int   // where the restored prefix is anchored (a full checkpoint)
+	LastSeq   int   // the newest element actually replayed
+	Restored  []int // elements replayed, in order
+	Discarded []int // elements present but not replayed
+	Corrupt   []int // subset of Discarded that failed integrity checks
+}
+
+func goodReportToRestore(rep *recovery.GoodReport) *RestoreReport {
+	return &RestoreReport{
+		AnchorSeq: rep.AnchorSeq,
+		LastSeq:   rep.LastSeq,
+		Restored:  rep.Restored,
+		Discarded: rep.Discarded,
+		Corrupt:   rep.Corrupt,
+	}
+}
+
+// RestoreLatestGood replays the newest intact full-checkpoint-anchored
+// prefix of a possibly-damaged chain. Unlike RestoreImage, which fails hard
+// on the first corrupt element, it walks backward past corrupt or truncated
+// tails, anchors at the newest intact full checkpoint, and reports what it
+// had to discard. It fails only when no full checkpoint survives.
+func RestoreLatestGood(chain [][]byte) (*Image, *RestoreReport, error) {
+	if len(chain) == 0 {
+		return nil, nil, fmt.Errorf("aic: empty restore chain")
+	}
+	stored := make([]storage.Stored, len(chain))
+	for i, data := range chain {
+		stored[i] = storage.Stored{Seq: i, Data: data}
+	}
+	as, rep, err := recovery.RestoreLatestGood(stored)
+	if err != nil {
+		return nil, nil, fmt.Errorf("aic: %w", err)
+	}
+	return &Image{as: as}, goodReportToRestore(rep), nil
+}
+
 // Page returns a copy of the page at index, or nil when unmapped.
 func (im *Image) Page(index uint64) []byte { return im.as.PageCopy(index) }
 
@@ -196,3 +239,72 @@ func (d *CheckpointDir) Truncate(proc string, fullSeq int) error {
 
 // Remove deletes a process's chain.
 func (d *CheckpointDir) Remove(proc string) error { return d.fs.WipeProc(proc) }
+
+// Procs lists the process names with chains in the directory.
+func (d *CheckpointDir) Procs() ([]string, error) { return d.fs.Procs() }
+
+// ScrubReport summarizes a CheckpointDir.Scrub pass; see the field comments
+// on the identically-shaped storage report for classification semantics.
+type ScrubReport struct {
+	Proc            string
+	ManifestRebuilt bool     // manifest was unreadable and was reconstructed
+	Missing         []int    // manifest seqs whose files are gone
+	Corrupt         []int    // files failing per-frame CRC/decode checks
+	Orphaned        []int    // unacknowledged files the manifest never committed
+	Adopted         []int    // files re-listed into a rebuilt manifest
+	SizeFixed       []int    // manifest sizes corrected
+	StrayRemoved    []string // leftover temp files cleared
+	Repaired        bool
+}
+
+// Clean reports whether the manifest and directory agreed exactly.
+func (r *ScrubReport) Clean() bool {
+	return !r.ManifestRebuilt && len(r.Missing) == 0 && len(r.Corrupt) == 0 &&
+		len(r.Orphaned) == 0 && len(r.Adopted) == 0 && len(r.SizeFixed) == 0 &&
+		len(r.StrayRemoved) == 0
+}
+
+// Scrub cross-checks proc's manifest against its on-disk files and their
+// per-frame CRCs, classifying missing, orphaned and corrupt entries. With
+// repair set it restores manifest/directory agreement: dead entries are
+// dropped, corrupt files and unacknowledged orphans deleted, stray temp
+// files cleared, and a destroyed manifest rebuilt from the surviving files.
+func (d *CheckpointDir) Scrub(proc string, repair bool) (*ScrubReport, error) {
+	rep, err := d.fs.Scrub(proc, repair)
+	if err != nil {
+		return nil, err
+	}
+	return &ScrubReport{
+		Proc:            rep.Proc,
+		ManifestRebuilt: rep.ManifestRebuilt,
+		Missing:         rep.Missing,
+		Corrupt:         rep.Corrupt,
+		Orphaned:        rep.Orphaned,
+		Adopted:         rep.Adopted,
+		SizeFixed:       rep.SizeFixed,
+		StrayRemoved:    rep.StrayRemoved,
+		Repaired:        rep.Repaired,
+	}, nil
+}
+
+// RestoreLatestGood restores proc from the newest intact
+// full-checkpoint-anchored prefix of its stored chain, tolerating missing,
+// truncated and corrupt elements. The report's values are stored sequence
+// numbers; missing files appear under Discarded.
+func (d *CheckpointDir) RestoreLatestGood(proc string) (*Image, *RestoreReport, error) {
+	chain, missing, err := d.fs.ChainBestEffort(proc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(chain) == 0 {
+		return nil, nil, fmt.Errorf("aic: no readable checkpoints for %s", proc)
+	}
+	as, rep, err := recovery.RestoreLatestGood(chain)
+	if err != nil {
+		return nil, nil, fmt.Errorf("aic: %w", err)
+	}
+	out := goodReportToRestore(rep)
+	out.Discarded = append(out.Discarded, missing...)
+	sort.Ints(out.Discarded)
+	return &Image{as: as}, out, nil
+}

@@ -1,0 +1,100 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"aic/internal/ckpt"
+	"aic/internal/memsim"
+	"aic/internal/storage"
+)
+
+// GoodReport describes what a last-good-prefix restore kept and what it had
+// to give up. All values are in the caller's Stored.Seq units (storage
+// sequence numbers for store chains; the aic facade labels positional
+// chains with their indexes).
+type GoodReport struct {
+	AnchorSeq int   // the full checkpoint the restored prefix starts at
+	LastSeq   int   // the newest checkpoint actually replayed
+	Restored  []int // seqs replayed, in order
+	// Discarded lists every stored seq not replayed: corrupt elements,
+	// everything beyond the first break in the chain, and stale elements
+	// before the anchor.
+	Discarded []int
+	// Corrupt is the subset of Discarded that failed ckpt.Decode (torn
+	// write, bit flip caught by the CRC trailer, truncation).
+	Corrupt []int
+	// CPUState is the replayed prefix's final execution state — the blob a
+	// resumed process must load to match the restored image.
+	CPUState []byte
+	// Bytes counts the bytes of the replayed prefix.
+	Bytes int64
+}
+
+// RestoreLatestGood replays the newest intact full-checkpoint-anchored
+// prefix of a possibly-damaged chain: it decodes every element (tolerating
+// corrupt ones), anchors at the newest decodable full checkpoint, and walks
+// forward while elements stay intact and sequence-contiguous (by their
+// decoded sequence numbers). Corrupt or missing tails are discarded rather
+// than failing the whole restore — the restart hazard ckpt.Restore's
+// fail-hard contract cannot handle. It fails only when no full checkpoint
+// in the chain survives.
+func RestoreLatestGood(chain []storage.Stored) (*memsim.AddressSpace, *GoodReport, error) {
+	if len(chain) == 0 {
+		return nil, nil, fmt.Errorf("recovery: empty chain")
+	}
+	elems := append([]storage.Stored(nil), chain...)
+	sort.SliceStable(elems, func(i, j int) bool { return elems[i].Seq < elems[j].Seq })
+
+	rep := &GoodReport{}
+	decoded := make([]*ckpt.Checkpoint, len(elems))
+	for i, s := range elems {
+		c, err := ckpt.Decode(s.Data)
+		if err != nil {
+			rep.Corrupt = append(rep.Corrupt, s.Seq)
+			continue
+		}
+		decoded[i] = c
+	}
+
+	// Anchor at the newest intact full checkpoint: any earlier anchor's run
+	// is cut short at (or before) this one, so later always wins.
+	anchor := -1
+	for i := len(elems) - 1; i >= 0; i-- {
+		if decoded[i] != nil && decoded[i].Kind == ckpt.Full {
+			anchor = i
+			break
+		}
+	}
+	if anchor < 0 {
+		return nil, nil, fmt.Errorf("recovery: no intact full checkpoint anchors the chain")
+	}
+	end := anchor
+	for end+1 < len(elems) &&
+		decoded[end+1] != nil &&
+		decoded[end+1].Kind != ckpt.Full &&
+		decoded[end+1].Seq == decoded[end].Seq+1 {
+		end++
+	}
+
+	prefix := decoded[anchor : end+1]
+	as, err := ckpt.Restore(prefix)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recovery: intact prefix failed to replay: %w", err)
+	}
+	rep.AnchorSeq = elems[anchor].Seq
+	rep.LastSeq = elems[end].Seq
+	rep.CPUState = prefix[len(prefix)-1].CPUState
+	for i, s := range elems {
+		if i >= anchor && i <= end {
+			rep.Restored = append(rep.Restored, s.Seq)
+			rep.Bytes += int64(len(s.Data))
+		} else if decoded[i] != nil {
+			rep.Discarded = append(rep.Discarded, s.Seq)
+		}
+	}
+	// Corrupt elements are discarded by definition.
+	rep.Discarded = append(rep.Discarded, rep.Corrupt...)
+	sort.Ints(rep.Discarded)
+	return as, rep, nil
+}

@@ -1,0 +1,214 @@
+package recovery
+
+import (
+	"testing"
+
+	"aic/internal/ckpt"
+	"aic/internal/failure"
+	"aic/internal/memsim"
+	"aic/internal/numeric"
+	"aic/internal/storage"
+)
+
+// buildStoredChain makes a full + 3 deltas chain with reference images.
+func buildStoredChain(t *testing.T) (chain []storage.Stored, images []*memsim.AddressSpace) {
+	t.Helper()
+	rng := numeric.NewRNG(3)
+	as := memsim.New(512)
+	b := ckpt.NewBuilder(512, 0, 16)
+	buf := make([]byte, 512)
+	for i := uint64(0); i < 10; i++ {
+		rng.Bytes(buf)
+		as.Write(i, 0, buf, 0)
+	}
+	chain = append(chain, storage.Stored{Seq: 0, Data: b.FullCheckpoint(as).Encode()})
+	images = append(images, as.Clone())
+	for step := 1; step <= 3; step++ {
+		rng.Bytes(buf[:100])
+		as.Write(uint64(step%10), 0, buf[:100], float64(step))
+		c, _ := b.DeltaCheckpoint(as)
+		chain = append(chain, storage.Stored{Seq: step, Data: c.Encode()})
+		images = append(images, as.Clone())
+	}
+	return chain, images
+}
+
+func TestRestoreLatestGoodIntactChain(t *testing.T) {
+	chain, images := buildStoredChain(t)
+	as, rep, err := RestoreLatestGood(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AnchorSeq != 0 || rep.LastSeq != 3 || len(rep.Discarded) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !as.Equal(images[3]) {
+		t.Fatal("intact chain did not restore to the newest image")
+	}
+}
+
+func TestRestoreLatestGoodCorruptTail(t *testing.T) {
+	chain, images := buildStoredChain(t)
+	chain[3].Data = chain[3].Data[:len(chain[3].Data)/2] // torn tail
+	as, rep, err := RestoreLatestGood(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LastSeq != 2 || len(rep.Corrupt) != 1 || rep.Corrupt[0] != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !as.Equal(images[2]) {
+		t.Fatal("restore did not stop at the newest intact prefix")
+	}
+}
+
+func TestRestoreLatestGoodMidChainGapCutsTail(t *testing.T) {
+	chain, images := buildStoredChain(t)
+	damaged := []storage.Stored{chain[0], chain[1], chain[3]} // seq 2 missing
+	as, rep, err := RestoreLatestGood(damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LastSeq != 1 {
+		t.Fatalf("LastSeq = %d, want 1 (gap at 2 orphans 3)", rep.LastSeq)
+	}
+	if len(rep.Discarded) != 1 || rep.Discarded[0] != 3 {
+		t.Fatalf("discarded = %v, want [3]", rep.Discarded)
+	}
+	if !as.Equal(images[1]) {
+		t.Fatal("image mismatch")
+	}
+}
+
+func TestRestoreLatestGoodNoAnchor(t *testing.T) {
+	chain, _ := buildStoredChain(t)
+	chain[0].Data = []byte("garbage") // the only full checkpoint
+	if _, _, err := RestoreLatestGood(chain[:3]); err == nil {
+		t.Fatal("restore without a surviving full checkpoint succeeded")
+	}
+	if _, _, err := RestoreLatestGood(nil); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestRestoreLatestGoodPrefersNewestAnchor(t *testing.T) {
+	// Two epochs: full(0) delta(1), then full(2) delta(3). The newest full
+	// must anchor even though the older epoch is also intact.
+	rng := numeric.NewRNG(9)
+	as := memsim.New(512)
+	b := ckpt.NewBuilder(512, 0, 8)
+	buf := make([]byte, 512)
+	var chain []storage.Stored
+	var images []*memsim.AddressSpace
+	for i := uint64(0); i < 6; i++ {
+		rng.Bytes(buf)
+		as.Write(i, 0, buf, 0)
+	}
+	chain = append(chain, storage.Stored{Seq: 0, Data: b.FullCheckpoint(as).Encode()})
+	images = append(images, as.Clone())
+	for step := 1; step <= 3; step++ {
+		rng.Bytes(buf[:64])
+		as.Write(uint64(step%6), 0, buf[:64], float64(step))
+		var c *ckpt.Checkpoint
+		if step == 2 {
+			c = b.FullCheckpoint(as)
+		} else {
+			c, _ = b.DeltaCheckpoint(as)
+		}
+		chain = append(chain, storage.Stored{Seq: step, Data: c.Encode()})
+		images = append(images, as.Clone())
+	}
+	restored, rep, err := RestoreLatestGood(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AnchorSeq != 2 || rep.LastSeq != 3 {
+		t.Fatalf("report = %+v, want anchor 2", rep)
+	}
+	// The stale pre-anchor epoch is reported as discarded, not corrupt.
+	if len(rep.Discarded) != 2 || len(rep.Corrupt) != 0 {
+		t.Fatalf("discarded = %v corrupt = %v", rep.Discarded, rep.Corrupt)
+	}
+	if !restored.Equal(images[3]) {
+		t.Fatal("image mismatch")
+	}
+}
+
+// TestRecoverFallsBackToLatestGoodPrefix: when every eligible level is
+// damaged, Recover must salvage the best surviving prefix instead of
+// failing the process.
+func TestRecoverFallsBackToLatestGoodPrefix(t *testing.T) {
+	chain, images := buildStoredChain(t)
+	local := storage.NewLevelStore(storage.Target{Name: "local", BandwidthBps: 100 * storage.MBps})
+	raid := storage.NewLevelStore(storage.Target{Name: "raid", BandwidthBps: 400 * storage.MBps})
+	remote := storage.NewLevelStore(storage.Target{Name: "remote", BandwidthBps: 2 * storage.MBps})
+	m := NewManager("p0", local, raid, remote)
+	// Local holds the chain with a corrupt tail; RAID and remote are empty
+	// (their failure classes destroyed them).
+	for i, s := range chain {
+		data := s.Data
+		if i == 3 {
+			data = data[:len(data)/2]
+		}
+		if _, err := local.Put("p0", s.Seq, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	as, info, err := m.Recover(failure.Transient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Partial || info.SourceLevel != 1 || info.Checkpoints != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Discarded) != 1 || info.Discarded[0] != 3 {
+		t.Fatalf("discarded = %v", info.Discarded)
+	}
+	if !as.Equal(images[2]) {
+		t.Fatal("partial recovery image mismatch")
+	}
+	// The CPU state the resumed process loads must match the restored
+	// image's checkpoint, not the corrupt tail.
+	_, seq, err := m.LatestCPUState(failure.Transient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("CPU state from seq %d, want 2", seq)
+	}
+}
+
+// TestRecoverPartialPrefersLeastWorkLost: a longer prefix at a higher level
+// beats a shorter one at a cheaper level.
+func TestRecoverPartialPrefersLeastWorkLost(t *testing.T) {
+	chain, images := buildStoredChain(t)
+	local := storage.NewLevelStore(storage.Target{Name: "local", BandwidthBps: 100 * storage.MBps})
+	raid := storage.NewLevelStore(storage.Target{Name: "raid", BandwidthBps: 400 * storage.MBps})
+	remote := storage.NewLevelStore(storage.Target{Name: "remote", BandwidthBps: 2 * storage.MBps})
+	m := NewManager("p0", local, raid, remote)
+	for i, s := range chain {
+		localData, raidData := s.Data, s.Data
+		if i >= 2 {
+			localData = localData[:10] // local loses seqs 2..3
+		}
+		if i == 3 {
+			raidData = raidData[:10] // raid loses only seq 3
+		}
+		if _, err := local.Put("p0", s.Seq, localData); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := raid.Put("p0", s.Seq, raidData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	as, info, err := m.Recover(failure.Transient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Partial || info.SourceLevel != 2 {
+		t.Fatalf("info = %+v, want partial recovery from level 2", info)
+	}
+	if !as.Equal(images[2]) {
+		t.Fatal("image mismatch")
+	}
+}

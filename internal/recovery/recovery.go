@@ -62,13 +62,21 @@ type Info struct {
 	Checkpoints int     // chain length replayed
 	Bytes       int64   // bytes read from the source level
 	ReadTime    float64 // modelled transfer time for the chain
+	// Partial is set when the source chain was damaged and only its newest
+	// intact full-anchored prefix was replayed; Discarded lists the seqs
+	// given up.
+	Partial   bool
+	Discarded []int
 }
 
 // Recover restores the process image after a failure of the given class:
 // the source is the lowest surviving level whose index is at least the
 // failure level (a higher-level checkpoint can recover all lower-level
 // failures; lower levels may have been destroyed or out of reach of the
-// replacement node).
+// replacement node). When no level holds a fully intact chain, it falls
+// back to the newest intact full-anchored prefix across the eligible
+// levels — preferring the prefix that loses the least work — rather than
+// declaring the process unrecoverable.
 func (m *Manager) Recover(lv failure.Level) (*memsim.AddressSpace, Info, error) {
 	start := int(lv)
 	if start < 1 {
@@ -85,6 +93,38 @@ func (m *Manager) Recover(lv failure.Level) (*memsim.AddressSpace, Info, error) 
 			continue
 		}
 		return as, info, nil
+	}
+	// Second pass: every eligible chain is damaged or empty. Take the
+	// best surviving prefix (highest restored seq; cheapest level on ties,
+	// which the ascending scan gives us for free).
+	var (
+		bestAS    *memsim.AddressSpace
+		bestRep   *GoodReport
+		bestLevel int
+	)
+	for level := start; level <= 3; level++ {
+		chain := m.levels[level-1].Chain(m.proc)
+		if len(chain) == 0 {
+			continue
+		}
+		as, rep, err := RestoreLatestGood(chain)
+		if err != nil {
+			continue
+		}
+		if bestRep == nil || rep.LastSeq > bestRep.LastSeq {
+			bestAS, bestRep, bestLevel = as, rep, level
+		}
+	}
+	if bestRep != nil {
+		info := Info{
+			SourceLevel: bestLevel,
+			Checkpoints: len(bestRep.Restored),
+			Bytes:       bestRep.Bytes,
+			ReadTime:    m.levels[bestLevel-1].Target().TransferTime(bestRep.Bytes),
+			Partial:     true,
+			Discarded:   bestRep.Discarded,
+		}
+		return bestAS, info, nil
 	}
 	return nil, Info{}, fmt.Errorf("recovery: no surviving checkpoint chain can recover a %v failure of %s", lv, m.proc)
 }
@@ -115,7 +155,8 @@ func (m *Manager) replay(chain []storage.Stored, level int) (*memsim.AddressSpac
 
 // LatestCPUState returns the CPU-state blob of the most recent checkpoint
 // at the lowest level holding one — the execution state a restored process
-// resumes from.
+// resumes from. A corrupt tail does not disqualify a level: the walk backs
+// up to the newest decodable element before falling through.
 func (m *Manager) LatestCPUState(lv failure.Level) ([]byte, int, error) {
 	start := int(lv)
 	if start < 1 {
@@ -123,14 +164,13 @@ func (m *Manager) LatestCPUState(lv failure.Level) ([]byte, int, error) {
 	}
 	for level := start; level <= 3; level++ {
 		chain := m.levels[level-1].Chain(m.proc)
-		if len(chain) == 0 {
-			continue
+		for i := len(chain) - 1; i >= 0; i-- {
+			c, err := ckpt.Decode(chain[i].Data)
+			if err != nil {
+				continue
+			}
+			return c.CPUState, c.Seq, nil
 		}
-		c, err := ckpt.Decode(chain[len(chain)-1].Data)
-		if err != nil {
-			continue
-		}
-		return c.CPUState, c.Seq, nil
 	}
 	return nil, 0, fmt.Errorf("recovery: no checkpoint holds CPU state for %s", m.proc)
 }

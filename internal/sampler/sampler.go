@@ -67,15 +67,23 @@ func (s *Sampler) Observe(page uint64, arrival float64) {
 			s.dropped++
 			return
 		}
-		// SB full: double Tg, merge groups under the wider threshold, and
-		// drop the samples made redundant.
-		s.tg *= 2
-		s.compact()
-		if len(s.entries) >= s.capacity {
-			s.dropped++
-			return
+		// SB full: keep doubling Tg — merging groups under the widening
+		// threshold and dropping the samples made redundant — until the
+		// incoming sample fits (paper's "double when SB fills" rule). Once
+		// Tg spans from the oldest buffered arrival to the incoming one,
+		// further doubling cannot merge anything more, so stop.
+		for len(s.entries) >= s.capacity {
+			if s.tg > arrival-s.entries[0].Arrival {
+				break
+			}
+			s.tg *= 2
+			s.compact()
 		}
 		if n := len(s.entries); n > 0 && arrival-s.entries[n-1].Arrival <= s.tg {
+			return // merged into the trailing group
+		}
+		if len(s.entries) >= s.capacity {
+			s.dropped++
 			return
 		}
 	}
@@ -104,7 +112,9 @@ func (s *Sampler) compact() {
 // otherwise. (Doubling happens eagerly on overflow in Observe.) It returns
 // the samples available for JD/DI computation.
 func (s *Sampler) AtDecision() []Entry {
-	if s.adaptive && len(s.entries) < s.capacity/2 {
+	// Compare in floats: integer capacity/2 truncates to 0 at capacity 1,
+	// which would disable halving and let Tg ratchet upward forever.
+	if s.adaptive && float64(len(s.entries)) < float64(s.capacity)/2 {
 		s.tg /= 2
 		if s.tg < 1e-9 {
 			s.tg = 1e-9

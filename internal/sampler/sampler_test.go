@@ -99,12 +99,54 @@ func TestResetKeepsTg(t *testing.T) {
 
 func TestDroppedCounting(t *testing.T) {
 	s := New(2, 1e-6) // tiny Tg: every observation is a new group
+	s.SetAdaptive(false)
 	s.Observe(0, 0)
 	s.Observe(1, 100)
-	// Full. Next arrival far beyond even doubled Tg cannot merge → drop.
+	// Full and fixed-Tg: the overflow sample must be dropped (and counted).
 	s.Observe(2, 200)
 	if s.Dropped() != 1 {
 		t.Fatalf("dropped = %d", s.Dropped())
+	}
+}
+
+func TestOverflowDoublesUntilSampleFits(t *testing.T) {
+	// One doubling (1e-6 → 2e-6) merges nothing here; the paper's rule
+	// keeps doubling while SB is full, so the overflow sample must end up
+	// merged (arrival 200 joins the group once Tg spans it) — not dropped.
+	s := New(2, 1e-6)
+	s.Observe(0, 0)
+	s.Observe(1, 100)
+	s.Observe(2, 200)
+	if s.Dropped() != 0 {
+		t.Fatalf("dropped = %d after adaptive overflow", s.Dropped())
+	}
+	if s.Len() > 2 {
+		t.Fatalf("len = %d exceeds capacity", s.Len())
+	}
+	if s.Tg() <= 2e-6 {
+		t.Fatalf("Tg = %v, want repeated doubling", s.Tg())
+	}
+}
+
+func TestSmallCapacityTgAdapts(t *testing.T) {
+	// capacity == 1: integer capacity/2 is 0, which used to disable
+	// halving entirely while overflow doubling kept ratcheting Tg upward.
+	s := New(1, 1.0)
+	s.AtDecision() // empty buffer < half capacity → halve
+	if s.Tg() != 0.5 {
+		t.Fatalf("Tg = %v, want 0.5 after halving at capacity 1", s.Tg())
+	}
+	s.Observe(1, 0)
+	s.Observe(2, 10) // overflow: doubles until it merges, never panics
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+	if got := s.AtDecision(); len(got) != 1 {
+		t.Fatalf("decision samples = %v", got)
+	}
+	// Buffer full (1 ≥ 1/2): Tg must not halve now.
+	if s.Tg() < 0.5 {
+		t.Fatalf("Tg = %v halved despite full buffer", s.Tg())
 	}
 }
 

@@ -1,0 +1,386 @@
+package storage_test
+
+// Crash-window tests: a simulated crash is injected at every point inside
+// FSStore.Put's durable-write protocol (data temp write, data fsync, data
+// rename, directory fsync, manifest temp write, manifest fsync, manifest
+// rename, manifest directory fsync), the store is "rebooted" over the real
+// filesystem, and Scrub + RestoreLatestGood must recover an image
+// byte-identical to the last checkpoint whose Put either acknowledged or
+// durably committed.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aic/internal/ckpt"
+	"aic/internal/memsim"
+	"aic/internal/numeric"
+	"aic/internal/recovery"
+	"aic/internal/storage"
+)
+
+const crashProc = "p0"
+
+// buildEncodedChain produces a full checkpoint plus three deltas, returning
+// the encoded frames and the reference image as of each checkpoint.
+func buildEncodedChain(t *testing.T) (encoded [][]byte, images []*memsim.AddressSpace) {
+	t.Helper()
+	rng := numeric.NewRNG(7)
+	as := memsim.New(512)
+	b := ckpt.NewBuilder(512, 0, 24)
+	buf := make([]byte, 512)
+	for i := uint64(0); i < 12; i++ {
+		rng.Bytes(buf)
+		as.Write(i, 0, buf, 0)
+	}
+	encoded = append(encoded, b.FullCheckpoint(as).Encode())
+	images = append(images, as.Clone())
+	for step := 1; step <= 3; step++ {
+		for i := 0; i < 4; i++ {
+			rng.Bytes(buf[:80])
+			as.Write(uint64((step*5+i)%12), (i*100)%400, buf[:80], float64(step))
+		}
+		c, _ := b.DeltaCheckpoint(as)
+		encoded = append(encoded, c.Encode())
+		images = append(images, as.Clone())
+	}
+	return encoded, images
+}
+
+func ckptName(seq int) string { return fmt.Sprintf("ckpt-%08d.aic", seq) }
+
+// recoverAfterCrash reopens the store on the real filesystem, scrubs with
+// repair, verifies a second scrub is clean, and replays the latest-good
+// prefix. wantLast < 0 asserts that nothing is restorable.
+func recoverAfterCrash(t *testing.T, dir string, images []*memsim.AddressSpace, wantLast int) *storage.ScrubReport {
+	t.Helper()
+	reopened, err := storage.NewFSStore(dir, storage.Target{Name: "reboot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := reopened.Scrub(crashProc, true)
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	again, err := reopened.Scrub(crashProc, false)
+	if err != nil {
+		t.Fatalf("second scrub: %v", err)
+	}
+	if !again.Clean() {
+		t.Fatalf("store still inconsistent after repair: %v", again)
+	}
+	chain, missing, err := reopened.ChainBestEffort(crashProc)
+	if err != nil {
+		t.Fatalf("chain after repair: %v", err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("repaired manifest still lists missing files: %v", missing)
+	}
+	if wantLast < 0 {
+		if len(chain) != 0 {
+			t.Fatalf("expected empty chain, got %d elements", len(chain))
+		}
+		return rep
+	}
+	as, good, err := recovery.RestoreLatestGood(chain)
+	if err != nil {
+		t.Fatalf("RestoreLatestGood: %v", err)
+	}
+	if good.LastSeq != wantLast {
+		t.Fatalf("restored through seq %d, want %d (report %+v)", good.LastSeq, wantLast, good)
+	}
+	if !as.Equal(images[wantLast]) {
+		t.Fatalf("restored image differs from checkpoint %d reference", wantLast)
+	}
+	return rep
+}
+
+// TestPutCrashWindows drives a crash into each FS operation of the third
+// Put (seqs 0 and 1 acknowledged beforehand) and checks the recovered
+// store restores exactly the acknowledged — or durably committed — state.
+func TestPutCrashWindows(t *testing.T) {
+	// Per Put: WriteFile, SyncFile, Rename, SyncDir for the data file,
+	// then the same four for the manifest. Occurrences are counted per op
+	// kind, so the third Put's ops are occurrences 5 (data) and 6
+	// (manifest) of each kind.
+	cases := []struct {
+		name     string
+		fault    *storage.FaultFS
+		wantLast int // highest seq the recovered store must restore
+	}{
+		{
+			name: "data write torn",
+			fault: &storage.FaultFS{
+				CrashOp: storage.OpWriteFile, CrashN: 5, PartialBytes: 10,
+			},
+			wantLast: 1,
+		},
+		{
+			name: "data write lost entirely",
+			fault: &storage.FaultFS{
+				CrashOp: storage.OpWriteFile, CrashN: 5, PartialBytes: -1,
+			},
+			wantLast: 1,
+		},
+		{
+			name: "data fsync crash truncates page cache",
+			fault: &storage.FaultFS{
+				CrashOp: storage.OpSyncFile, CrashN: 5, PartialBytes: 4,
+			},
+			wantLast: 1,
+		},
+		{
+			name: "data rename never applied",
+			fault: &storage.FaultFS{
+				CrashOp: storage.OpRename, CrashN: 5, PartialBytes: -1,
+			},
+			wantLast: 1,
+		},
+		{
+			name: "dir fsync crash loses data rename",
+			fault: &storage.FaultFS{
+				CrashOp: storage.OpSyncDir, CrashN: 5, PartialBytes: -1,
+				LoseUnsyncedRenames: true,
+			},
+			wantLast: 1,
+		},
+		{
+			name: "dir fsync crash but data rename survived",
+			fault: &storage.FaultFS{
+				CrashOp: storage.OpSyncDir, CrashN: 5, PartialBytes: -1,
+			},
+			wantLast: 1, // data durable but unacknowledged → scrub discards the orphan
+		},
+		{
+			name: "manifest write torn",
+			fault: &storage.FaultFS{
+				CrashOp: storage.OpWriteFile, CrashN: 6, PartialBytes: 7,
+			},
+			wantLast: 1,
+		},
+		{
+			name: "manifest fsync crash truncates manifest temp",
+			fault: &storage.FaultFS{
+				CrashOp: storage.OpSyncFile, CrashN: 6, PartialBytes: 0,
+			},
+			wantLast: 1,
+		},
+		{
+			name: "manifest rename never applied",
+			fault: &storage.FaultFS{
+				CrashOp: storage.OpRename, CrashN: 6, PartialBytes: -1,
+			},
+			wantLast: 1,
+		},
+		{
+			name: "dir fsync crash loses manifest rename",
+			fault: &storage.FaultFS{
+				CrashOp: storage.OpSyncDir, CrashN: 6, PartialBytes: -1,
+				LoseUnsyncedRenames: true,
+			},
+			wantLast: 1,
+		},
+		{
+			name: "dir fsync crash but manifest rename survived",
+			fault: &storage.FaultFS{
+				CrashOp: storage.OpSyncDir, CrashN: 6, PartialBytes: -1,
+			},
+			wantLast: 2, // committed but unacknowledged: the newer state is intact
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			encoded, images := buildEncodedChain(t)
+			dir := t.TempDir()
+			tc.fault.Inner = storage.OSFS{}
+			fs, err := storage.NewFSStoreFS(dir, storage.Target{Name: "crash"}, tc.fault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acked := 0
+			var putErr error
+			for seq, data := range encoded {
+				if _, putErr = fs.Put(crashProc, seq, data); putErr != nil {
+					break
+				}
+				acked++
+			}
+			if putErr == nil {
+				t.Fatal("no crash fired: the injection point was never reached")
+			}
+			if !errors.Is(putErr, storage.ErrCrashed) {
+				t.Fatalf("Put failed with %v, want simulated crash", putErr)
+			}
+			if acked != 2 {
+				t.Fatalf("acknowledged %d checkpoints before the crash, want 2", acked)
+			}
+			recoverAfterCrash(t, dir, images, tc.wantLast)
+		})
+	}
+}
+
+// TestPutCrashOnVeryFirstCheckpoint covers the empty-store window: a crash
+// before any checkpoint commits must leave a store that scrubs clean and
+// reports nothing restorable (rather than a torn half-chain).
+func TestPutCrashOnVeryFirstCheckpoint(t *testing.T) {
+	encoded, images := buildEncodedChain(t)
+	dir := t.TempDir()
+	fault := &storage.FaultFS{CrashOp: storage.OpWriteFile, CrashN: 2, PartialBytes: 3}
+	fs, err := storage.NewFSStoreFS(dir, storage.Target{}, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Put(crashProc, 0, encoded[0]); !errors.Is(err, storage.ErrCrashed) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+	recoverAfterCrash(t, dir, images, -1)
+}
+
+// TestScrubDetectsBitFlip covers silent mid-chain corruption: the CRC
+// cross-check must classify the page-flipped file as corrupt, and the
+// restore must fall back to the prefix before it.
+func TestScrubDetectsBitFlip(t *testing.T) {
+	encoded, images := buildEncodedChain(t)
+	dir := t.TempDir()
+	fs, err := storage.NewFSStore(dir, storage.Target{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq, data := range encoded {
+		if _, err := fs.Put(crashProc, seq, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := filepath.Join(dir, crashProc, ckptName(2))
+	if err := storage.FlipBit(target, len(encoded[2])/2, 3); err != nil {
+		t.Fatal(err)
+	}
+	rep := recoverAfterCrash(t, dir, images, 1) // seq 3 is cut off by the gap at 2
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != 2 {
+		t.Fatalf("corrupt = %v, want [2]", rep.Corrupt)
+	}
+}
+
+// TestScrubBitFlipInAnchor: corrupting the only full checkpoint leaves
+// nothing restorable — RestoreLatestGood must say so rather than replaying
+// deltas against a void.
+func TestScrubBitFlipInAnchor(t *testing.T) {
+	encoded, _ := buildEncodedChain(t)
+	dir := t.TempDir()
+	fs, err := storage.NewFSStore(dir, storage.Target{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq, data := range encoded {
+		if _, err := fs.Put(crashProc, seq, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := storage.FlipBit(filepath.Join(dir, crashProc, ckptName(0)), 40, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Scrub(crashProc, true); err != nil {
+		t.Fatal(err)
+	}
+	chain, _, err := fs.ChainBestEffort(crashProc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := recovery.RestoreLatestGood(chain); err == nil {
+		t.Fatal("restore succeeded without any intact full checkpoint")
+	}
+}
+
+// TestScrubRebuildsTruncatedManifest: a torn manifest write must not doom
+// the intact data files — scrub rebuilds membership from them.
+func TestScrubRebuildsTruncatedManifest(t *testing.T) {
+	encoded, images := buildEncodedChain(t)
+	dir := t.TempDir()
+	fs, err := storage.NewFSStore(dir, storage.Target{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq, data := range encoded {
+		if _, err := fs.Put(crashProc, seq, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	manifest := filepath.Join(dir, crashProc, "manifest.json")
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manifest, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := recoverAfterCrash(t, dir, images, len(encoded)-1)
+	if !rep.ManifestRebuilt || len(rep.Adopted) != len(encoded) {
+		t.Fatalf("report = %v, want full rebuild adopting %d files", rep, len(encoded))
+	}
+}
+
+// TestScrubTruncatedDataFile: a data file truncated after the fact (e.g.
+// filesystem damage) is caught by the frame decode and pruned.
+func TestScrubTruncatedDataFile(t *testing.T) {
+	encoded, images := buildEncodedChain(t)
+	dir := t.TempDir()
+	fs, err := storage.NewFSStore(dir, storage.Target{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq, data := range encoded {
+		if _, err := fs.Put(crashProc, seq, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := len(encoded) - 1
+	name := filepath.Join(dir, crashProc, ckptName(last))
+	if err := os.WriteFile(name, encoded[last][:len(encoded[last])/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := recoverAfterCrash(t, dir, images, last-1)
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != last {
+		t.Fatalf("corrupt = %v, want [%d]", rep.Corrupt, last)
+	}
+}
+
+// TestPutUnwindsOrphanOnManifestFailure is the Put-leak regression test: a
+// *transient* manifest-write failure (I/O error, not a crash) must remove
+// the just-renamed data file so Bytes/Truncate accounting stays consistent,
+// and the store must keep working afterwards.
+func TestPutUnwindsOrphanOnManifestFailure(t *testing.T) {
+	encoded, _ := buildEncodedChain(t)
+	dir := t.TempDir()
+	fault := &storage.FaultFS{
+		CrashOp: storage.OpWriteFile, CrashN: 4, // 2nd Put's manifest temp
+		PartialBytes: -1, Transient: true,
+	}
+	fs, err := storage.NewFSStoreFS(dir, storage.Target{}, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Put(crashProc, 0, encoded[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Put(crashProc, 1, encoded[1]); err == nil {
+		t.Fatal("manifest failure not surfaced")
+	}
+	if _, err := os.Stat(filepath.Join(dir, crashProc, ckptName(1))); !os.IsNotExist(err) {
+		t.Fatal("orphaned data file leaked after manifest failure")
+	}
+	n, err := fs.Bytes(crashProc)
+	if err != nil || n != int64(len(encoded[0])) {
+		t.Fatalf("Bytes = %d, %v; want %d", n, err, len(encoded[0]))
+	}
+	// The same Put retried must succeed (the FS recovered).
+	if _, err := fs.Put(crashProc, 1, encoded[1]); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	chain, err := fs.Chain(crashProc)
+	if err != nil || len(chain) != 2 {
+		t.Fatalf("chain = %v, %v", chain, err)
+	}
+}

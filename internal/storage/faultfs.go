@@ -1,0 +1,269 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// ErrCrashed is returned by every FaultFS operation at and after the
+// configured crash point: the simulated machine is down, so nothing else
+// succeeds until the store is "rebooted" (reopened over a plain OSFS).
+var ErrCrashed = errors.New("storage: simulated crash")
+
+// Op names the FS primitives FaultFS can crash on.
+type Op string
+
+// FaultFS operation kinds.
+const (
+	OpWriteFile Op = "writefile"
+	OpRename    Op = "rename"
+	OpSyncFile  Op = "syncfile"
+	OpSyncDir   Op = "syncdir"
+	OpRemove    Op = "remove"
+)
+
+// FaultFS is an os-shim that injects a crash into one precise window of the
+// durable-write protocol. It counts operations per kind and fails the Nth
+// occurrence of CrashOp, with configurable wreckage:
+//
+//   - a WriteFile crash leaves the first PartialBytes bytes on disk (a torn
+//     write); PartialBytes < 0 leaves no file at all;
+//   - a SyncFile crash truncates the just-written file to PartialBytes,
+//     modelling page-cache contents lost before reaching the platter;
+//   - a Rename crash leaves the rename unapplied;
+//   - a SyncDir crash with LoseUnsyncedRenames undoes every rename not yet
+//     covered by a successful SyncDir — the exact hazard fsyncless rename
+//     protocols have on power loss.
+//
+// After the crash fires, every subsequent call returns ErrCrashed with no
+// side effects — unless Transient is set, in which case only the targeted
+// operation fails (an I/O error, not a machine crash) and the filesystem
+// keeps working, which is how the Put-unwind path is exercised.
+type FaultFS struct {
+	Inner FS // defaults to OSFS
+
+	CrashOp             Op
+	CrashN              int // 1-based occurrence of CrashOp that crashes
+	PartialBytes        int // torn-write size for WriteFile/SyncFile crashes
+	LoseUnsyncedRenames bool
+	Transient           bool // fail the op but leave the FS alive
+
+	counts  map[Op]int
+	pending []renameRecord // renames not yet pinned by SyncDir
+	crashed bool
+}
+
+type renameRecord struct {
+	oldpath, newpath string
+	overwritten      []byte // prior newpath content, for crash rollback
+	hadOld           bool
+}
+
+// NewFaultFS builds a shim that crashes on the nth occurrence of op.
+func NewFaultFS(op Op, n int) *FaultFS {
+	return &FaultFS{Inner: OSFS{}, CrashOp: op, CrashN: n, PartialBytes: -1, counts: map[Op]int{}}
+}
+
+// Crashed reports whether the simulated crash has fired.
+func (f *FaultFS) Crashed() bool { return f.crashed }
+
+// hit advances the op counter and reports whether this call is the crash
+// point. Once crashed, every op short-circuits.
+func (f *FaultFS) hit(op Op) (crashNow bool, dead bool) {
+	if f.crashed {
+		return false, true
+	}
+	if f.counts == nil {
+		f.counts = map[Op]int{}
+	}
+	f.counts[op]++
+	if op == f.CrashOp && f.counts[op] == f.CrashN {
+		if !f.Transient {
+			f.crashed = true
+		}
+		return true, false
+	}
+	return false, false
+}
+
+func (f *FaultFS) inner() FS {
+	if f.Inner == nil {
+		return OSFS{}
+	}
+	return f.Inner
+}
+
+// dropUnsyncedRenames rolls back renames that never became durable: the
+// new name reverts to the old one, and a target the rename had clobbered
+// reappears — the directory state a power failure before the fsync would
+// have preserved.
+func (f *FaultFS) dropUnsyncedRenames() {
+	for i := len(f.pending) - 1; i >= 0; i-- {
+		r := f.pending[i]
+		_ = f.inner().Rename(r.newpath, r.oldpath)
+		if r.hadOld {
+			_ = f.inner().WriteFile(r.newpath, r.overwritten, 0o644)
+		}
+	}
+	f.pending = nil
+}
+
+// MkdirAll passes through (directory creation is not a crash window we
+// model; the store recreates directories on reopen anyway).
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.inner().MkdirAll(path, perm)
+}
+
+// ReadFile passes through until the crash.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	return f.inner().ReadFile(name)
+}
+
+// ReadDir passes through until the crash.
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	return f.inner().ReadDir(name)
+}
+
+// WriteFile writes fully, or tears the write at the crash point.
+func (f *FaultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	crashNow, dead := f.hit(OpWriteFile)
+	if dead {
+		return ErrCrashed
+	}
+	if crashNow {
+		if f.PartialBytes >= 0 {
+			n := f.PartialBytes
+			if n > len(data) {
+				n = len(data)
+			}
+			_ = f.inner().WriteFile(name, data[:n], perm)
+		}
+		if f.LoseUnsyncedRenames {
+			f.dropUnsyncedRenames()
+		}
+		return ErrCrashed
+	}
+	return f.inner().WriteFile(name, data, perm)
+}
+
+// SyncFile succeeds, or crashes leaving the file truncated to PartialBytes
+// (what the disk had actually absorbed).
+func (f *FaultFS) SyncFile(name string) error {
+	crashNow, dead := f.hit(OpSyncFile)
+	if dead {
+		return ErrCrashed
+	}
+	if crashNow {
+		if f.PartialBytes >= 0 {
+			if data, err := f.inner().ReadFile(name); err == nil {
+				n := f.PartialBytes
+				if n > len(data) {
+					n = len(data)
+				}
+				_ = f.inner().WriteFile(name, data[:n], 0o644)
+			}
+		} else {
+			_ = f.inner().Remove(name)
+		}
+		if f.LoseUnsyncedRenames {
+			f.dropUnsyncedRenames()
+		}
+		return ErrCrashed
+	}
+	return f.inner().SyncFile(name)
+}
+
+// Rename applies the rename (tracked as volatile until SyncDir), or crashes
+// without applying it.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	crashNow, dead := f.hit(OpRename)
+	if dead {
+		return ErrCrashed
+	}
+	if crashNow {
+		if f.LoseUnsyncedRenames {
+			f.dropUnsyncedRenames()
+		}
+		return ErrCrashed
+	}
+	rec := renameRecord{oldpath: oldpath, newpath: newpath}
+	if prior, err := f.inner().ReadFile(newpath); err == nil {
+		rec.overwritten, rec.hadOld = prior, true
+	}
+	if err := f.inner().Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.pending = append(f.pending, rec)
+	return nil
+}
+
+// SyncDir pins the directory's renames, or crashes — optionally rolling back
+// every rename a real power failure would not have committed.
+func (f *FaultFS) SyncDir(name string) error {
+	crashNow, dead := f.hit(OpSyncDir)
+	if dead {
+		return ErrCrashed
+	}
+	if crashNow {
+		if f.LoseUnsyncedRenames {
+			f.dropUnsyncedRenames()
+		}
+		return ErrCrashed
+	}
+	if err := f.inner().SyncDir(name); err != nil {
+		return err
+	}
+	// Renames inside this directory are now durable.
+	kept := f.pending[:0]
+	for _, r := range f.pending {
+		if filepath.Dir(r.newpath) != name {
+			kept = append(kept, r)
+		}
+	}
+	f.pending = kept
+	return nil
+}
+
+// Remove passes through, or crashes without unlinking.
+func (f *FaultFS) Remove(name string) error {
+	crashNow, dead := f.hit(OpRemove)
+	if dead {
+		return ErrCrashed
+	}
+	if crashNow {
+		return ErrCrashed
+	}
+	return f.inner().Remove(name)
+}
+
+// RemoveAll passes through until the crash.
+func (f *FaultFS) RemoveAll(path string) error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.inner().RemoveAll(path)
+}
+
+// FlipBit flips one bit of the file at path — the silent-corruption
+// injection the scrub's CRC cross-check must catch.
+func FlipBit(path string, byteOffset int, bit uint) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if byteOffset < 0 || byteOffset >= len(data) {
+		return errors.New("storage: FlipBit offset out of range")
+	}
+	data[byteOffset] ^= 1 << (bit % 8)
+	return os.WriteFile(path, data, 0o644)
+}

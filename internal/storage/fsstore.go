@@ -14,9 +14,17 @@ import (
 // checkpoint data survives the simulating process itself. It mirrors the
 // LevelStore API (the in-memory stores remain the default for simulation;
 // FSStore backs the Process facade when durability is wanted).
+//
+// Every mutation follows the durable-write protocol (write temp, fsync,
+// rename, fsync directory) and orders the data file strictly before the
+// manifest, so a crash anywhere inside Put leaves one of exactly two
+// states: the old manifest with at worst an orphaned data file or temp
+// (cleaned by Scrub), or the new manifest with its data file fully durable.
+// The manifest never references bytes that are not safely on disk.
 type FSStore struct {
 	root   string
 	target Target
+	fsys   FS
 }
 
 // manifest records one process's chain on disk.
@@ -28,13 +36,22 @@ type manifest struct {
 
 // NewFSStore opens (creating if needed) a file-backed store rooted at dir.
 func NewFSStore(dir string, target Target) (*FSStore, error) {
+	return NewFSStoreFS(dir, target, OSFS{})
+}
+
+// NewFSStoreFS opens a store over an explicit FS implementation — the hook
+// the fault-injection crash tests use to interpose FaultFS.
+func NewFSStoreFS(dir string, target Target, fsys FS) (*FSStore, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("storage: empty FSStore root")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
-	return &FSStore{root: dir, target: target}, nil
+	return &FSStore{root: dir, target: target, fsys: fsys}, nil
 }
 
 // Target returns the store's bandwidth model.
@@ -57,7 +74,7 @@ func (fs *FSStore) manifestPath(proc string) string {
 }
 
 func (fs *FSStore) loadManifest(proc string) (*manifest, error) {
-	data, err := os.ReadFile(fs.manifestPath(proc))
+	data, err := fs.fsys.ReadFile(fs.manifestPath(proc))
 	if os.IsNotExist(err) {
 		return &manifest{Proc: proc, Sizes: map[string]int{}}, nil
 	}
@@ -79,20 +96,35 @@ func (fs *FSStore) saveManifest(proc string, m *manifest) error {
 	if err != nil {
 		return err
 	}
-	tmp := fs.manifestPath(proc) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	return os.Rename(tmp, fs.manifestPath(proc))
+	return atomicWrite(fs.fsys, fs.manifestPath(proc), data, 0o644)
 }
 
 func ckptFile(seq int) string { return fmt.Sprintf("ckpt-%08d.aic", seq) }
 
+// Procs lists the process names with chains in the store (as sanitized on
+// disk).
+func (fs *FSStore) Procs() ([]string, error) {
+	entries, err := fs.fsys.ReadDir(fs.root)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var procs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			procs = append(procs, e.Name())
+		}
+	}
+	sort.Strings(procs)
+	return procs, nil
+}
+
 // Put appends a checkpoint for proc, returning the modelled write time.
-// Sequence numbers must be strictly increasing.
+// Sequence numbers must be strictly increasing. The checkpoint is durable —
+// data file fsynced, rename pinned by a directory fsync, manifest updated
+// with the same discipline — before Put returns.
 func (fs *FSStore) Put(proc string, seq int, data []byte) (float64, error) {
 	dir := fs.procDir(proc)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.fsys.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("storage: %w", err)
 	}
 	m, err := fs.loadManifest(proc)
@@ -103,16 +135,17 @@ func (fs *FSStore) Put(proc string, seq int, data []byte) (float64, error) {
 		return 0, fmt.Errorf("storage: %s: seq %d not after %d", proc, seq, m.Seqs[n-1])
 	}
 	path := filepath.Join(dir, ckptFile(seq))
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return 0, fmt.Errorf("storage: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return 0, fmt.Errorf("storage: %w", err)
+	if err := atomicWrite(fs.fsys, path, data, 0o644); err != nil {
+		return 0, err
 	}
 	m.Seqs = append(m.Seqs, seq)
 	m.Sizes[ckptFile(seq)] = len(data)
 	if err := fs.saveManifest(proc, m); err != nil {
+		// Unwind the data file so the manifest and the directory agree:
+		// leaving it would leak an orphan the Bytes/Truncate accounting
+		// never sees. Best effort — after a real crash the removal fails
+		// too, and Scrub adopts or discards the orphan on reopen.
+		_ = fs.fsys.Remove(path)
 		return 0, err
 	}
 	return fs.target.TransferTime(int64(len(data))), nil
@@ -128,13 +161,36 @@ func (fs *FSStore) Chain(proc string) ([]Stored, error) {
 	sort.Ints(seqs)
 	out := make([]Stored, 0, len(seqs))
 	for _, seq := range seqs {
-		data, err := os.ReadFile(filepath.Join(fs.procDir(proc), ckptFile(seq)))
+		data, err := fs.fsys.ReadFile(filepath.Join(fs.procDir(proc), ckptFile(seq)))
 		if err != nil {
 			return nil, fmt.Errorf("storage: chain element %d: %w", seq, err)
 		}
 		out = append(out, Stored{Seq: seq, Data: data})
 	}
 	return out, nil
+}
+
+// ChainBestEffort returns whatever manifest-listed checkpoints are still
+// readable, plus the seqs whose files have gone missing. Unlike Chain it
+// never fails on a damaged chain element — the last-good-prefix restore
+// decides what the gaps cost. It fails only when the manifest itself is
+// unreadable (run Scrub first to rebuild it from the surviving files).
+func (fs *FSStore) ChainBestEffort(proc string) (chain []Stored, missing []int, err error) {
+	m, err := fs.loadManifest(proc)
+	if err != nil {
+		return nil, nil, err
+	}
+	seqs := append([]int(nil), m.Seqs...)
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		data, err := fs.fsys.ReadFile(filepath.Join(fs.procDir(proc), ckptFile(seq)))
+		if err != nil {
+			missing = append(missing, seq)
+			continue
+		}
+		chain = append(chain, Stored{Seq: seq, Data: data})
+	}
+	return chain, missing, nil
 }
 
 // TruncateAfterFull drops checkpoints older than fullSeq, deleting their
@@ -151,7 +207,7 @@ func (fs *FSStore) TruncateAfterFull(proc string, fullSeq int) error {
 			continue
 		}
 		name := ckptFile(seq)
-		if err := os.Remove(filepath.Join(fs.procDir(proc), name)); err != nil && !os.IsNotExist(err) {
+		if err := fs.fsys.Remove(filepath.Join(fs.procDir(proc), name)); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("storage: %w", err)
 		}
 		delete(m.Sizes, name)
@@ -162,7 +218,7 @@ func (fs *FSStore) TruncateAfterFull(proc string, fullSeq int) error {
 
 // WipeProc deletes one process's chain and manifest.
 func (fs *FSStore) WipeProc(proc string) error {
-	if err := os.RemoveAll(fs.procDir(proc)); err != nil {
+	if err := fs.fsys.RemoveAll(fs.procDir(proc)); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
 	return nil
