@@ -81,6 +81,32 @@ type Options struct {
 	FullCheckpointEvery int
 }
 
+// Validate rejects nonsensical option values with a descriptive error.
+// Zero values are fine — they select defaults — but negative rates, NaN or
+// infinite parameters, and unknown enum values indicate caller bugs better
+// reported than silently "corrected". RunBenchmark and RunProgram call it.
+func (o Options) Validate() error {
+	if o.Policy < AIC || o.Policy > Moody {
+		return fmt.Errorf("aic: unknown policy %d", int(o.Policy))
+	}
+	if o.Compressor < Xdelta3PA || o.Compressor > XORRLE {
+		return fmt.Errorf("aic: unknown compressor %d", int(o.Compressor))
+	}
+	if math.IsNaN(o.Scale) || math.IsInf(o.Scale, 0) || o.Scale < 0 {
+		return fmt.Errorf("aic: invalid Scale %v (want a positive multiplier, or 0 for the default)", o.Scale)
+	}
+	if math.IsNaN(o.FailureRate) || math.IsInf(o.FailureRate, 0) || o.FailureRate < 0 {
+		return fmt.Errorf("aic: invalid FailureRate %v (want λ ≥ 0 in 1/s, 0 for the default)", o.FailureRate)
+	}
+	if math.IsNaN(o.FixedInterval) || math.IsInf(o.FixedInterval, 0) || o.FixedInterval < 0 {
+		return fmt.Errorf("aic: invalid FixedInterval %v (want seconds ≥ 0, 0 to derive the optimum)", o.FixedInterval)
+	}
+	if o.FullCheckpointEvery < 0 {
+		return fmt.Errorf("aic: invalid FullCheckpointEvery %d (want ≥ 0)", o.FullCheckpointEvery)
+	}
+	return nil
+}
+
 func (o Options) normalize() Options {
 	if o.Scale <= 0 {
 		o.Scale = 1
@@ -158,6 +184,9 @@ func buildReport(res *core.RunResult, lambda [3]float64) (*Report, error) {
 // RunBenchmark executes one of the six SPEC-like benchmarks (bzip2, sjeng,
 // libquantum, milc, lbm, sphinx3) under the given options.
 func RunBenchmark(name string, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.normalize()
 	prog, err := workload.ByName(name, opts.Seed)
 	if err != nil {

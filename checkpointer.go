@@ -1,6 +1,7 @@
 package aic
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -38,22 +39,24 @@ func (s CompressionStats) Ratio() float64 {
 }
 
 // NewProcess creates an empty process image. pageSize ≤ 0 selects 4096.
-func NewProcess(pageSize int) *Process {
+// Options tune the checkpoint machinery (WithParallelism, notably).
+func NewProcess(pageSize int, opts ...Option) *Process {
 	as := memsim.New(pageSize)
-	return &Process{
+	p := &Process{
 		as:      as,
 		builder: ckpt.NewBuilder(as.PageSize(), 0, 0),
 	}
+	applyProcessOptions(p, opts)
+	return p
 }
 
 // PageSize returns the image's page size.
 func (p *Process) PageSize() int { return p.as.PageSize() }
 
-// SetParallelism sets the number of workers DeltaCheckpoint fans dirty
-// pages across: 0 (the default) uses all of GOMAXPROCS — the paper's
-// dedicated-core compression model — and 1 forces the serial encoder. The
-// encoded stream is byte-identical either way, so the knob only trades
-// latency against core usage.
+// SetParallelism mutates the delta-encoder worker knob after construction.
+//
+// Deprecated: pass WithParallelism to NewProcess instead; the option form
+// keeps a Process's configuration fixed for its lifetime.
 func (p *Process) SetParallelism(n int) { p.builder.SetParallelism(n) }
 
 // Write stores data into the page at index starting at offset, allocating
@@ -192,37 +195,57 @@ func DeltaDecode(source, stream []byte) ([]byte, error) {
 // Seq returns the sequence number the process's next checkpoint will carry.
 func (p *Process) Seq() int { return p.builder.Seq() }
 
-// CheckpointDir is a durable, directory-backed checkpoint store for the
-// Process facade: each checkpoint becomes one file plus a JSON manifest, so
-// chains survive the writing process and can be restored later (or by
-// another program).
+// CheckpointDir is a durable checkpoint store for the Process facade. By
+// default it is directory-backed — each checkpoint becomes one file plus a
+// JSON manifest, so chains survive the writing process and can be restored
+// later (or by another program) — but it programs only against the
+// storage.Store contract, so WithStore can swap in any backend and
+// WithReplication fans every append out to remote peers.
 type CheckpointDir struct {
-	fs *storage.FSStore
-}
-
-// OpenCheckpointDir opens (creating if needed) a checkpoint directory.
-func OpenCheckpointDir(dir string) (*CheckpointDir, error) {
-	fs, err := storage.NewFSStore(dir, storage.Target{Name: "dir"})
-	if err != nil {
-		return nil, err
-	}
-	return &CheckpointDir{fs: fs}, nil
+	store  storage.Store
+	local  storage.Store            // the store Append writes first (== store unless replicating)
+	peers  *storage.ReplicatedStore // nil unless replication is configured
+	closer func() error
 }
 
 // Append stores an encoded checkpoint under the process name. Sequence
 // numbers must be strictly increasing; use Process.Seq before taking the
-// checkpoint to label it.
+// checkpoint to label it (equivalently, Process.Seq-1 after). When the
+// payload is a checkpoint frame, Append rejects a label that disagrees
+// with the frame's own sequence number — a mislabelled frame restores
+// today but is condemned by every future Scrub, the worst kind of rot.
+//
+// With replication configured, Append first lands the checkpoint locally and
+// then fans it out to the peer group. A local failure fails the append; a
+// local success with a missed peer quorum returns an error wrapping
+// ErrDegraded — the checkpoint is safe locally and callers may continue in
+// degraded local-only mode or treat the loss of redundancy as fatal.
 func (d *CheckpointDir) Append(proc string, seq int, encoded []byte) error {
-	_, err := d.fs.Put(proc, seq, encoded)
-	return err
+	ctx := context.Background()
+	if emb, err := ckpt.PeekSeq(encoded); err == nil && emb != seq {
+		return fmt.Errorf("aic: append %s: label seq %d but the checkpoint itself is seq %d (label with Process.Seq before the checkpoint, or Seq-1 after)", proc, seq, emb)
+	}
+	if err := d.local.Put(ctx, proc, seq, encoded); err != nil {
+		return err
+	}
+	if d.peers != nil {
+		if err := d.peers.Put(ctx, proc, seq, encoded); err != nil {
+			return &DegradedError{Op: "append", Err: err}
+		}
+	}
+	return nil
 }
 
 // Chain returns the stored chain for proc in sequence order, ready for
-// RestoreImage.
+// RestoreImage. It fails when elements of the chain are unreadable; use
+// RestoreLatestGood to salvage a damaged chain.
 func (d *CheckpointDir) Chain(proc string) ([][]byte, error) {
-	stored, err := d.fs.Chain(proc)
+	stored, missing, err := d.store.Get(context.Background(), proc)
 	if err != nil {
 		return nil, err
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("aic: chain for %s is damaged: seqs %v unreadable", proc, missing)
 	}
 	out := make([][]byte, len(stored))
 	for i, s := range stored {
@@ -234,14 +257,28 @@ func (d *CheckpointDir) Chain(proc string) ([][]byte, error) {
 // Truncate drops checkpoints before fullSeq (housekeeping after a periodic
 // full checkpoint).
 func (d *CheckpointDir) Truncate(proc string, fullSeq int) error {
-	return d.fs.TruncateAfterFull(proc, fullSeq)
+	return d.store.Truncate(context.Background(), proc, fullSeq)
 }
 
 // Remove deletes a process's chain.
-func (d *CheckpointDir) Remove(proc string) error { return d.fs.WipeProc(proc) }
+func (d *CheckpointDir) Remove(proc string) error {
+	return d.store.Delete(context.Background(), proc)
+}
 
 // Procs lists the process names with chains in the directory.
-func (d *CheckpointDir) Procs() ([]string, error) { return d.fs.Procs() }
+func (d *CheckpointDir) Procs() ([]string, error) {
+	return d.store.List(context.Background())
+}
+
+// Close releases resources held by the backing store (network connections to
+// replication peers, in particular). The zero-configuration directory-backed
+// CheckpointDir holds none; Close is then a no-op.
+func (d *CheckpointDir) Close() error {
+	if d.closer != nil {
+		return d.closer()
+	}
+	return nil
+}
 
 // ScrubReport summarizes a CheckpointDir.Scrub pass; see the field comments
 // on the identically-shaped storage report for classification semantics.
@@ -270,7 +307,7 @@ func (r *ScrubReport) Clean() bool {
 // dropped, corrupt files and unacknowledged orphans deleted, stray temp
 // files cleared, and a destroyed manifest rebuilt from the surviving files.
 func (d *CheckpointDir) Scrub(proc string, repair bool) (*ScrubReport, error) {
-	rep, err := d.fs.Scrub(proc, repair)
+	rep, err := d.store.Scrub(context.Background(), proc, repair)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +329,7 @@ func (d *CheckpointDir) Scrub(proc string, repair bool) (*ScrubReport, error) {
 // truncated and corrupt elements. The report's values are stored sequence
 // numbers; missing files appear under Discarded.
 func (d *CheckpointDir) RestoreLatestGood(proc string) (*Image, *RestoreReport, error) {
-	chain, missing, err := d.fs.ChainBestEffort(proc)
+	chain, missing, err := d.store.Get(context.Background(), proc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -307,4 +344,22 @@ func (d *CheckpointDir) RestoreLatestGood(proc string) (*Image, *RestoreReport, 
 	out.Discarded = append(out.Discarded, missing...)
 	sort.Ints(out.Discarded)
 	return &Image{as: as}, out, nil
+}
+
+// RestoreBestReplica restores proc from the best surviving replica across
+// the local store and every replication peer: each replica's readable chain
+// is replayed with the last-good-prefix rules, and the one whose intact
+// prefix reaches the highest sequence wins. Without replication it behaves
+// like RestoreLatestGood. This is the disaster path — it succeeds as long as
+// any single replica still holds a restorable prefix.
+func (d *CheckpointDir) RestoreBestReplica(proc string) (*Image, *RestoreReport, error) {
+	stores := []storage.Store{d.local}
+	if d.peers != nil {
+		stores = append(stores, d.peers.Peers()...)
+	}
+	as, rep, _, err := recovery.RestoreLatestGoodStores(context.Background(), proc, stores...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("aic: %w", err)
+	}
+	return &Image{as: as}, goodReportToRestore(rep), nil
 }

@@ -1,0 +1,79 @@
+// Command aicd is the checkpoint replication peer daemon: it listens for
+// the remote package's wire protocol and applies incoming operations to a
+// durable FSStore (or, with -mem, an in-memory store for experiments). A
+// group of aicd instances plus a client configured with
+// aic.WithReplication forms the paper's networked multi-level checkpoint
+// hierarchy: L1 stays on the writing node, and aicd peers play the L2/L3
+// partner-group and remote-storage roles.
+//
+// Usage:
+//
+//	aicd -listen :9337 -dir /var/lib/aic/peer
+//
+// The store directory is scrub-compatible with aicfsck, which can also
+// check a running peer over the wire with -peer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aic/internal/remote"
+	"aic/internal/storage"
+)
+
+func main() {
+	listen := flag.String("listen", ":9337", "address to accept replication connections on")
+	dir := flag.String("dir", "", "durable checkpoint store root (required unless -mem)")
+	mem := flag.Bool("mem", false, "serve an in-memory store instead of a directory (volatile; for experiments)")
+	idle := flag.Duration("idle", 2*time.Minute, "per-connection idle timeout")
+	quiet := flag.Bool("quiet", false, "suppress per-connection diagnostics")
+	flag.Parse()
+
+	var (
+		store storage.Store
+		err   error
+	)
+	switch {
+	case *mem:
+		store = storage.NewLevelStore(storage.Target{Name: "aicd-mem"})
+	case *dir == "":
+		fmt.Fprintln(os.Stderr, "aicd: -dir is required (or -mem for a volatile store)")
+		os.Exit(2)
+	default:
+		store, err = storage.NewFSStore(*dir, storage.Target{Name: "aicd"})
+		if err != nil {
+			log.Fatalf("aicd: %v", err)
+		}
+	}
+
+	cfg := remote.ServerConfig{IdleTimeout: *idle}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	srv := remote.NewServer(store, cfg)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("aicd: %v", err)
+	}
+	log.Printf("aicd: serving checkpoint replication on %s", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("aicd: %v: shutting down", s)
+		srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("aicd: %v", err)
+	}
+}

@@ -1,8 +1,13 @@
 // Command aicfsck is the checkpoint-store consistency checker: it scrubs a
-// CheckpointDir/FSStore root, cross-checking each process's manifest
-// against its on-disk files and per-frame CRCs, optionally repairing the
-// manifest, and optionally proving each chain still restores via the
-// last-good-prefix path.
+// checkpoint store, cross-checking each process's manifest against its
+// on-disk files and per-frame CRCs, optionally repairing the manifest, and
+// optionally proving each chain still restores via the last-good-prefix
+// path.
+//
+// The store may be a local CheckpointDir/FSStore root (-dir) or a running
+// aicd replication peer (-peer host:port); every check runs through the
+// same storage.Store contract, so the two forms behave identically — a
+// peer's scrub simply executes on the peer, against its own durable state.
 //
 // Exit status follows fsck convention: 0 = every chain clean (or repaired
 // cleanly), 1 = inconsistencies found and left in place (run with -repair),
@@ -10,38 +15,58 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"aic/internal/recovery"
+	"aic/internal/remote"
 	"aic/internal/storage"
 )
 
 func main() {
-	dir := flag.String("dir", "", "checkpoint store root (required)")
+	dir := flag.String("dir", "", "checkpoint store root (this or -peer is required)")
+	peer := flag.String("peer", "", "check a running aicd peer at host:port instead of a local directory")
 	proc := flag.String("proc", "", "check a single process (default: all)")
 	repair := flag.Bool("repair", false, "repair manifests: drop dead entries, delete corrupt/orphaned files, rebuild destroyed manifests")
 	restoreCheck := flag.Bool("restore-check", false, "additionally replay each chain's newest intact prefix and report what a restore would discard")
+	timeout := flag.Duration("timeout", time.Minute, "overall deadline for peer operations")
 	flag.Parse()
 
-	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "aicfsck: -dir is required")
+	var store storage.Store
+	switch {
+	case *dir != "" && *peer != "":
+		fmt.Fprintln(os.Stderr, "aicfsck: -dir and -peer are mutually exclusive")
+		os.Exit(3)
+	case *peer != "":
+		rs := remote.NewStore(*peer, remote.Config{})
+		defer rs.Close()
+		store = rs
+	case *dir != "":
+		if _, err := os.Stat(*dir); err != nil {
+			fmt.Fprintln(os.Stderr, "aicfsck:", err)
+			os.Exit(3)
+		}
+		fs, err := storage.NewFSStore(*dir, storage.Target{Name: "fsck"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aicfsck:", err)
+			os.Exit(3)
+		}
+		store = fs
+	default:
+		fmt.Fprintln(os.Stderr, "aicfsck: -dir or -peer is required")
 		os.Exit(3)
 	}
-	if _, err := os.Stat(*dir); err != nil {
-		fmt.Fprintln(os.Stderr, "aicfsck:", err)
-		os.Exit(3)
-	}
-	fs, err := storage.NewFSStore(*dir, storage.Target{Name: "fsck"})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "aicfsck:", err)
-		os.Exit(3)
-	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	procs := []string{*proc}
 	if *proc == "" {
-		procs, err = fs.Procs()
+		var err error
+		procs, err = store.List(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aicfsck:", err)
 			os.Exit(3)
@@ -59,7 +84,7 @@ func main() {
 		}
 	}
 	for _, p := range procs {
-		rep, err := fs.Scrub(p, *repair)
+		rep, err := store.Scrub(ctx, p, *repair)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aicfsck: %s: %v\n", p, err)
 			worse(3)
@@ -72,7 +97,7 @@ func main() {
 		if !*restoreCheck {
 			continue
 		}
-		chain, missing, err := fs.ChainBestEffort(p)
+		chain, missing, err := store.Get(ctx, p)
 		if err != nil || len(chain) == 0 {
 			fmt.Printf("%s: restore-check: no readable chain (%v)\n", p, err)
 			worse(2)

@@ -22,38 +22,53 @@ type Builder struct {
 	prevMapped  map[uint64]bool   // full mapped set at the previous checkpoint
 }
 
+// Option configures a Builder at construction.
+type Option func(*Builder)
+
+// WithParallelism sets the number of workers DeltaCheckpoint's page-aligned
+// encoder fans pages across: 0 (the default) selects GOMAXPROCS — the
+// paper's model of compression saturating the node's spare cores — and 1
+// forces the serial path. Both paths emit byte-identical streams.
+func WithParallelism(n int) Option {
+	return func(b *Builder) {
+		if n < 0 {
+			n = 0
+		}
+		b.parallelism = n
+	}
+}
+
 // NewBuilder creates a builder. blockSize ≤ 0 selects the codec default;
 // cpuStateBytes sets the size of the synthetic CPU-state blob (the paper's
 // uncompressed minor fraction).
-func NewBuilder(pageSize, blockSize, cpuStateBytes int) *Builder {
+func NewBuilder(pageSize, blockSize, cpuStateBytes int, opts ...Option) *Builder {
 	if pageSize <= 0 {
 		pageSize = memsim.PageSize
 	}
 	if cpuStateBytes < 0 {
 		cpuStateBytes = 0
 	}
-	return &Builder{
+	b := &Builder{
 		pageSize:   pageSize,
 		blockSize:  blockSize,
 		cpuState:   cpuStateBytes,
 		prevPages:  make(map[uint64][]byte),
 		prevMapped: make(map[uint64]bool),
 	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
 }
 
 // Seq returns the sequence number the next checkpoint will carry.
 func (b *Builder) Seq() int { return b.seq }
 
-// SetParallelism sets the number of workers DeltaCheckpoint's page-aligned
-// encoder fans pages across: 0 (the default) selects GOMAXPROCS — the
-// paper's model of compression saturating the node's spare cores — and 1
-// forces the serial path. Both paths emit byte-identical streams.
-func (b *Builder) SetParallelism(n int) {
-	if n < 0 {
-		n = 0
-	}
-	b.parallelism = n
-}
+// SetParallelism mutates the worker knob after construction.
+//
+// Deprecated: pass WithParallelism to NewBuilder instead; builders are
+// otherwise immutable configuration-wise, and the option form keeps them so.
+func (b *Builder) SetParallelism(n int) { WithParallelism(n)(b) }
 
 // Parallelism reports the configured worker knob (0 = GOMAXPROCS).
 func (b *Builder) Parallelism() int { return b.parallelism }

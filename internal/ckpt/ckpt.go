@@ -151,6 +151,24 @@ func Decode(data []byte) (*Checkpoint, error) {
 	return c, nil
 }
 
+// PeekSeq parses just enough of a serialized checkpoint to report its
+// embedded sequence number, without verifying the CRC trailer or copying
+// the payload. Stores key chains by sequence number, so callers labelling
+// a frame can cross-check the label against the frame itself cheaply.
+func PeekSeq(data []byte) (int, error) {
+	if len(data) < len(magic)+1+4 || string(data[:8]) != string(magic[:]) {
+		return 0, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	if k := Kind(data[8]); k != Full && k != Incremental && k != IncrementalDelta {
+		return 0, fmt.Errorf("%w: unknown kind %d", ErrBadCheckpoint, data[8])
+	}
+	seq, n := binary.Uvarint(data[9:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrBadCheckpoint)
+	}
+	return int(seq), nil
+}
+
 // encodeRawPages serializes (index, content) pairs.
 func encodeRawPages(idxs []uint64, fetch func(uint64) []byte, pageSize int) []byte {
 	out := make([]byte, 0, len(idxs)*(pageSize+4)+8)

@@ -14,6 +14,7 @@
 package faultsim
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -77,6 +78,10 @@ func parseCPUState(blob []byte) (workNow float64, progState []byte, err error) {
 // Run executes the program to completion under failures. The program must
 // be Stateful so its execution state rides in the checkpoints.
 func Run(prog workload.Stateful, cfg Config, events EventSource, mgr *recovery.Manager) (*Result, error) {
+	// The simulation is node-local even when the manager's stores are not;
+	// a background context keeps the store calls unbounded, matching the
+	// model's assumption that simulated transfers always complete.
+	ctx := context.Background()
 	if cfg.Interval <= 0 {
 		return nil, fmt.Errorf("faultsim: non-positive checkpoint interval")
 	}
@@ -97,7 +102,7 @@ func Run(prog workload.Stateful, cfg Config, events EventSource, mgr *recovery.M
 	takeFull := func() error {
 		builder.SetCPUState(cpuState(prog, work))
 		c := builder.FullCheckpoint(as)
-		if _, err := mgr.Store(c, 1); err != nil {
+		if _, err := mgr.Store(ctx, c, 1); err != nil {
 			return err
 		}
 		wall += cfg.System.LocalDisk.TransferTime(int64(c.Size()))
@@ -108,7 +113,7 @@ func Run(prog workload.Stateful, cfg Config, events EventSource, mgr *recovery.M
 	takeDelta := func() error {
 		builder.SetCPUState(cpuState(prog, work))
 		c, st := builder.DeltaCheckpoint(as)
-		if _, err := mgr.Store(c, 1); err != nil {
+		if _, err := mgr.Store(ctx, c, 1); err != nil {
 			return err
 		}
 		wall += cfg.System.LocalDisk.TransferTime(int64(st.InputBytes))
@@ -120,7 +125,7 @@ func Run(prog workload.Stateful, cfg Config, events EventSource, mgr *recovery.M
 	// The initial full checkpoint establishes the chain (pre-staged: no
 	// wall cost, mirroring the runtime's job-submission staging).
 	builder.SetCPUState(cpuState(prog, work))
-	if _, err := mgr.Store(builder.FullCheckpoint(as), 1); err != nil {
+	if _, err := mgr.Store(ctx, builder.FullCheckpoint(as), 1); err != nil {
 		return nil, err
 	}
 	res.Checkpoints++
@@ -144,13 +149,13 @@ func Run(prog workload.Stateful, cfg Config, events EventSource, mgr *recovery.M
 			// Failure strikes: the live process is gone.
 			res.Failures++
 			res.PerLevel[nextFailure.Level-1]++
-			mgr.ApplyFailure(nextFailure.Level)
+			mgr.ApplyFailure(ctx, nextFailure.Level)
 
-			restored, info, err := mgr.Recover(nextFailure.Level)
+			restored, info, err := mgr.Recover(ctx, nextFailure.Level)
 			if err != nil {
 				return nil, err
 			}
-			blob, _, err := mgr.LatestCPUState(nextFailure.Level)
+			blob, _, err := mgr.LatestCPUState(ctx, nextFailure.Level)
 			if err != nil {
 				return nil, err
 			}
@@ -168,7 +173,7 @@ func Run(prog workload.Stateful, cfg Config, events EventSource, mgr *recovery.M
 			// The restore point starts a fresh chain: rebuild the builder
 			// and re-establish a full checkpoint at every level.
 			builder = ckpt.NewBuilder(as.PageSize(), 0, 0)
-			mgr.Reset()
+			mgr.Reset(ctx)
 			wall += info.ReadTime
 			if err := takeFull(); err != nil {
 				return nil, err

@@ -150,11 +150,11 @@ func TestRecoverFallsBackToLatestGoodPrefix(t *testing.T) {
 		if i == 3 {
 			data = data[:len(data)/2]
 		}
-		if _, err := local.Put("p0", s.Seq, data); err != nil {
+		if err := local.Put(ctx, "p0", s.Seq, data); err != nil {
 			t.Fatal(err)
 		}
 	}
-	as, info, err := m.Recover(failure.Transient)
+	as, info, err := m.Recover(ctx, failure.Transient)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestRecoverFallsBackToLatestGoodPrefix(t *testing.T) {
 	}
 	// The CPU state the resumed process loads must match the restored
 	// image's checkpoint, not the corrupt tail.
-	_, seq, err := m.LatestCPUState(failure.Transient)
+	_, seq, err := m.LatestCPUState(ctx, failure.Transient)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,14 +194,14 @@ func TestRecoverPartialPrefersLeastWorkLost(t *testing.T) {
 		if i == 3 {
 			raidData = raidData[:10] // raid loses only seq 3
 		}
-		if _, err := local.Put("p0", s.Seq, localData); err != nil {
+		if err := local.Put(ctx, "p0", s.Seq, localData); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := raid.Put("p0", s.Seq, raidData); err != nil {
+		if err := raid.Put(ctx, "p0", s.Seq, raidData); err != nil {
 			t.Fatal(err)
 		}
 	}
-	as, info, err := m.Recover(failure.Transient)
+	as, info, err := m.Recover(ctx, failure.Transient)
 	if err != nil {
 		t.Fatal(err)
 	}

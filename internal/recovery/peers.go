@@ -1,0 +1,55 @@
+package recovery
+
+import (
+	"context"
+	"fmt"
+
+	"aic/internal/memsim"
+	"aic/internal/storage"
+)
+
+// RestoreLatestGoodStores restores proc from the best surviving replica
+// across a set of peer stores: each store's readable chain is replayed with
+// the last-good-prefix rules, and the replica whose intact prefix reaches
+// the highest sequence number wins (more elements, then lower peer index,
+// break ties). Unreachable peers and peers with damaged chains are skipped
+// — exactly the situation after a partner-node loss, where the survivors'
+// chains must carry the restore. The returned index identifies the winning
+// store.
+func RestoreLatestGoodStores(ctx context.Context, proc string, stores ...storage.Store) (*memsim.AddressSpace, *GoodReport, int, error) {
+	if len(stores) == 0 {
+		return nil, nil, -1, fmt.Errorf("recovery: no stores to restore from")
+	}
+	var (
+		bestAS  *memsim.AddressSpace
+		bestRep *GoodReport
+		bestIdx = -1
+		lastErr error
+	)
+	for i, s := range stores {
+		chain, _, err := s.Get(ctx, proc)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(chain) == 0 {
+			continue
+		}
+		as, rep, err := RestoreLatestGood(chain)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if bestRep == nil || rep.LastSeq > bestRep.LastSeq ||
+			(rep.LastSeq == bestRep.LastSeq && len(rep.Restored) > len(bestRep.Restored)) {
+			bestAS, bestRep, bestIdx = as, rep, i
+		}
+	}
+	if bestRep == nil {
+		if lastErr != nil {
+			return nil, nil, -1, fmt.Errorf("recovery: no replica of %s is restorable (last error: %w)", proc, lastErr)
+		}
+		return nil, nil, -1, fmt.Errorf("recovery: no replica holds a chain for %s", proc)
+	}
+	return bestAS, bestRep, bestIdx, nil
+}

@@ -1,0 +1,74 @@
+package recovery
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aic/internal/storage"
+)
+
+// darkStore fails every operation — a peer that stayed dark.
+type darkStore struct{ storage.Store }
+
+var errDark = errors.New("peer dark")
+
+func (darkStore) Get(ctx context.Context, proc string) ([]storage.Stored, []int, error) {
+	return nil, nil, errDark
+}
+
+func TestRestoreLatestGoodStoresPicksBestReplica(t *testing.T) {
+	chain, images := buildStoredChain(t)
+	full := storage.NewLevelStore(storage.Target{Name: "full"})
+	lagged := storage.NewLevelStore(storage.Target{Name: "lagged"})
+	damaged := storage.NewLevelStore(storage.Target{Name: "damaged"})
+	for i, s := range chain {
+		full.Put(ctx, "p0", s.Seq, s.Data)
+		if i < 2 {
+			lagged.Put(ctx, "p0", s.Seq, s.Data)
+		}
+		data := s.Data
+		if i >= 1 {
+			data = data[:8] // damaged peer holds only an intact anchor
+		}
+		damaged.Put(ctx, "p0", s.Seq, data)
+	}
+	as, rep, idx, err := RestoreLatestGoodStores(ctx, "p0",
+		darkStore{}, damaged, lagged, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 3 || rep.LastSeq != 3 {
+		t.Fatalf("picked store %d through seq %d, want the full replica (3) through 3", idx, rep.LastSeq)
+	}
+	if !as.Equal(images[3]) {
+		t.Fatal("best-replica restore image mismatch")
+	}
+}
+
+func TestRestoreLatestGoodStoresSurvivorsOnly(t *testing.T) {
+	chain, images := buildStoredChain(t)
+	survivor := storage.NewLevelStore(storage.Target{Name: "survivor"})
+	for _, s := range chain {
+		survivor.Put(ctx, "p0", s.Seq, s.Data)
+	}
+	// Two peers dark, one empty, one survivor: the restore must still land.
+	empty := storage.NewLevelStore(storage.Target{Name: "empty"})
+	as, rep, idx, err := RestoreLatestGoodStores(ctx, "p0",
+		darkStore{}, empty, survivor, darkStore{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 || rep.LastSeq != 3 || !as.Equal(images[3]) {
+		t.Fatalf("idx=%d rep=%+v", idx, rep)
+	}
+}
+
+func TestRestoreLatestGoodStoresAllDark(t *testing.T) {
+	if _, _, _, err := RestoreLatestGoodStores(ctx, "p0", darkStore{}, darkStore{}); err == nil {
+		t.Fatal("restore with every peer dark succeeded")
+	}
+	if _, _, _, err := RestoreLatestGoodStores(ctx, "p0"); err == nil {
+		t.Fatal("restore with no stores succeeded")
+	}
+}

@@ -4,9 +4,15 @@
 // semantics, selects the cheapest surviving level able to recover the
 // failure, and replays the chain back into a process image — the runtime
 // counterpart of the Markov models' recovery states.
+//
+// The manager programs exclusively against the storage.Store contract, so a
+// "level" can be an in-memory model store, a durable directory, a networked
+// peer reached over the replication protocol, or a quorum group — recovery
+// logic is identical across all of them.
 package recovery
 
 import (
+	"context"
 	"fmt"
 
 	"aic/internal/ckpt"
@@ -18,30 +24,29 @@ import (
 // Manager tracks one process's checkpoints across the levels.
 type Manager struct {
 	proc   string
-	levels [3]*storage.LevelStore // index 0 = L1 local, 1 = L2 RAID, 2 = L3 remote
+	levels [3]storage.Store // index 0 = L1 local, 1 = L2 RAID, 2 = L3 remote
 }
 
 // NewManager creates a manager over the three level stores.
-func NewManager(proc string, local, raid, remote *storage.LevelStore) *Manager {
-	return &Manager{proc: proc, levels: [3]*storage.LevelStore{local, raid, remote}}
+func NewManager(proc string, local, raid, remote storage.Store) *Manager {
+	return &Manager{proc: proc, levels: [3]storage.Store{local, raid, remote}}
 }
 
 // Store places an encoded checkpoint at every level at and above minLevel
 // (1-based), returning the modelled write time per level (zero for levels
 // below minLevel). The paper's L2/L3 writes inherently include L1, so the
-// usual call is Store(c, 1).
-func (m *Manager) Store(c *ckpt.Checkpoint, minLevel int) ([3]float64, error) {
+// usual call is Store(ctx, c, 1).
+func (m *Manager) Store(ctx context.Context, c *ckpt.Checkpoint, minLevel int) ([3]float64, error) {
 	var times [3]float64
 	data := c.Encode()
 	for lv := 0; lv < 3; lv++ {
 		if lv+1 < minLevel {
 			continue
 		}
-		t, err := m.levels[lv].Put(m.proc, c.Seq, data)
-		if err != nil {
+		if err := m.levels[lv].Put(ctx, m.proc, c.Seq, data); err != nil {
 			return times, fmt.Errorf("recovery: level %d: %w", lv+1, err)
 		}
-		times[lv] = t
+		times[lv] = m.levels[lv].Target().TransferTime(int64(len(data)))
 	}
 	return times, nil
 }
@@ -50,9 +55,9 @@ func (m *Manager) Store(c *ckpt.Checkpoint, minLevel int) ([3]float64, error) {
 // node failure erases the node-local chain; transient and partial-node
 // failures leave all storage intact (the paper's partial failure loses
 // cores, not the disk).
-func (m *Manager) ApplyFailure(lv failure.Level) {
+func (m *Manager) ApplyFailure(ctx context.Context, lv failure.Level) {
 	if lv == failure.TotalNode {
-		m.levels[0].WipeProc(m.proc)
+		_ = m.levels[0].Delete(ctx, m.proc)
 	}
 }
 
@@ -69,6 +74,17 @@ type Info struct {
 	Discarded []int
 }
 
+// chain fetches a level's readable chain, treating fetch errors and missing
+// elements as damage the caller handles (an unreachable or corrupt level
+// simply yields what it can).
+func (m *Manager) chain(ctx context.Context, level int) []storage.Stored {
+	chain, _, err := m.levels[level-1].Get(ctx, m.proc)
+	if err != nil {
+		return nil
+	}
+	return chain
+}
+
 // Recover restores the process image after a failure of the given class:
 // the source is the lowest surviving level whose index is at least the
 // failure level (a higher-level checkpoint can recover all lower-level
@@ -77,13 +93,13 @@ type Info struct {
 // back to the newest intact full-anchored prefix across the eligible
 // levels — preferring the prefix that loses the least work — rather than
 // declaring the process unrecoverable.
-func (m *Manager) Recover(lv failure.Level) (*memsim.AddressSpace, Info, error) {
+func (m *Manager) Recover(ctx context.Context, lv failure.Level) (*memsim.AddressSpace, Info, error) {
 	start := int(lv)
 	if start < 1 {
 		start = 1
 	}
 	for level := start; level <= 3; level++ {
-		chain := m.levels[level-1].Chain(m.proc)
+		chain := m.chain(ctx, level)
 		if len(chain) == 0 {
 			continue
 		}
@@ -103,7 +119,7 @@ func (m *Manager) Recover(lv failure.Level) (*memsim.AddressSpace, Info, error) 
 		bestLevel int
 	)
 	for level := start; level <= 3; level++ {
-		chain := m.levels[level-1].Chain(m.proc)
+		chain := m.chain(ctx, level)
 		if len(chain) == 0 {
 			continue
 		}
@@ -157,13 +173,13 @@ func (m *Manager) replay(chain []storage.Stored, level int) (*memsim.AddressSpac
 // at the lowest level holding one — the execution state a restored process
 // resumes from. A corrupt tail does not disqualify a level: the walk backs
 // up to the newest decodable element before falling through.
-func (m *Manager) LatestCPUState(lv failure.Level) ([]byte, int, error) {
+func (m *Manager) LatestCPUState(ctx context.Context, lv failure.Level) ([]byte, int, error) {
 	start := int(lv)
 	if start < 1 {
 		start = 1
 	}
 	for level := start; level <= 3; level++ {
-		chain := m.levels[level-1].Chain(m.proc)
+		chain := m.chain(ctx, level)
 		for i := len(chain) - 1; i >= 0; i-- {
 			c, err := ckpt.Decode(chain[i].Data)
 			if err != nil {
@@ -177,16 +193,16 @@ func (m *Manager) LatestCPUState(lv failure.Level) ([]byte, int, error) {
 
 // Reset wipes the process's chains at every level — used when a recovery
 // starts a fresh checkpoint epoch with a new full checkpoint.
-func (m *Manager) Reset() {
+func (m *Manager) Reset(ctx context.Context) {
 	for _, ls := range m.levels {
-		ls.WipeProc(m.proc)
+		_ = ls.Delete(ctx, m.proc)
 	}
 }
 
 // Truncate drops checkpoints preceding fullSeq at every level (housekeeping
 // after a periodic full checkpoint bounds the restore chain).
-func (m *Manager) Truncate(fullSeq int) {
+func (m *Manager) Truncate(ctx context.Context, fullSeq int) {
 	for _, ls := range m.levels {
-		ls.TruncateAfterFull(m.proc, fullSeq)
+		_ = ls.Truncate(ctx, m.proc, fullSeq)
 	}
 }

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"context"
 	"testing"
 
 	"aic/internal/ckpt"
@@ -9,6 +10,18 @@ import (
 	"aic/internal/numeric"
 	"aic/internal/storage"
 )
+
+var ctx = context.Background()
+
+// chainOf fetches a store's chain, failing the test on error.
+func chainOf(t *testing.T, s storage.Store, proc string) []storage.Stored {
+	t.Helper()
+	chain, _, err := s.Get(ctx, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain
+}
 
 func newManager() (*Manager, *storage.LevelStore, *storage.LevelStore, *storage.LevelStore) {
 	local := storage.NewLevelStore(storage.Target{Name: "local", BandwidthBps: 100 * storage.MBps})
@@ -28,7 +41,7 @@ func buildProcess(t *testing.T, m *Manager) (*memsim.AddressSpace, *ckpt.Builder
 		as.Write(i, 0, buf, 0)
 	}
 	full := b.FullCheckpoint(as)
-	if _, err := m.Store(full, 1); err != nil {
+	if _, err := m.Store(ctx, full, 1); err != nil {
 		t.Fatal(err)
 	}
 	for step := 1; step <= 3; step++ {
@@ -37,7 +50,7 @@ func buildProcess(t *testing.T, m *Manager) (*memsim.AddressSpace, *ckpt.Builder
 			as.Write(uint64((step*3+i)%16), (i*96)%400, buf[:64], float64(step))
 		}
 		c, _ := b.DeltaCheckpoint(as)
-		if _, err := m.Store(c, 1); err != nil {
+		if _, err := m.Store(ctx, c, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -48,8 +61,8 @@ func TestRecoverFromEachLevel(t *testing.T) {
 	for _, lv := range []failure.Level{failure.Transient, failure.PartialNode, failure.TotalNode} {
 		m, _, _, _ := newManager()
 		as, _ := buildProcess(t, m)
-		m.ApplyFailure(lv)
-		restored, info, err := m.Recover(lv)
+		m.ApplyFailure(ctx, lv)
+		restored, info, err := m.Recover(ctx, lv)
 		if err != nil {
 			t.Fatalf("%v: %v", lv, err)
 		}
@@ -69,16 +82,16 @@ func TestRecoverFromEachLevel(t *testing.T) {
 func TestTotalNodeFailureDestroysLocal(t *testing.T) {
 	m, local, _, _ := newManager()
 	buildProcess(t, m)
-	m.ApplyFailure(failure.TotalNode)
-	if len(local.Chain("p0")) != 0 {
+	m.ApplyFailure(ctx, failure.TotalNode)
+	if len(chainOf(t, local, "p0")) != 0 {
 		t.Fatal("local chain survived a total node failure")
 	}
 	// Transient and partial failures leave the local disk alone.
 	m2, local2, _, _ := newManager()
 	buildProcess(t, m2)
-	m2.ApplyFailure(failure.Transient)
-	m2.ApplyFailure(failure.PartialNode)
-	if len(local2.Chain("p0")) == 0 {
+	m2.ApplyFailure(ctx, failure.Transient)
+	m2.ApplyFailure(ctx, failure.PartialNode)
+	if len(chainOf(t, local2, "p0")) == 0 {
 		t.Fatal("local chain destroyed by a non-total failure")
 	}
 }
@@ -87,7 +100,7 @@ func TestRecoverPrefersCheapestEligibleLevel(t *testing.T) {
 	m, _, _, _ := newManager()
 	as, _ := buildProcess(t, m)
 	// Transient failure: level 1 (local) suffices and is preferred.
-	restored, info, err := m.Recover(failure.Transient)
+	restored, info, err := m.Recover(ctx, failure.Transient)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +108,7 @@ func TestRecoverPrefersCheapestEligibleLevel(t *testing.T) {
 		t.Fatalf("info = %+v", info)
 	}
 	// Remote reads are far slower than local ones.
-	_, remoteInfo, err := m.Recover(failure.TotalNode)
+	_, remoteInfo, err := m.Recover(ctx, failure.TotalNode)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,9 +122,9 @@ func TestRecoverFallsThroughDamagedChains(t *testing.T) {
 	as, _ := buildProcess(t, m)
 	// Corrupt the local chain; a transient failure must fall through to
 	// level 2.
-	local.WipeProc("p0")
-	local.Put("p0", 99, []byte("garbage"))
-	restored, info, err := m.Recover(failure.Transient)
+	local.Delete(ctx, "p0")
+	local.Put(ctx, "p0", 99, []byte("garbage"))
+	restored, info, err := m.Recover(ctx, failure.Transient)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +135,7 @@ func TestRecoverFallsThroughDamagedChains(t *testing.T) {
 
 func TestRecoverNoChains(t *testing.T) {
 	m, _, _, _ := newManager()
-	if _, _, err := m.Recover(failure.Transient); err == nil {
+	if _, _, err := m.Recover(ctx, failure.Transient); err == nil {
 		t.Fatal("recovery without any chain succeeded")
 	}
 }
@@ -130,7 +143,7 @@ func TestRecoverNoChains(t *testing.T) {
 func TestLatestCPUState(t *testing.T) {
 	m, _, _, _ := newManager()
 	_, b := buildProcess(t, m)
-	blob, seq, err := m.LatestCPUState(failure.Transient)
+	blob, seq, err := m.LatestCPUState(ctx, failure.Transient)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,8 +153,8 @@ func TestLatestCPUState(t *testing.T) {
 	if len(blob) != 32 {
 		t.Fatalf("blob %d bytes", len(blob))
 	}
-	m.ApplyFailure(failure.TotalNode)
-	if _, _, err := m.LatestCPUState(failure.TotalNode); err != nil {
+	m.ApplyFailure(ctx, failure.TotalNode)
+	if _, _, err := m.LatestCPUState(ctx, failure.TotalNode); err != nil {
 		t.Fatalf("remote CPU state unavailable: %v", err)
 	}
 }
@@ -152,14 +165,14 @@ func TestStoreMinLevel(t *testing.T) {
 	as.Write(0, 0, []byte{1}, 0)
 	b := ckpt.NewBuilder(512, 0, 0)
 	c := b.FullCheckpoint(as)
-	times, err := m.Store(c, 2) // only L2 and L3
+	times, err := m.Store(ctx, c, 2) // only L2 and L3
 	if err != nil {
 		t.Fatal(err)
 	}
 	if times[0] != 0 || times[1] <= 0 || times[2] <= 0 {
 		t.Fatalf("times = %v", times)
 	}
-	if len(local.Chain("p0")) != 0 || len(raid.Chain("p0")) != 1 || len(remote.Chain("p0")) != 1 {
+	if len(chainOf(t, local, "p0")) != 0 || len(chainOf(t, raid, "p0")) != 1 || len(chainOf(t, remote, "p0")) != 1 {
 		t.Fatal("minLevel not honored")
 	}
 }
@@ -167,8 +180,8 @@ func TestStoreMinLevel(t *testing.T) {
 func TestTruncate(t *testing.T) {
 	m, local, _, _ := newManager()
 	buildProcess(t, m) // seqs 0..3
-	m.Truncate(2)
-	chain := local.Chain("p0")
+	m.Truncate(ctx, 2)
+	chain := chainOf(t, local, "p0")
 	if len(chain) != 2 || chain[0].Seq != 2 {
 		t.Fatalf("chain after truncate: %+v", chain)
 	}

@@ -1,0 +1,469 @@
+package remote
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"aic/internal/storage"
+)
+
+// ErrPeerDark reports that a peer stayed unreachable through the whole retry
+// budget. Callers (the replicated store, the facade) degrade to the
+// surviving replicas — or to local-only checkpointing — rather than wedging.
+var ErrPeerDark = errors.New("remote: peer dark")
+
+// Config tunes a RemoteStore client.
+type Config struct {
+	// DialTimeout bounds connection establishment (0 selects 5s).
+	DialTimeout time.Duration
+	// OpTimeout is the per-attempt I/O deadline covering a whole operation
+	// attempt (0 selects 30s; negative disables).
+	OpTimeout time.Duration
+	// Retries is how many times an operation is retried after a transport
+	// failure before giving up with ErrPeerDark (0 selects 4; negative
+	// disables retries).
+	Retries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// retries: base·2^attempt, capped at max, with ±50% jitter (defaults
+	// 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Window is the number of unacknowledged data frames Put keeps in
+	// flight (0 selects DefaultWindow).
+	Window int
+	// ChunkSize is the data-frame payload size (0 selects DefaultChunkSize).
+	ChunkSize int
+	// MaxFrame bounds incoming frames (0 selects DefaultMaxFrame). Must be
+	// at least the server's, or large Get elements will be refused.
+	MaxFrame int
+	// Target is the bandwidth/latency model reported by Target() so a
+	// RemoteStore can stand in as a modelled level (zero value is fine for
+	// real replication).
+	Target storage.Target
+	// Dialer overrides how connections are made (fault injection); nil
+	// selects net.Dialer.
+	Dialer Dialer
+	// rng drives backoff jitter; tests may pin it. Guarded by mu.
+	rng *rand.Rand
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 30 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 4
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = DefaultChunkSize
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.Dialer == nil {
+		c.Dialer = &net.Dialer{}
+	}
+	return c
+}
+
+// remoteError is an application-level failure the server reported over a
+// healthy connection. It is terminal for the operation — retrying would
+// yield the same answer.
+type remoteError struct {
+	Code string
+	Msg  string
+}
+
+func (e *remoteError) Error() string { return fmt.Sprintf("remote: peer: %s (%s)", e.Msg, e.Code) }
+
+// Unwrap maps wire error codes back onto the store sentinels so callers'
+// errors.Is checks work across the network boundary.
+func (e *remoteError) Unwrap() error {
+	if e.Code == codeStaleSeq {
+		return storage.ErrStaleSeq
+	}
+	return nil
+}
+
+// RemoteStore is a storage.Store whose backing store lives behind a
+// replication server. Operations dial lazily, carry per-attempt deadlines,
+// and retry through transient transport failures with exponential backoff;
+// a peer that stays dark past the retry budget fails the operation with
+// ErrPeerDark.
+//
+// A RemoteStore serializes its operations (one in flight at a time), which
+// matches how the replication fan-out uses one client per peer.
+type RemoteStore struct {
+	addr string
+	cfg  Config
+
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	closed bool
+}
+
+var _ storage.Store = (*RemoteStore)(nil)
+
+// NewStore creates a client for the peer at addr. No connection is made
+// until the first operation.
+func NewStore(addr string, cfg Config) *RemoteStore {
+	cfg = cfg.withDefaults()
+	if cfg.rng == nil {
+		cfg.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return &RemoteStore{addr: addr, cfg: cfg}
+}
+
+// Addr returns the peer address the store replicates to.
+func (r *RemoteStore) Addr() string { return r.addr }
+
+// Target implements storage.Store.
+func (r *RemoteStore) Target() storage.Target { return r.cfg.Target }
+
+// Close drops the connection. Further operations fail.
+func (r *RemoteStore) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	return r.dropLocked()
+}
+
+func (r *RemoteStore) dropLocked() error {
+	var err error
+	if r.conn != nil {
+		err = r.conn.Close()
+		r.conn, r.br = nil, nil
+	}
+	return err
+}
+
+// ensureConnLocked dials (with the hello exchange) if no connection is up.
+func (r *RemoteStore) ensureConnLocked(ctx context.Context) error {
+	if r.closed {
+		return fmt.Errorf("remote: store for %s is closed", r.addr)
+	}
+	if r.conn != nil {
+		return nil
+	}
+	dctx, cancel := context.WithTimeout(ctx, r.cfg.DialTimeout)
+	defer cancel()
+	conn, err := r.cfg.Dialer.DialContext(dctx, "tcp", r.addr)
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	conn.SetDeadline(time.Now().Add(r.cfg.DialTimeout))
+	if err := writeJSON(conn, kindHello, helloMsg{Version: protocolVersion}); err != nil {
+		conn.Close()
+		return err
+	}
+	kind, payload, err := readFrame(br, r.cfg.MaxFrame)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if kind != kindHelloOK {
+		conn.Close()
+		if kind == kindErr {
+			return asRemoteErr(payload)
+		}
+		return fmt.Errorf("remote: unexpected hello reply 0x%02x", kind)
+	}
+	conn.SetDeadline(time.Time{})
+	r.conn, r.br = conn, br
+	return nil
+}
+
+func asRemoteErr(payload []byte) error {
+	var m errMsg
+	if err := decodeJSON(payload, &m); err != nil {
+		return err
+	}
+	return &remoteError{Code: m.Code, Msg: m.Msg}
+}
+
+// do runs op with the retry/backoff/deadline envelope. op gets a live
+// connection with its deadline already set; transport failures drop the
+// connection and retry, application errors return immediately.
+func (r *RemoteStore) do(ctx context.Context, op func(conn net.Conn, br *bufio.Reader) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			if err := r.sleepLocked(ctx, r.backoff(attempt-1)); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := r.ensureConnLocked(ctx); err != nil {
+			var re *remoteError
+			if errors.As(err, &re) {
+				return err // the peer answered; its answer won't change
+			}
+			lastErr = err
+			continue
+		}
+		deadline := time.Time{}
+		if r.cfg.OpTimeout > 0 {
+			deadline = time.Now().Add(r.cfg.OpTimeout)
+		}
+		if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
+		r.conn.SetDeadline(deadline)
+		err := op(r.conn, r.br)
+		if err == nil {
+			r.conn.SetDeadline(time.Time{})
+			return nil
+		}
+		var re *remoteError
+		if errors.As(err, &re) {
+			r.conn.SetDeadline(time.Time{})
+			return err
+		}
+		r.dropLocked()
+		lastErr = err
+	}
+	return fmt.Errorf("%w: %s after %d attempts: %v", ErrPeerDark, r.addr, r.cfg.Retries+1, lastErr)
+}
+
+// backoff returns the jittered exponential delay for a retry.
+func (r *RemoteStore) backoff(attempt int) time.Duration {
+	d := r.cfg.BackoffBase << uint(attempt)
+	if d > r.cfg.BackoffMax || d <= 0 {
+		d = r.cfg.BackoffMax
+	}
+	// ±50% jitter decorrelates peers retrying after a shared failure.
+	jitter := 0.5 + r.cfg.rng.Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// sleepLocked waits without holding up ctx cancellation.
+func (r *RemoteStore) sleepLocked(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// expect reads one frame and requires the given kind, decoding error frames
+// into remoteError.
+func expect(br *bufio.Reader, maxFrame int, want byte) ([]byte, error) {
+	kind, payload, err := readFrame(br, maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	if kind == kindErr {
+		return nil, asRemoteErr(payload)
+	}
+	if kind != want {
+		return nil, fmt.Errorf("remote: unexpected frame 0x%02x (want 0x%02x)", kind, want)
+	}
+	return payload, nil
+}
+
+// Put implements storage.Store: a resumable, windowed transfer. Each retry
+// re-negotiates the offset, so bytes staged before a cut are not resent.
+func (r *RemoteStore) Put(ctx context.Context, proc string, seq int, data []byte) error {
+	crc := crc32.Checksum(data, crcTable)
+	return r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+		if err := writeJSON(conn, kindPutBegin, putBeginMsg{
+			Proc: proc, Seq: seq, Size: int64(len(data)), CRC: crc,
+		}); err != nil {
+			return err
+		}
+		payload, err := expect(br, r.cfg.MaxFrame, kindPutOffset)
+		if err != nil {
+			return err
+		}
+		var off putOffsetMsg
+		if err := decodeJSON(payload, &off); err != nil {
+			return err
+		}
+		if off.Committed {
+			return nil
+		}
+		if off.Offset < 0 || off.Offset > int64(len(data)) {
+			return fmt.Errorf("remote: peer offers offset %d of %d", off.Offset, len(data))
+		}
+		// Stream chunks with a bounded in-flight window: past Window
+		// unacked frames, each send first waits for one cumulative ack.
+		inflight := 0
+		for pos := off.Offset; pos < int64(len(data)); {
+			if inflight >= r.cfg.Window {
+				if err := readPutAck(br, r.cfg.MaxFrame); err != nil {
+					return err
+				}
+				inflight--
+			}
+			end := pos + int64(r.cfg.ChunkSize)
+			if end > int64(len(data)) {
+				end = int64(len(data))
+			}
+			if err := writeFrame(conn, kindPutData, dataFrame(pos, data[pos:end])); err != nil {
+				return err
+			}
+			pos = end
+			inflight++
+		}
+		if err := writeFrame(conn, kindPutCommit, nil); err != nil {
+			return err
+		}
+		// Drain remaining acks; the commit answer ends the transfer.
+		for {
+			kind, payload, err := readFrame(br, r.cfg.MaxFrame)
+			if err != nil {
+				return err
+			}
+			switch kind {
+			case kindPutAck:
+				continue
+			case kindPutDone:
+				return nil
+			case kindErr:
+				return asRemoteErr(payload)
+			default:
+				return fmt.Errorf("remote: unexpected frame 0x%02x during commit", kind)
+			}
+		}
+	})
+}
+
+func readPutAck(br *bufio.Reader, maxFrame int) error {
+	payload, err := expect(br, maxFrame, kindPutAck)
+	if err != nil {
+		return err
+	}
+	var ack putAckMsg
+	return decodeJSON(payload, &ack)
+}
+
+// Get implements storage.Store.
+func (r *RemoteStore) Get(ctx context.Context, proc string) (chain []storage.Stored, missing []int, err error) {
+	err = r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+		chain, missing = nil, nil
+		if err := writeJSON(conn, kindGet, procMsg{Proc: proc}); err != nil {
+			return err
+		}
+		payload, err := expect(br, r.cfg.MaxFrame, kindChain)
+		if err != nil {
+			return err
+		}
+		var hdr chainMsg
+		if err := decodeJSON(payload, &hdr); err != nil {
+			return err
+		}
+		missing = hdr.Missing
+		for i := 0; i < hdr.Count; i++ {
+			payload, err := expect(br, r.cfg.MaxFrame, kindElem)
+			if err != nil {
+				return err
+			}
+			seq, data, err := splitElemFrame(payload)
+			if err != nil {
+				return err
+			}
+			chain = append(chain, storage.Stored{Seq: seq, Data: data})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return chain, missing, nil
+}
+
+// List implements storage.Store.
+func (r *RemoteStore) List(ctx context.Context) (procs []string, err error) {
+	err = r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+		if err := writeFrame(conn, kindList, nil); err != nil {
+			return err
+		}
+		payload, err := expect(br, r.cfg.MaxFrame, kindProcs)
+		if err != nil {
+			return err
+		}
+		var m procsMsg
+		if err := decodeJSON(payload, &m); err != nil {
+			return err
+		}
+		procs = m.Procs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return procs, nil
+}
+
+// Delete implements storage.Store.
+func (r *RemoteStore) Delete(ctx context.Context, proc string) error {
+	return r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+		if err := writeJSON(conn, kindDelete, procMsg{Proc: proc}); err != nil {
+			return err
+		}
+		_, err := expect(br, r.cfg.MaxFrame, kindOK)
+		return err
+	})
+}
+
+// Truncate implements storage.Store.
+func (r *RemoteStore) Truncate(ctx context.Context, proc string, fullSeq int) error {
+	return r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+		if err := writeJSON(conn, kindTruncate, truncateMsg{Proc: proc, FullSeq: fullSeq}); err != nil {
+			return err
+		}
+		_, err := expect(br, r.cfg.MaxFrame, kindOK)
+		return err
+	})
+}
+
+// Scrub implements storage.Store: the scrub runs on the peer, against its
+// own durable state.
+func (r *RemoteStore) Scrub(ctx context.Context, proc string, repair bool) (rep *storage.ScrubReport, err error) {
+	err = r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+		if err := writeJSON(conn, kindScrub, scrubMsg{Proc: proc, Repair: repair}); err != nil {
+			return err
+		}
+		payload, err := expect(br, r.cfg.MaxFrame, kindScrubRep)
+		if err != nil {
+			return err
+		}
+		rep = new(storage.ScrubReport)
+		return decodeJSON(payload, rep)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

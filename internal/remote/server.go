@@ -1,0 +1,470 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"aic/internal/storage"
+)
+
+// ServerConfig tunes a replication server.
+type ServerConfig struct {
+	// IdleTimeout is the per-frame read deadline; a peer silent for longer
+	// is disconnected (its staged partial transfers survive for resume).
+	// Zero selects 2 minutes; negative disables the deadline.
+	IdleTimeout time.Duration
+	// MaxFrame bounds incoming frames (0 selects DefaultMaxFrame).
+	MaxFrame int
+	// MaxObject bounds a single staged checkpoint object (0 selects 1 GiB).
+	MaxObject int64
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.MaxObject <= 0 {
+		c.MaxObject = 1 << 30
+	}
+	return c
+}
+
+// staging is a partially-received object, keyed by (proc, seq). It survives
+// the connection that started it so a reconnecting client can resume at the
+// staged offset instead of resending from zero.
+type staging struct {
+	size int64
+	crc  uint32
+	buf  []byte // len(buf) == staged bytes so far
+}
+
+// Server accepts replication connections and applies their operations to a
+// backing store. One Server fronts one storage.Store; the store's own
+// locking serializes concurrent connections.
+type Server struct {
+	store storage.Store
+	cfg   ServerConfig
+
+	mu        sync.Mutex
+	staging   map[string]*staging // proc\x00seq → partial transfer
+	committed map[string]uint32   // proc\x00seq → object CRC, for idempotent retries
+
+	lnMu   sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server over the backing store.
+func NewServer(store storage.Store, cfg ServerConfig) *Server {
+	return &Server{
+		store:     store,
+		cfg:       cfg.withDefaults(),
+		staging:   make(map[string]*staging),
+		committed: make(map[string]uint32),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after Close,
+// or the accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		ln.Close()
+		return fmt.Errorf("remote: server closed")
+	}
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.lnMu.Lock()
+			closed := s.closed
+			s.lnMu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.lnMu.Lock()
+		if s.closed {
+			s.lnMu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.lnMu.Lock()
+				delete(s.conns, conn)
+				s.lnMu.Unlock()
+			}()
+			if err := s.serveConn(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.logf("remote: conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close stops accepting, severs live connections and waits for their
+// handlers to exit. Staged partial transfers are lost with the server —
+// clients re-negotiate from offset 0 (or the durable store) on reconnect.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.lnMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func stagingKey(proc string, seq int) string {
+	return fmt.Sprintf("%s\x00%d", proc, seq)
+}
+
+// serveConn runs the request loop for one connection. cur tracks the
+// transfer the connection's last PutBegin opened.
+func (s *Server) serveConn(conn net.Conn) error {
+	ctx := context.Background()
+	var (
+		curKey string
+		cur    *staging
+	)
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		kind, payload, err := readFrame(conn, s.cfg.MaxFrame)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case kindHello:
+			var h helloMsg
+			if err := decodeJSON(payload, &h); err != nil {
+				return err
+			}
+			if h.Version != protocolVersion {
+				s.sendErr(conn, codeBadFrame, fmt.Sprintf("protocol version %d unsupported", h.Version))
+				return fmt.Errorf("remote: client speaks version %d", h.Version)
+			}
+			if err := writeJSON(conn, kindHelloOK, helloMsg{Version: protocolVersion}); err != nil {
+				return err
+			}
+
+		case kindPutBegin:
+			var m putBeginMsg
+			if err := decodeJSON(payload, &m); err != nil {
+				return err
+			}
+			key, reply, err := s.beginPut(ctx, m)
+			if err != nil {
+				if e := s.sendStoreErr(conn, err); e != nil {
+					return e
+				}
+				curKey, cur = "", nil
+				continue
+			}
+			if reply.Committed {
+				curKey, cur = "", nil
+			} else {
+				curKey = key
+				s.mu.Lock()
+				cur = s.staging[key]
+				s.mu.Unlock()
+			}
+			if err := writeJSON(conn, kindPutOffset, reply); err != nil {
+				return err
+			}
+
+		case kindPutData:
+			if cur == nil {
+				if err := s.sendErr(conn, codeBadFrame, "data frame outside a transfer"); err != nil {
+					return err
+				}
+				continue
+			}
+			offset, chunk, err := splitDataFrame(payload)
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			switch {
+			case offset != int64(len(cur.buf)):
+				s.mu.Unlock()
+				if err := s.sendErr(conn, codeBadFrame,
+					fmt.Sprintf("data frame at offset %d, staged %d", offset, len(cur.buf))); err != nil {
+					return err
+				}
+				continue
+			case offset+int64(len(chunk)) > cur.size:
+				s.mu.Unlock()
+				if err := s.sendErr(conn, codeBadFrame, "data frame overruns declared size"); err != nil {
+					return err
+				}
+				continue
+			}
+			cur.buf = append(cur.buf, chunk...)
+			staged := int64(len(cur.buf))
+			s.mu.Unlock()
+			if err := writeJSON(conn, kindPutAck, putAckMsg{Offset: staged}); err != nil {
+				return err
+			}
+
+		case kindPutCommit:
+			if cur == nil {
+				// A retried commit after the ack was lost: if the object is
+				// already durable this is a success, not an error.
+				if curKey != "" && s.isCommitted(curKey) {
+					if err := writeFrame(conn, kindPutDone, nil); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := s.sendErr(conn, codeBadFrame, "commit outside a transfer"); err != nil {
+					return err
+				}
+				continue
+			}
+			err := s.commitPut(ctx, curKey, cur)
+			cur = nil
+			if err != nil {
+				if e := s.sendStoreErr(conn, err); e != nil {
+					return e
+				}
+				continue
+			}
+			if err := writeFrame(conn, kindPutDone, nil); err != nil {
+				return err
+			}
+
+		case kindGet:
+			var m procMsg
+			if err := decodeJSON(payload, &m); err != nil {
+				return err
+			}
+			chain, missing, err := s.store.Get(ctx, m.Proc)
+			if err != nil {
+				if e := s.sendStoreErr(conn, err); e != nil {
+					return e
+				}
+				continue
+			}
+			if err := writeJSON(conn, kindChain, chainMsg{Count: len(chain), Missing: missing}); err != nil {
+				return err
+			}
+			for _, el := range chain {
+				if err := writeFrame(conn, kindElem, elemFrame(el.Seq, el.Data)); err != nil {
+					return err
+				}
+			}
+
+		case kindList:
+			procs, err := s.store.List(ctx)
+			if err != nil {
+				if e := s.sendStoreErr(conn, err); e != nil {
+					return e
+				}
+				continue
+			}
+			if err := writeJSON(conn, kindProcs, procsMsg{Procs: procs}); err != nil {
+				return err
+			}
+
+		case kindDelete:
+			var m procMsg
+			if err := decodeJSON(payload, &m); err != nil {
+				return err
+			}
+			if err := s.reply(conn, s.store.Delete(ctx, m.Proc)); err != nil {
+				return err
+			}
+
+		case kindTruncate:
+			var m truncateMsg
+			if err := decodeJSON(payload, &m); err != nil {
+				return err
+			}
+			if err := s.reply(conn, s.store.Truncate(ctx, m.Proc, m.FullSeq)); err != nil {
+				return err
+			}
+
+		case kindScrub:
+			var m scrubMsg
+			if err := decodeJSON(payload, &m); err != nil {
+				return err
+			}
+			rep, err := s.store.Scrub(ctx, m.Proc, m.Repair)
+			if err != nil {
+				if e := s.sendStoreErr(conn, err); e != nil {
+					return e
+				}
+				continue
+			}
+			if err := writeJSON(conn, kindScrubRep, rep); err != nil {
+				return err
+			}
+
+		default:
+			return fmt.Errorf("remote: unexpected frame 0x%02x", kind)
+		}
+	}
+}
+
+// beginPut opens (or resumes) a transfer, answering with the offset the
+// client should send from.
+func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key string, reply putOffsetMsg, err error) {
+	if m.Proc == "" || m.Seq < 0 || m.Size < 0 {
+		return "", reply, fmt.Errorf("remote: malformed put-begin %+v", m)
+	}
+	if m.Size > s.cfg.MaxObject {
+		return "", reply, fmt.Errorf("remote: object of %d bytes exceeds limit %d", m.Size, s.cfg.MaxObject)
+	}
+	key = stagingKey(m.Proc, m.Seq)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if crc, ok := s.committed[key]; ok {
+		if crc != m.CRC {
+			return "", reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
+		}
+		return key, putOffsetMsg{Offset: m.Size, Committed: true}, nil
+	}
+	// The server may have restarted since the object was committed: consult
+	// the store itself before treating this as a fresh transfer.
+	if crc, ok := s.storedCRC(ctx, m.Proc, m.Seq); ok {
+		if crc != m.CRC {
+			return "", reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
+		}
+		s.committed[key] = crc
+		return key, putOffsetMsg{Offset: m.Size, Committed: true}, nil
+	}
+	st := s.staging[key]
+	if st == nil || st.size != m.Size || st.crc != m.CRC {
+		st = &staging{size: m.Size, crc: m.CRC, buf: make([]byte, 0, m.Size)}
+		s.staging[key] = st
+	}
+	return key, putOffsetMsg{Offset: int64(len(st.buf))}, nil
+}
+
+// storedCRC looks up an already-stored element's CRC. It never touches s.mu
+// (safe with or without it held); the underlying store does its own locking.
+func (s *Server) storedCRC(ctx context.Context, proc string, seq int) (uint32, bool) {
+	chain, _, err := s.store.Get(ctx, proc)
+	if err != nil {
+		return 0, false
+	}
+	for _, el := range chain {
+		if el.Seq == seq {
+			return crc32.Checksum(el.Data, crcTable), true
+		}
+	}
+	return 0, false
+}
+
+// commitPut verifies the staged object and makes it durable.
+func (s *Server) commitPut(ctx context.Context, key string, st *staging) error {
+	s.mu.Lock()
+	if int64(len(st.buf)) != st.size {
+		s.mu.Unlock()
+		return fmt.Errorf("remote: commit of incomplete transfer: %d of %d bytes", len(st.buf), st.size)
+	}
+	if got := crc32.Checksum(st.buf, crcTable); got != st.crc {
+		delete(s.staging, key) // poisoned; force a fresh transfer
+		s.mu.Unlock()
+		return fmt.Errorf("remote: staged object CRC mismatch: %08x != %08x", got, st.crc)
+	}
+	buf := st.buf
+	s.mu.Unlock()
+
+	proc, seq := splitKey(key)
+	err := s.store.Put(ctx, proc, seq, buf)
+	if err != nil && errors.Is(err, storage.ErrStaleSeq) {
+		// A duplicate of an object the store already holds (retry after a
+		// lost ack) commits idempotently as long as the bytes match.
+		if crc, ok := s.storedCRC(ctx, proc, seq); ok && crc == st.crc {
+			err = nil
+		}
+	}
+	s.mu.Lock()
+	if err == nil {
+		s.committed[key] = st.crc
+		delete(s.staging, key)
+	}
+	s.mu.Unlock()
+	return err
+}
+
+func splitKey(key string) (proc string, seq int) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			proc = key[:i]
+			fmt.Sscanf(key[i+1:], "%d", &seq)
+			return proc, seq
+		}
+	}
+	return key, 0
+}
+
+func (s *Server) isCommitted(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.committed[key]
+	return ok
+}
+
+// reply sends kindOK or the mapped error frame.
+func (s *Server) reply(conn net.Conn, err error) error {
+	if err != nil {
+		return s.sendStoreErr(conn, err)
+	}
+	return writeFrame(conn, kindOK, nil)
+}
+
+// sendStoreErr reports a store-level failure to the client as an error
+// frame. The connection stays usable: an application error is not a
+// transport error.
+func (s *Server) sendStoreErr(conn net.Conn, err error) error {
+	code := codeInternal
+	if errors.Is(err, storage.ErrStaleSeq) {
+		code = codeStaleSeq
+	} else if errors.Is(err, errConflict) {
+		code = codeConflict
+	}
+	return s.sendErr(conn, code, err.Error())
+}
+
+func (s *Server) sendErr(conn net.Conn, code, msg string) error {
+	return writeJSON(conn, kindErr, errMsg{Code: code, Msg: msg})
+}
+
+var errConflict = errors.New("remote: content conflict")

@@ -9,6 +9,7 @@ package storage_test
 // durably committed.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -23,6 +24,9 @@ import (
 )
 
 const crashProc = "p0"
+
+// ctx is the background context every store call in these tests uses.
+var ctx = context.Background()
 
 // buildEncodedChain produces a full checkpoint plus three deltas, returning
 // the encoded frames and the reference image as of each checkpoint.
@@ -61,18 +65,18 @@ func recoverAfterCrash(t *testing.T, dir string, images []*memsim.AddressSpace, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := reopened.Scrub(crashProc, true)
+	rep, err := reopened.Scrub(ctx, crashProc, true)
 	if err != nil {
 		t.Fatalf("scrub: %v", err)
 	}
-	again, err := reopened.Scrub(crashProc, false)
+	again, err := reopened.Scrub(ctx, crashProc, false)
 	if err != nil {
 		t.Fatalf("second scrub: %v", err)
 	}
 	if !again.Clean() {
 		t.Fatalf("store still inconsistent after repair: %v", again)
 	}
-	chain, missing, err := reopened.ChainBestEffort(crashProc)
+	chain, missing, err := reopened.Get(ctx, crashProc)
 	if err != nil {
 		t.Fatalf("chain after repair: %v", err)
 	}
@@ -203,7 +207,7 @@ func TestPutCrashWindows(t *testing.T) {
 			acked := 0
 			var putErr error
 			for seq, data := range encoded {
-				if _, putErr = fs.Put(crashProc, seq, data); putErr != nil {
+				if putErr = fs.Put(ctx, crashProc, seq, data); putErr != nil {
 					break
 				}
 				acked++
@@ -233,7 +237,7 @@ func TestPutCrashOnVeryFirstCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Put(crashProc, 0, encoded[0]); !errors.Is(err, storage.ErrCrashed) {
+	if err := fs.Put(ctx, crashProc, 0, encoded[0]); !errors.Is(err, storage.ErrCrashed) {
 		t.Fatalf("err = %v, want crash", err)
 	}
 	recoverAfterCrash(t, dir, images, -1)
@@ -250,7 +254,7 @@ func TestScrubDetectsBitFlip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for seq, data := range encoded {
-		if _, err := fs.Put(crashProc, seq, data); err != nil {
+		if err := fs.Put(ctx, crashProc, seq, data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -275,17 +279,17 @@ func TestScrubBitFlipInAnchor(t *testing.T) {
 		t.Fatal(err)
 	}
 	for seq, data := range encoded {
-		if _, err := fs.Put(crashProc, seq, data); err != nil {
+		if err := fs.Put(ctx, crashProc, seq, data); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := storage.FlipBit(filepath.Join(dir, crashProc, ckptName(0)), 40, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Scrub(crashProc, true); err != nil {
+	if _, err := fs.Scrub(ctx, crashProc, true); err != nil {
 		t.Fatal(err)
 	}
-	chain, _, err := fs.ChainBestEffort(crashProc)
+	chain, _, err := fs.Get(ctx, crashProc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +308,7 @@ func TestScrubRebuildsTruncatedManifest(t *testing.T) {
 		t.Fatal(err)
 	}
 	for seq, data := range encoded {
-		if _, err := fs.Put(crashProc, seq, data); err != nil {
+		if err := fs.Put(ctx, crashProc, seq, data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -332,7 +336,7 @@ func TestScrubTruncatedDataFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	for seq, data := range encoded {
-		if _, err := fs.Put(crashProc, seq, data); err != nil {
+		if err := fs.Put(ctx, crashProc, seq, data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -362,10 +366,10 @@ func TestPutUnwindsOrphanOnManifestFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Put(crashProc, 0, encoded[0]); err != nil {
+	if err := fs.Put(ctx, crashProc, 0, encoded[0]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Put(crashProc, 1, encoded[1]); err == nil {
+	if err := fs.Put(ctx, crashProc, 1, encoded[1]); err == nil {
 		t.Fatal("manifest failure not surfaced")
 	}
 	if _, err := os.Stat(filepath.Join(dir, crashProc, ckptName(1))); !os.IsNotExist(err) {
@@ -376,11 +380,11 @@ func TestPutUnwindsOrphanOnManifestFailure(t *testing.T) {
 		t.Fatalf("Bytes = %d, %v; want %d", n, err, len(encoded[0]))
 	}
 	// The same Put retried must succeed (the FS recovered).
-	if _, err := fs.Put(crashProc, 1, encoded[1]); err != nil {
+	if err := fs.Put(ctx, crashProc, 1, encoded[1]); err != nil {
 		t.Fatalf("retry failed: %v", err)
 	}
-	chain, err := fs.Chain(crashProc)
-	if err != nil || len(chain) != 2 {
-		t.Fatalf("chain = %v, %v", chain, err)
+	chain, missing, err := fs.Get(ctx, crashProc)
+	if err != nil || len(missing) != 0 || len(chain) != 2 {
+		t.Fatalf("chain = %v, missing = %v, %v", chain, missing, err)
 	}
 }

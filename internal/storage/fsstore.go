@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -11,9 +12,10 @@ import (
 
 // FSStore is a file-backed checkpoint store: each checkpoint becomes one
 // file under root/<proc>/ with a JSON manifest tracking the chain, so
-// checkpoint data survives the simulating process itself. It mirrors the
-// LevelStore API (the in-memory stores remain the default for simulation;
-// FSStore backs the Process facade when durability is wanted).
+// checkpoint data survives the simulating process itself. It satisfies the
+// Store contract (the in-memory stores remain the default for simulation;
+// FSStore backs the Process facade when durability is wanted, and the aicd
+// replication daemon when a peer serves its store over the network).
 //
 // Every mutation follows the durable-write protocol (write temp, fsync,
 // rename, fsync directory) and orders the data file strictly before the
@@ -101,9 +103,12 @@ func (fs *FSStore) saveManifest(proc string, m *manifest) error {
 
 func ckptFile(seq int) string { return fmt.Sprintf("ckpt-%08d.aic", seq) }
 
-// Procs lists the process names with chains in the store (as sanitized on
-// disk).
-func (fs *FSStore) Procs() ([]string, error) {
+// List returns the process names with chains in the store (as sanitized on
+// disk), sorted.
+func (fs *FSStore) List(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	entries, err := fs.fsys.ReadDir(fs.root)
 	if err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
@@ -118,25 +123,28 @@ func (fs *FSStore) Procs() ([]string, error) {
 	return procs, nil
 }
 
-// Put appends a checkpoint for proc, returning the modelled write time.
-// Sequence numbers must be strictly increasing. The checkpoint is durable —
-// data file fsynced, rename pinned by a directory fsync, manifest updated
-// with the same discipline — before Put returns.
-func (fs *FSStore) Put(proc string, seq int, data []byte) (float64, error) {
+// Put appends a checkpoint for proc. Sequence numbers must be strictly
+// increasing. The checkpoint is durable — data file fsynced, rename pinned
+// by a directory fsync, manifest updated with the same discipline — before
+// Put returns.
+func (fs *FSStore) Put(ctx context.Context, proc string, seq int, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	dir := fs.procDir(proc)
 	if err := fs.fsys.MkdirAll(dir, 0o755); err != nil {
-		return 0, fmt.Errorf("storage: %w", err)
+		return fmt.Errorf("storage: %w", err)
 	}
 	m, err := fs.loadManifest(proc)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	if n := len(m.Seqs); n > 0 && seq <= m.Seqs[n-1] {
-		return 0, fmt.Errorf("storage: %s: seq %d not after %d", proc, seq, m.Seqs[n-1])
+		return fmt.Errorf("storage: %s: %w: seq %d not after %d", proc, ErrStaleSeq, seq, m.Seqs[n-1])
 	}
 	path := filepath.Join(dir, ckptFile(seq))
 	if err := atomicWrite(fs.fsys, path, data, 0o644); err != nil {
-		return 0, err
+		return err
 	}
 	m.Seqs = append(m.Seqs, seq)
 	m.Sizes[ckptFile(seq)] = len(data)
@@ -146,36 +154,20 @@ func (fs *FSStore) Put(proc string, seq int, data []byte) (float64, error) {
 		// never sees. Best effort — after a real crash the removal fails
 		// too, and Scrub adopts or discards the orphan on reopen.
 		_ = fs.fsys.Remove(path)
-		return 0, err
+		return err
 	}
-	return fs.target.TransferTime(int64(len(data))), nil
+	return nil
 }
 
-// Chain returns proc's stored checkpoints in sequence order.
-func (fs *FSStore) Chain(proc string) ([]Stored, error) {
-	m, err := fs.loadManifest(proc)
-	if err != nil {
-		return nil, err
+// Get returns whatever manifest-listed checkpoints are still readable, in
+// sequence order, plus the seqs whose files have gone missing. It never
+// fails on a damaged chain element — the last-good-prefix restore decides
+// what the gaps cost. It fails only when the manifest itself is unreadable
+// (run Scrub first to rebuild it from the surviving files).
+func (fs *FSStore) Get(ctx context.Context, proc string) (chain []Stored, missing []int, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
-	seqs := append([]int(nil), m.Seqs...)
-	sort.Ints(seqs)
-	out := make([]Stored, 0, len(seqs))
-	for _, seq := range seqs {
-		data, err := fs.fsys.ReadFile(filepath.Join(fs.procDir(proc), ckptFile(seq)))
-		if err != nil {
-			return nil, fmt.Errorf("storage: chain element %d: %w", seq, err)
-		}
-		out = append(out, Stored{Seq: seq, Data: data})
-	}
-	return out, nil
-}
-
-// ChainBestEffort returns whatever manifest-listed checkpoints are still
-// readable, plus the seqs whose files have gone missing. Unlike Chain it
-// never fails on a damaged chain element — the last-good-prefix restore
-// decides what the gaps cost. It fails only when the manifest itself is
-// unreadable (run Scrub first to rebuild it from the surviving files).
-func (fs *FSStore) ChainBestEffort(proc string) (chain []Stored, missing []int, err error) {
 	m, err := fs.loadManifest(proc)
 	if err != nil {
 		return nil, nil, err
@@ -193,9 +185,11 @@ func (fs *FSStore) ChainBestEffort(proc string) (chain []Stored, missing []int, 
 	return chain, missing, nil
 }
 
-// TruncateAfterFull drops checkpoints older than fullSeq, deleting their
-// files.
-func (fs *FSStore) TruncateAfterFull(proc string, fullSeq int) error {
+// Truncate drops checkpoints older than fullSeq, deleting their files.
+func (fs *FSStore) Truncate(ctx context.Context, proc string, fullSeq int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	m, err := fs.loadManifest(proc)
 	if err != nil {
 		return err
@@ -216,8 +210,11 @@ func (fs *FSStore) TruncateAfterFull(proc string, fullSeq int) error {
 	return fs.saveManifest(proc, m)
 }
 
-// WipeProc deletes one process's chain and manifest.
-func (fs *FSStore) WipeProc(proc string) error {
+// Delete removes one process's chain and manifest.
+func (fs *FSStore) Delete(ctx context.Context, proc string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := fs.fsys.RemoveAll(fs.procDir(proc)); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -23,23 +24,20 @@ func TestFSStoreValidation(t *testing.T) {
 }
 
 func TestFSStorePutChainRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Put("job/1", 0, []byte("full")); err != nil {
+	if err := fs.Put(ctx, "job/1", 0, []byte("full")); err != nil {
 		t.Fatal(err)
 	}
-	sec, err := fs.Put("job/1", 1, []byte("delta-one"))
-	if err != nil {
+	if err := fs.Put(ctx, "job/1", 1, []byte("delta-one")); err != nil {
 		t.Fatal(err)
 	}
-	if sec != 0.9 {
-		t.Fatalf("write time %v", sec)
-	}
-	if _, err := fs.Put("job/1", 1, []byte("dup")); err == nil {
+	if err := fs.Put(ctx, "job/1", 1, []byte("dup")); err == nil {
 		t.Fatal("non-monotonic seq accepted")
 	}
-	chain, err := fs.Chain("job/1")
-	if err != nil {
-		t.Fatal(err)
+	chain, missing, err := fs.Get(ctx, "job/1")
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("Get: %v missing=%v", err, missing)
 	}
 	if len(chain) != 2 || !bytes.Equal(chain[0].Data, []byte("full")) ||
 		!bytes.Equal(chain[1].Data, []byte("delta-one")) {
@@ -52,39 +50,35 @@ func TestFSStorePutChainRoundTrip(t *testing.T) {
 }
 
 func TestFSStoreSurvivesReopen(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	fs1, err := NewFSStore(dir, Target{BandwidthBps: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs1.Put("p", 0, []byte("aaa"))
-	fs1.Put("p", 1, []byte("bbb"))
+	fs1.Put(ctx, "p", 0, []byte("aaa"))
+	fs1.Put(ctx, "p", 1, []byte("bbb"))
 
 	fs2, err := NewFSStore(dir, Target{BandwidthBps: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	chain, err := fs2.Chain("p")
-	if err != nil {
-		t.Fatal(err)
-	}
+	chain := mustChain(t, fs2, "p")
 	if len(chain) != 2 || chain[1].Seq != 1 {
 		t.Fatalf("reopened chain: %+v", chain)
 	}
 }
 
 func TestFSStoreTruncate(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
 	for seq := 0; seq < 5; seq++ {
-		fs.Put("p", seq, []byte{byte(seq)})
+		fs.Put(ctx, "p", seq, []byte{byte(seq)})
 	}
-	if err := fs.TruncateAfterFull("p", 3); err != nil {
+	if err := fs.Truncate(ctx, "p", 3); err != nil {
 		t.Fatal(err)
 	}
-	chain, err := fs.Chain("p")
-	if err != nil {
-		t.Fatal(err)
-	}
+	chain := mustChain(t, fs, "p")
 	if len(chain) != 2 || chain[0].Seq != 3 {
 		t.Fatalf("chain: %+v", chain)
 	}
@@ -101,50 +95,57 @@ func TestFSStoreTruncate(t *testing.T) {
 	}
 }
 
-func TestFSStoreWipe(t *testing.T) {
+func TestFSStoreDelete(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	fs.Put("p", 0, []byte{1})
-	if err := fs.WipeProc("p"); err != nil {
+	fs.Put(ctx, "p", 0, []byte{1})
+	if err := fs.Delete(ctx, "p"); err != nil {
 		t.Fatal(err)
 	}
-	chain, err := fs.Chain("p")
-	if err != nil || len(chain) != 0 {
-		t.Fatalf("chain after wipe: %v, %v", chain, err)
+	if chain := mustChain(t, fs, "p"); len(chain) != 0 {
+		t.Fatalf("chain after delete: %v", chain)
 	}
 }
 
-func TestFSStoreMissingFileDetected(t *testing.T) {
+func TestFSStoreMissingFileReported(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	fs.Put("p", 0, []byte{1})
+	fs.Put(ctx, "p", 0, []byte{1})
 	if err := os.Remove(filepath.Join(fs.procDir("p"), ckptFile(0))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Chain("p"); err == nil {
-		t.Fatal("missing checkpoint file not detected")
+	chain, missing, err := fs.Get(ctx, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 0 || len(missing) != 1 || missing[0] != 0 {
+		t.Fatalf("missing checkpoint file not reported: chain=%v missing=%v", chain, missing)
 	}
 }
 
 func TestFSStoreCorruptManifestDetected(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	fs.Put("p", 0, []byte{1})
+	fs.Put(ctx, "p", 0, []byte{1})
 	if err := os.WriteFile(fs.manifestPath("p"), []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Chain("p"); err == nil {
+	if _, _, err := fs.Get(ctx, "p"); err == nil {
 		t.Fatal("corrupt manifest not detected")
 	}
 }
 
 func TestFSStoreProcNameSanitized(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Put("../evil", 0, []byte{1}); err != nil {
+	if err := fs.Put(ctx, "../evil", 0, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	// The chain is reachable under the sanitized name and nothing escaped
 	// the root.
-	chain, err := fs.Chain("../evil")
-	if err != nil || len(chain) != 1 {
-		t.Fatalf("sanitized chain: %v, %v", chain, err)
+	chain := mustChain(t, fs, "../evil")
+	if len(chain) != 1 {
+		t.Fatalf("sanitized chain: %v", chain)
 	}
 	if _, err := os.Stat(filepath.Join(fs.root, "..", "evil")); !os.IsNotExist(err) {
 		t.Fatal("path escaped the store root")

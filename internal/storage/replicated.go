@@ -1,0 +1,222 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ReplicatedStore fans every mutation out to N peer stores concurrently and
+// acknowledges once a quorum of them has — the paper's L2 RAID-5 peer-node
+// group generalized to any Store implementations (typically RemoteStores
+// speaking the replication protocol, but any mix works). Reads pick the
+// best surviving replica. A peer that stays dark does not block the quorum:
+// the fan-out degrades gracefully as long as Quorum peers still answer.
+type ReplicatedStore struct {
+	peers  []Store
+	quorum int
+}
+
+// NewReplicatedStore builds a quorum store over the peers. quorum ≤ 0
+// selects a majority (len(peers)/2 + 1).
+func NewReplicatedStore(quorum int, peers ...Store) (*ReplicatedStore, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("storage: replicated store needs at least one peer")
+	}
+	if quorum <= 0 {
+		quorum = len(peers)/2 + 1
+	}
+	if quorum > len(peers) {
+		return nil, fmt.Errorf("storage: quorum %d exceeds %d peers", quorum, len(peers))
+	}
+	return &ReplicatedStore{peers: append([]Store(nil), peers...), quorum: quorum}, nil
+}
+
+// Peers returns the underlying stores (shared, not copies) — recovery walks
+// them individually to restore from the best surviving replica.
+func (r *ReplicatedStore) Peers() []Store { return append([]Store(nil), r.peers...) }
+
+// Quorum returns the acknowledgement threshold.
+func (r *ReplicatedStore) Quorum() int { return r.quorum }
+
+// Target returns the first peer's bandwidth model.
+func (r *ReplicatedStore) Target() Target { return r.peers[0].Target() }
+
+// QuorumError reports a fan-out that fewer than Quorum peers acknowledged.
+// The per-peer failures are wrapped, so errors.Is sees through to causes
+// like remote.ErrPeerDark.
+type QuorumError struct {
+	Op     string
+	Acked  int
+	Quorum int
+	Errs   []error // one per failed peer, labelled
+}
+
+// Error summarizes the failed fan-out.
+func (e *QuorumError) Error() string {
+	msgs := make([]string, len(e.Errs))
+	for i, err := range e.Errs {
+		msgs[i] = err.Error()
+	}
+	return fmt.Sprintf("storage: %s acked by %d/%d peers (quorum %d): %s",
+		e.Op, e.Acked, e.Acked+len(e.Errs), e.Quorum, strings.Join(msgs, "; "))
+}
+
+// Unwrap exposes the per-peer errors to errors.Is/As.
+func (e *QuorumError) Unwrap() []error { return e.Errs }
+
+// fanOut runs op against every peer concurrently and returns nil once at
+// least quorum succeeded. A stale-sequence rejection counts as success: it
+// means that peer already holds the checkpoint (a retry after a lost ack),
+// and treating it as failure would wedge re-replication forever.
+func (r *ReplicatedStore) fanOut(ctx context.Context, name string, op func(ctx context.Context, peer Store) error) error {
+	errs := make([]error, len(r.peers))
+	var wg sync.WaitGroup
+	for i, peer := range r.peers {
+		wg.Add(1)
+		go func(i int, peer Store) {
+			defer wg.Done()
+			if err := op(ctx, peer); err != nil && !errors.Is(err, ErrStaleSeq) {
+				errs[i] = fmt.Errorf("peer %d: %w", i, err)
+			}
+		}(i, peer)
+	}
+	wg.Wait()
+	acked := 0
+	var failed []error
+	for _, err := range errs {
+		if err == nil {
+			acked++
+		} else {
+			failed = append(failed, err)
+		}
+	}
+	if acked >= r.quorum {
+		return nil
+	}
+	return &QuorumError{Op: name, Acked: acked, Quorum: r.quorum, Errs: failed}
+}
+
+// Put replicates the checkpoint to every peer, acknowledging on quorum.
+func (r *ReplicatedStore) Put(ctx context.Context, proc string, seq int, data []byte) error {
+	return r.fanOut(ctx, "put", func(ctx context.Context, peer Store) error {
+		return peer.Put(ctx, proc, seq, data)
+	})
+}
+
+// Delete removes proc's chain from every peer, acknowledging on quorum.
+func (r *ReplicatedStore) Delete(ctx context.Context, proc string) error {
+	return r.fanOut(ctx, "delete", func(ctx context.Context, peer Store) error {
+		return peer.Delete(ctx, proc)
+	})
+}
+
+// Truncate applies the housekeeping cut on every peer, acknowledging on
+// quorum.
+func (r *ReplicatedStore) Truncate(ctx context.Context, proc string, fullSeq int) error {
+	return r.fanOut(ctx, "truncate", func(ctx context.Context, peer Store) error {
+		return peer.Truncate(ctx, proc, fullSeq)
+	})
+}
+
+// Get returns the chain of the best surviving replica: the peer whose
+// readable chain reaches the highest sequence number, with the longest
+// chain breaking ties. Peers that cannot answer are skipped; Get fails only
+// when no peer answers at all.
+func (r *ReplicatedStore) Get(ctx context.Context, proc string) ([]Stored, []int, error) {
+	var (
+		bestChain   []Stored
+		bestMissing []int
+		answered    bool
+		errs        []error
+	)
+	for i, peer := range r.peers {
+		chain, missing, err := peer.Get(ctx, proc)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("peer %d: %w", i, err))
+			continue
+		}
+		if !answered || betterChain(chain, bestChain) {
+			bestChain, bestMissing = chain, missing
+		}
+		answered = true
+	}
+	if !answered {
+		return nil, nil, &QuorumError{Op: "get", Acked: 0, Quorum: 1, Errs: errs}
+	}
+	return bestChain, bestMissing, nil
+}
+
+// betterChain prefers the higher last sequence number, then the longer
+// chain.
+func betterChain(a, b []Stored) bool {
+	lastSeq := func(c []Stored) int {
+		if len(c) == 0 {
+			return -1 << 62
+		}
+		return c[len(c)-1].Seq
+	}
+	if la, lb := lastSeq(a), lastSeq(b); la != lb {
+		return la > lb
+	}
+	return len(a) > len(b)
+}
+
+// List returns the union of process names across the answering peers.
+func (r *ReplicatedStore) List(ctx context.Context) ([]string, error) {
+	seen := map[string]bool{}
+	var answered bool
+	var errs []error
+	for i, peer := range r.peers {
+		procs, err := peer.List(ctx)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("peer %d: %w", i, err))
+			continue
+		}
+		answered = true
+		for _, p := range procs {
+			seen[p] = true
+		}
+	}
+	if !answered {
+		return nil, &QuorumError{Op: "list", Acked: 0, Quorum: 1, Errs: errs}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Scrub scrubs every answering peer and merges the findings into one
+// report (seq lists are unions; Repaired is set when any peer repaired).
+func (r *ReplicatedStore) Scrub(ctx context.Context, proc string, repair bool) (*ScrubReport, error) {
+	merged := &ScrubReport{Proc: proc}
+	var answered bool
+	var errs []error
+	for i, peer := range r.peers {
+		rep, err := peer.Scrub(ctx, proc, repair)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("peer %d: %w", i, err))
+			continue
+		}
+		answered = true
+		merged.ManifestRebuilt = merged.ManifestRebuilt || rep.ManifestRebuilt
+		merged.Missing = append(merged.Missing, rep.Missing...)
+		merged.Corrupt = append(merged.Corrupt, rep.Corrupt...)
+		merged.Orphaned = append(merged.Orphaned, rep.Orphaned...)
+		merged.Adopted = append(merged.Adopted, rep.Adopted...)
+		merged.SizeFixed = append(merged.SizeFixed, rep.SizeFixed...)
+		merged.StrayRemoved = append(merged.StrayRemoved, rep.StrayRemoved...)
+		merged.Unknown = append(merged.Unknown, rep.Unknown...)
+		merged.Repaired = merged.Repaired || rep.Repaired
+	}
+	if !answered {
+		return nil, &QuorumError{Op: "scrub", Acked: 0, Quorum: 1, Errs: errs}
+	}
+	return merged, nil
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -104,7 +105,10 @@ func parseCkptName(name string) (int, bool) {
 // stray temp files, and rebuilding the manifest wholesale when it was
 // itself destroyed. Scrub never repairs chain-level damage (gaps, lost
 // anchors) — that is RestoreLatestGood's job.
-func (fs *FSStore) Scrub(proc string, repair bool) (*ScrubReport, error) {
+func (fs *FSStore) Scrub(ctx context.Context, proc string, repair bool) (*ScrubReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rep := &ScrubReport{Proc: proc}
 	dir := fs.procDir(proc)
 	entries, err := fs.fsys.ReadDir(dir)

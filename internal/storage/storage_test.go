@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -73,60 +74,93 @@ func TestCompressTimeComponents(t *testing.T) {
 	}
 }
 
-func TestLevelStorePutChain(t *testing.T) {
-	ls := NewLevelStore(Target{BandwidthBps: 10})
-	if _, err := ls.Put("p", 0, []byte("aaaa")); err != nil {
-		t.Fatal(err)
-	}
-	sec, err := ls.Put("p", 1, []byte("bb"))
+// mustChain fetches proc's chain, failing the test on error.
+func mustChain(t *testing.T, s Store, proc string) []Stored {
+	t.Helper()
+	chain, _, err := s.Get(context.Background(), proc)
 	if err != nil {
+		t.Fatalf("Get(%s): %v", proc, err)
+	}
+	return chain
+}
+
+func TestLevelStorePutChain(t *testing.T) {
+	ctx := context.Background()
+	ls := NewLevelStore(Target{BandwidthBps: 10})
+	if err := ls.Put(ctx, "p", 0, []byte("aaaa")); err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(sec-0.2) > 1e-12 {
-		t.Fatalf("write time = %v", sec)
+	if err := ls.Put(ctx, "p", 1, []byte("bb")); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := ls.Put("p", 1, []byte("dup")); err == nil {
+	if err := ls.Put(ctx, "p", 1, []byte("dup")); err == nil {
 		t.Fatal("non-monotonic seq accepted")
 	}
-	chain := ls.Chain("p")
+	chain := mustChain(t, ls, "p")
 	if len(chain) != 2 || chain[0].Seq != 0 || chain[1].Seq != 1 {
 		t.Fatalf("chain = %v", chain)
 	}
 	if ls.Bytes("p") != 6 {
 		t.Fatalf("bytes = %d", ls.Bytes("p"))
 	}
+	// The modelled write cost comes from the target.
+	if sec := ls.Target().TransferTime(2); math.Abs(sec-0.2) > 1e-12 {
+		t.Fatalf("write time = %v", sec)
+	}
 	// Stored data must be a copy.
 	orig := []byte("mut")
-	ls.Put("q", 0, orig)
+	ls.Put(ctx, "q", 0, orig)
 	orig[0] = 'X'
-	if string(ls.Chain("q")[0].Data) != "mut" {
+	if string(mustChain(t, ls, "q")[0].Data) != "mut" {
 		t.Fatal("store aliased caller buffer")
+	}
+	procs, err := ls.List(ctx)
+	if err != nil || len(procs) != 2 || procs[0] != "p" || procs[1] != "q" {
+		t.Fatalf("List = %v, %v", procs, err)
 	}
 }
 
-func TestLevelStoreTruncateAfterFull(t *testing.T) {
+func TestLevelStoreTruncate(t *testing.T) {
+	ctx := context.Background()
 	ls := NewLevelStore(Target{BandwidthBps: 1})
 	for seq := 0; seq < 6; seq++ {
-		ls.Put("p", seq, []byte{byte(seq)})
+		ls.Put(ctx, "p", seq, []byte{byte(seq)})
 	}
-	ls.TruncateAfterFull("p", 4)
-	chain := ls.Chain("p")
+	if err := ls.Truncate(ctx, "p", 4); err != nil {
+		t.Fatal(err)
+	}
+	chain := mustChain(t, ls, "p")
 	if len(chain) != 2 || chain[0].Seq != 4 {
 		t.Fatalf("chain after truncate = %v", chain)
 	}
 }
 
 func TestLevelStoreWipe(t *testing.T) {
+	ctx := context.Background()
 	ls := NewLevelStore(Target{BandwidthBps: 1})
-	ls.Put("a", 0, []byte{1})
-	ls.Put("b", 0, []byte{2})
-	ls.WipeProc("a")
-	if len(ls.Chain("a")) != 0 || len(ls.Chain("b")) != 1 {
-		t.Fatal("WipeProc")
+	ls.Put(ctx, "a", 0, []byte{1})
+	ls.Put(ctx, "b", 0, []byte{2})
+	if err := ls.Delete(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(mustChain(t, ls, "a")) != 0 || len(mustChain(t, ls, "b")) != 1 {
+		t.Fatal("Delete")
 	}
 	ls.Wipe()
-	if len(ls.Chain("b")) != 0 {
+	if len(mustChain(t, ls, "b")) != 0 {
 		t.Fatal("Wipe")
+	}
+}
+
+func TestLevelStoreContextCancelled(t *testing.T) {
+	ls := NewLevelStore(Target{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ls.Put(ctx, "p", 0, []byte{1}); err == nil {
+		t.Fatal("Put with cancelled context must fail")
+	}
+	if _, _, err := ls.Get(ctx, "p"); err == nil {
+		t.Fatal("Get with cancelled context must fail")
 	}
 }
 

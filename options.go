@@ -1,0 +1,172 @@
+package aic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aic/internal/ckpt"
+	"aic/internal/remote"
+	"aic/internal/storage"
+)
+
+// Store is the checkpoint storage contract the facade programs against:
+// anything satisfying it — the built-in directory store, an in-memory
+// model store, a networked replication peer — can back a CheckpointDir.
+// It is an alias for the internal interface, so the facade, the recovery
+// manager and the replication transport all agree on one type.
+type Store = storage.Store
+
+// Stored is one element of a stored checkpoint chain.
+type Stored = storage.Stored
+
+// StoreTarget models a store's bandwidth/latency (used by the simulation
+// paths; a zero value is fine for real storage).
+type StoreTarget = storage.Target
+
+// StoreScrubReport is the store-level scrub report type custom Store
+// implementations return; CheckpointDir.Scrub re-exposes it in facade shape.
+type StoreScrubReport = storage.ScrubReport
+
+// ErrDegraded marks a checkpoint that is durable locally but failed to reach
+// its replication quorum: the system keeps running in degraded local-only
+// mode, and the caller decides whether that redundancy loss is tolerable.
+var ErrDegraded = errors.New("aic: replication degraded to local-only")
+
+// DegradedError carries the quorum failure behind an ErrDegraded result.
+type DegradedError struct {
+	Op  string
+	Err error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("%v: %s: %v", ErrDegraded, e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying quorum error (a storage.QuorumError when
+// the peer fan-out missed quorum).
+func (e *DegradedError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrDegraded) true for DegradedError values.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
+
+// Replication configures checkpoint fan-out to peer stores.
+type Replication struct {
+	// Peers are replication server addresses (host:port) reached over the
+	// wire protocol (see cmd/aicd).
+	Peers []string
+	// Stores are pre-built peer stores appended after the dialed Peers —
+	// custom transports, or in-process stores in tests.
+	Stores []Store
+	// Quorum is how many peers must acknowledge a checkpoint before the
+	// append counts as replicated; 0 selects a majority of the peers.
+	Quorum int
+	// DialTimeout, OpTimeout and Retries tune the per-peer client's
+	// robustness envelope; zero values select the remote package defaults
+	// (5s, 30s, 4 retries with exponential backoff and jitter).
+	DialTimeout time.Duration
+	OpTimeout   time.Duration
+	Retries     int
+}
+
+// Option configures the facade constructors (NewProcess,
+// OpenCheckpointDir). Options irrelevant to a constructor are ignored, so
+// one option set can configure a whole deployment.
+type Option func(*config)
+
+type config struct {
+	parallelism int
+	store       Store
+	repl        *Replication
+}
+
+// WithParallelism sets the number of workers a Process's delta encoder fans
+// dirty pages across: 0 (the default) uses all of GOMAXPROCS — the paper's
+// dedicated-core compression model — and 1 forces the serial encoder. The
+// encoded stream is byte-identical either way, so the knob only trades
+// latency against core usage.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// WithStore backs a CheckpointDir with a custom Store instead of the
+// default directory store (the dir argument is then ignored).
+func WithStore(s Store) Option {
+	return func(c *config) { c.store = s }
+}
+
+// WithReplication fans every CheckpointDir.Append out to the configured
+// peer group after the local write succeeds. See Replication and
+// CheckpointDir.Append for the degraded-mode semantics.
+func WithReplication(r Replication) Option {
+	return func(c *config) { c.repl = &r }
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
+}
+
+// OpenCheckpointDir opens (creating if needed) a checkpoint directory.
+// Options may replace the backing store (WithStore) and add peer
+// replication (WithReplication).
+func OpenCheckpointDir(dir string, opts ...Option) (*CheckpointDir, error) {
+	c := buildConfig(opts)
+	local := c.store
+	if local == nil {
+		fs, err := storage.NewFSStore(dir, storage.Target{Name: "dir"})
+		if err != nil {
+			return nil, err
+		}
+		local = fs
+	}
+	d := &CheckpointDir{store: local, local: local}
+	if c.repl == nil {
+		return d, nil
+	}
+	var (
+		peers   []storage.Store
+		remotes []*remote.RemoteStore
+	)
+	for _, addr := range c.repl.Peers {
+		rs := remote.NewStore(addr, remote.Config{
+			DialTimeout: c.repl.DialTimeout,
+			OpTimeout:   c.repl.OpTimeout,
+			Retries:     c.repl.Retries,
+		})
+		remotes = append(remotes, rs)
+		peers = append(peers, rs)
+	}
+	for _, s := range c.repl.Stores {
+		peers = append(peers, s)
+	}
+	group, err := storage.NewReplicatedStore(c.repl.Quorum, peers...)
+	if err != nil {
+		for _, rs := range remotes {
+			rs.Close()
+		}
+		return nil, fmt.Errorf("aic: replication: %w", err)
+	}
+	d.peers = group
+	d.closer = func() error {
+		var first error
+		for _, rs := range remotes {
+			if err := rs.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return d, nil
+}
+
+// applyProcessOptions wires constructor options into a Process.
+func applyProcessOptions(p *Process, opts []Option) {
+	c := buildConfig(opts)
+	if c.parallelism != 0 {
+		ckpt.WithParallelism(c.parallelism)(p.builder)
+	}
+}

@@ -1,0 +1,237 @@
+package aic_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"aic"
+	"aic/internal/remote"
+	"aic/internal/storage"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []aic.Options{
+		{FailureRate: math.NaN()},
+		{FailureRate: -1},
+		{Scale: math.Inf(1)},
+		{Scale: math.NaN()},
+		{FixedInterval: -3},
+		{FullCheckpointEvery: -1},
+		{Policy: aic.Policy(99)},
+		{Compressor: aic.Compressor(-2)},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, o)
+		}
+		if _, err := aic.RunBenchmark("milc", o); err == nil {
+			t.Errorf("case %d: RunBenchmark accepted %+v", i, o)
+		}
+	}
+	if err := (aic.Options{}).Validate(); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+}
+
+func TestProgramSpecValidate(t *testing.T) {
+	good := aic.ProgramSpec{
+		Name: "ok", BaseTime: 10, Pages: 64,
+		Phases: []aic.Phase{{Duration: 1, Rate: 5, RegionLo: 0, RegionHi: 64}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	mutate := []func(*aic.ProgramSpec){
+		func(s *aic.ProgramSpec) { s.Pages = 0 },
+		func(s *aic.ProgramSpec) { s.BaseTime = 0 },
+		func(s *aic.ProgramSpec) { s.BaseTime = math.NaN() },
+		func(s *aic.ProgramSpec) { s.Phases = nil },
+		func(s *aic.ProgramSpec) { s.Phases[0].Duration = -1 },
+		func(s *aic.ProgramSpec) { s.Phases[0].Rate = math.Inf(1) },
+		func(s *aic.ProgramSpec) { s.Phases[0].RegionHi = 1000 },
+		func(s *aic.ProgramSpec) { s.Phases[0].RegionLo = 64 },
+		func(s *aic.ProgramSpec) { s.Phases[0].Fraction = 1.5 },
+		func(s *aic.ProgramSpec) { s.Phases[0].Pattern = aic.AccessPattern(9) },
+		func(s *aic.ProgramSpec) { s.Phases[0].Mode = aic.ContentMode(-1) },
+	}
+	for i, mut := range mutate {
+		s := good
+		s.Phases = append([]aic.Phase(nil), good.Phases...)
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+		if _, err := aic.RunProgram(s, aic.Options{}); err == nil {
+			t.Errorf("mutation %d ran", i)
+		}
+	}
+}
+
+func TestNewProcessWithParallelism(t *testing.T) {
+	// The option and the deprecated setter configure the same knob, and the
+	// encoded stream is identical regardless of worker count.
+	mk := func(opts ...aic.Option) *aic.Process {
+		p := aic.NewProcess(512, opts...)
+		for i := 0; i < 16; i++ {
+			p.Write(uint64(i), 0, bytes.Repeat([]byte{byte(i)}, 512))
+		}
+		p.FullCheckpoint()
+		for i := 0; i < 16; i += 2 {
+			p.Write(uint64(i), 7, []byte("dirty"))
+		}
+		return p
+	}
+	serial := mk(aic.WithParallelism(1))
+	parallel := mk(aic.WithParallelism(4))
+	legacy := mk()
+	legacy.SetParallelism(4)
+	d1, _ := serial.DeltaCheckpoint()
+	d2, _ := parallel.DeltaCheckpoint()
+	d3, _ := legacy.DeltaCheckpoint()
+	if !bytes.Equal(d1, d2) || !bytes.Equal(d1, d3) {
+		t.Fatal("parallelism changed the encoded stream")
+	}
+}
+
+// startPeer runs a replication server over a LevelStore and returns its
+// address, the server and its backing store.
+func startPeer(t *testing.T) (string, *remote.Server, *storage.LevelStore) {
+	t.Helper()
+	backing := storage.NewLevelStore(storage.Target{Name: "peer"})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.NewServer(backing, remote.ServerConfig{})
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), srv, backing
+}
+
+func TestCheckpointDirReplication(t *testing.T) {
+	addr1, _, peer1 := startPeer(t)
+	addr2, srv2, _ := startPeer(t)
+
+	dir, err := aic.OpenCheckpointDir(t.TempDir(), aic.WithReplication(aic.Replication{
+		Peers:       []string{addr1, addr2},
+		Quorum:      2,
+		DialTimeout: time.Second,
+		OpTimeout:   5 * time.Second,
+		Retries:     1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+
+	p := aic.NewProcess(512)
+	for i := 0; i < 8; i++ {
+		p.Write(uint64(i), 0, bytes.Repeat([]byte{byte(i + 1)}, 512))
+	}
+	full := p.FullCheckpoint()
+	if err := dir.Append("job", p.Seq()-1, full); err != nil {
+		t.Fatalf("replicated append: %v", err)
+	}
+	p.Write(3, 0, []byte("delta delta"))
+	delta, _ := p.DeltaCheckpoint()
+	if err := dir.Append("job", p.Seq()-1, delta); err != nil {
+		t.Fatalf("replicated append: %v", err)
+	}
+	// A label that contradicts the frame's own seq is rejected before it
+	// can poison local or remote manifests.
+	if err := dir.Append("job", p.Seq()+7, delta); err == nil {
+		t.Fatal("mislabelled append accepted")
+	}
+
+	// Both peers hold the chain.
+	if chain, _, err := peer1.Get(t.Context(), "job"); err != nil || len(chain) != 2 {
+		t.Fatalf("peer1 chain = %d elements, %v", len(chain), err)
+	}
+
+	// One peer dies: quorum 2 of 2 is unreachable, but the checkpoint is
+	// still durable locally — Append degrades instead of failing outright.
+	srv2.Close()
+	p.Write(4, 0, []byte("second delta"))
+	delta2, _ := p.DeltaCheckpoint()
+	err = dir.Append("job", p.Seq()-1, delta2)
+	if !errors.Is(err, aic.ErrDegraded) {
+		t.Fatalf("append with a dead peer = %v, want ErrDegraded", err)
+	}
+	var de *aic.DegradedError
+	if !errors.As(err, &de) || de.Err == nil {
+		t.Fatalf("degraded error carries no cause: %v", err)
+	}
+	// The local chain is intact despite the degraded replication.
+	chain, err := dir.Chain("job")
+	if err != nil || len(chain) != 3 {
+		t.Fatalf("local chain = %d elements, %v", len(chain), err)
+	}
+
+	// Disaster: the local directory loses the process; the survivor peer
+	// carries the restore, byte-identical up to the replicated prefix.
+	if err := dir.Remove("job"); err != nil {
+		t.Fatal(err)
+	}
+	im, rep, err := dir.RestoreBestReplica("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The surviving peer acked the degraded append (only the dead peer
+	// missed it), so the restore reaches seq 2 — the live image.
+	if rep.LastSeq != 2 {
+		t.Fatalf("survivor restored through seq %d, want 2", rep.LastSeq)
+	}
+	if !im.Matches(p) {
+		t.Fatal("restored image differs from the live process")
+	}
+}
+
+func TestCheckpointDirWithStore(t *testing.T) {
+	backing := storage.NewLevelStore(storage.Target{Name: "mem"})
+	dir, err := aic.OpenCheckpointDir("", aic.WithStore(backing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+	p := aic.NewProcess(256)
+	p.Write(0, 0, []byte("hello"))
+	full := p.FullCheckpoint()
+	if err := dir.Append("m", p.Seq()-1, full); err != nil {
+		t.Fatal(err)
+	}
+	if chain, _, err := backing.Get(t.Context(), "m"); err != nil || len(chain) != 1 {
+		t.Fatalf("custom store chain = %d, %v", len(chain), err)
+	}
+	im, _, err := dir.RestoreLatestGood("m")
+	if err != nil || !im.Matches(p) {
+		t.Fatalf("restore through custom store: %v", err)
+	}
+}
+
+func TestReplicationQuorumDefaultsToMajority(t *testing.T) {
+	s1 := storage.NewLevelStore(storage.Target{Name: "a"})
+	s2 := storage.NewLevelStore(storage.Target{Name: "b"})
+	s3 := storage.NewLevelStore(storage.Target{Name: "c"})
+	dir, err := aic.OpenCheckpointDir(t.TempDir(), aic.WithReplication(aic.Replication{
+		Stores: []aic.Store{s1, s2, s3},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+	if err := dir.Append("p", 0, []byte("onlyseq")); err == nil {
+		// Raw bytes are fine for the stores; the append must reach all
+		// three in-memory peers.
+		for i, s := range []*storage.LevelStore{s1, s2, s3} {
+			if chain, _, _ := s.Get(t.Context(), "p"); len(chain) != 1 {
+				t.Fatalf("peer %d missed the append", i)
+			}
+		}
+	} else {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package aic
 
 import (
 	"fmt"
+	"math"
 
 	"aic/internal/workload"
 )
@@ -52,6 +53,39 @@ type ProgramSpec struct {
 	Phases   []Phase
 }
 
+// Validate rejects specs the synthesizer cannot turn into a sane workload:
+// a zero or negative footprint, a non-positive base time, NaN/infinite
+// parameters, and phases whose regions or rates are malformed.
+func (s ProgramSpec) Validate() error {
+	if s.Pages <= 0 {
+		return fmt.Errorf("aic: program %q has footprint of %d pages (want > 0)", s.Name, s.Pages)
+	}
+	if math.IsNaN(s.BaseTime) || math.IsInf(s.BaseTime, 0) || s.BaseTime <= 0 {
+		return fmt.Errorf("aic: program %q has base time %v (want > 0 virtual seconds)", s.Name, s.BaseTime)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("aic: program %q has no phases", s.Name)
+	}
+	for i, p := range s.Phases {
+		switch {
+		case math.IsNaN(p.Duration) || math.IsInf(p.Duration, 0) || p.Duration <= 0:
+			return fmt.Errorf("aic: program %q phase %d: duration %v (want > 0)", s.Name, i, p.Duration)
+		case math.IsNaN(p.Rate) || math.IsInf(p.Rate, 0) || p.Rate < 0:
+			return fmt.Errorf("aic: program %q phase %d: rate %v (want ≥ 0)", s.Name, i, p.Rate)
+		case p.RegionLo < 0 || p.RegionHi > s.Pages || p.RegionLo >= p.RegionHi:
+			return fmt.Errorf("aic: program %q phase %d: region [%d, %d) outside footprint of %d pages",
+				s.Name, i, p.RegionLo, p.RegionHi, s.Pages)
+		case p.Pattern < Sweep || p.Pattern > Hotspot:
+			return fmt.Errorf("aic: program %q phase %d: unknown access pattern %d", s.Name, i, int(p.Pattern))
+		case p.Mode < Scramble || p.Mode > Tick:
+			return fmt.Errorf("aic: program %q phase %d: unknown content mode %d", s.Name, i, int(p.Mode))
+		case math.IsNaN(p.Fraction) || p.Fraction < 0 || p.Fraction > 1:
+			return fmt.Errorf("aic: program %q phase %d: fraction %v outside [0, 1] (0 selects the default)", s.Name, i, p.Fraction)
+		}
+	}
+	return nil
+}
+
 func (s ProgramSpec) build(seed uint64) (prog workload.Program, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -75,6 +109,12 @@ func (s ProgramSpec) build(seed uint64) (prog workload.Program, err error) {
 
 // RunProgram executes a custom workload under the given options.
 func RunProgram(spec ProgramSpec, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.normalize()
 	prog, err := spec.build(opts.Seed)
 	if err != nil {
