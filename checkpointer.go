@@ -201,9 +201,13 @@ func (p *Process) Seq() int { return p.builder.Seq() }
 // later (or by another program) — but it programs only against the
 // storage.Store contract, so WithStore can swap in any backend and
 // WithReplication fans every append out to remote peers.
+//
+// With replication configured, mutations (Append, Truncate, Remove) land on
+// the local store first and then fan out to the peer group; reads (Chain,
+// Procs, Scrub, RestoreLatestGood) consult only the local replica —
+// RestoreBestReplica is the path that consults the peers.
 type CheckpointDir struct {
-	store  storage.Store
-	local  storage.Store            // the store Append writes first (== store unless replicating)
+	local  storage.Store            // every operation's first (and reads' only) stop
 	peers  *storage.ReplicatedStore // nil unless replication is configured
 	closer func() error
 }
@@ -236,11 +240,12 @@ func (d *CheckpointDir) Append(proc string, seq int, encoded []byte) error {
 	return nil
 }
 
-// Chain returns the stored chain for proc in sequence order, ready for
-// RestoreImage. It fails when elements of the chain are unreadable; use
-// RestoreLatestGood to salvage a damaged chain.
+// Chain returns the locally stored chain for proc in sequence order, ready
+// for RestoreImage. It fails when elements of the chain are unreadable; use
+// RestoreLatestGood to salvage a damaged chain (or RestoreBestReplica to
+// consult the replication peers too).
 func (d *CheckpointDir) Chain(proc string) ([][]byte, error) {
-	stored, missing, err := d.store.Get(context.Background(), proc)
+	stored, missing, err := d.local.Get(context.Background(), proc)
 	if err != nil {
 		return nil, err
 	}
@@ -255,19 +260,42 @@ func (d *CheckpointDir) Chain(proc string) ([][]byte, error) {
 }
 
 // Truncate drops checkpoints before fullSeq (housekeeping after a periodic
-// full checkpoint).
+// full checkpoint). Like Append, it applies locally first and then fans out
+// to the replication peers, so peer chains stay bounded along with the
+// local one; a missed peer quorum returns a DegradedError after the local
+// truncate succeeded.
 func (d *CheckpointDir) Truncate(proc string, fullSeq int) error {
-	return d.store.Truncate(context.Background(), proc, fullSeq)
+	ctx := context.Background()
+	if err := d.local.Truncate(ctx, proc, fullSeq); err != nil {
+		return err
+	}
+	if d.peers != nil {
+		if err := d.peers.Truncate(ctx, proc, fullSeq); err != nil {
+			return &DegradedError{Op: "truncate", Err: err}
+		}
+	}
+	return nil
 }
 
-// Remove deletes a process's chain.
+// Remove deletes a process's chain — locally and, with replication
+// configured, on the peer group; a missed peer quorum returns a
+// DegradedError after the local delete succeeded.
 func (d *CheckpointDir) Remove(proc string) error {
-	return d.store.Delete(context.Background(), proc)
+	ctx := context.Background()
+	if err := d.local.Delete(ctx, proc); err != nil {
+		return err
+	}
+	if d.peers != nil {
+		if err := d.peers.Delete(ctx, proc); err != nil {
+			return &DegradedError{Op: "remove", Err: err}
+		}
+	}
+	return nil
 }
 
-// Procs lists the process names with chains in the directory.
+// Procs lists the process names with chains in the local store.
 func (d *CheckpointDir) Procs() ([]string, error) {
-	return d.store.List(context.Background())
+	return d.local.List(context.Background())
 }
 
 // Close releases resources held by the backing store (network connections to
@@ -307,7 +335,7 @@ func (r *ScrubReport) Clean() bool {
 // dropped, corrupt files and unacknowledged orphans deleted, stray temp
 // files cleared, and a destroyed manifest rebuilt from the surviving files.
 func (d *CheckpointDir) Scrub(proc string, repair bool) (*ScrubReport, error) {
-	rep, err := d.store.Scrub(context.Background(), proc, repair)
+	rep, err := d.local.Scrub(context.Background(), proc, repair)
 	if err != nil {
 		return nil, err
 	}
@@ -329,7 +357,7 @@ func (d *CheckpointDir) Scrub(proc string, repair bool) (*ScrubReport, error) {
 // truncated and corrupt elements. The report's values are stored sequence
 // numbers; missing files appear under Discarded.
 func (d *CheckpointDir) RestoreLatestGood(proc string) (*Image, *RestoreReport, error) {
-	chain, missing, err := d.store.Get(context.Background(), proc)
+	chain, missing, err := d.local.Get(context.Background(), proc)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -206,8 +206,9 @@ func asRemoteErr(payload []byte) error {
 }
 
 // do runs op with the retry/backoff/deadline envelope. op gets a live
-// connection with its deadline already set; transport failures drop the
-// connection and retry, application errors return immediately.
+// connection with its deadline already set; any failure drops the
+// connection (see below), transport failures retry, application errors
+// return immediately.
 func (r *RemoteStore) do(ctx context.Context, op func(conn net.Conn, br *bufio.Reader) error) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -242,12 +243,17 @@ func (r *RemoteStore) do(ctx context.Context, op func(conn net.Conn, br *bufio.R
 			r.conn.SetDeadline(time.Time{})
 			return nil
 		}
+		// Every error drops the connection, application-level ones included:
+		// an error frame can arrive mid-transfer (a windowed Put with acks
+		// still in flight), leaving replies buffered that the next operation
+		// would misread as its own. Reconnecting is cheap; a desynchronized
+		// session is not. The error itself stays terminal — the peer's
+		// answer will not change on retry.
+		r.dropLocked()
 		var re *remoteError
 		if errors.As(err, &re) {
-			r.conn.SetDeadline(time.Time{})
 			return err
 		}
-		r.dropLocked()
 		lastErr = err
 	}
 	return fmt.Errorf("%w: %s after %d attempts: %v", ErrPeerDark, r.addr, r.cfg.Retries+1, lastErr)

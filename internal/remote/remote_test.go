@@ -185,6 +185,66 @@ func TestRemotePutIdempotent(t *testing.T) {
 	}
 }
 
+func TestDeleteInvalidatesCommittedCache(t *testing.T) {
+	backing := storage.NewLevelStore(storage.Target{Name: "peer"})
+	rs := NewStore(startServer(t, backing), testConfig())
+	defer rs.Close()
+
+	data := bytes.Repeat([]byte("d"), 600)
+	if err := rs.Put(ctx, "p0", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Delete(ctx, "p0"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-Put of the same (proc, seq, bytes) must actually write: a stale
+	// committed entry would ack it while the store holds nothing.
+	if err := rs.Put(ctx, "p0", 0, data); err != nil {
+		t.Fatalf("re-put after delete: %v", err)
+	}
+	if got := mustGetBytes(t, rs, "p0", 0); !bytes.Equal(got, data) {
+		t.Fatal("re-put after delete stored wrong bytes")
+	}
+	// And a rebuilt chain with different content must not be condemned as
+	// a permanent conflict by the deleted chain's ghost.
+	if err := rs.Delete(ctx, "p0"); err != nil {
+		t.Fatal(err)
+	}
+	other := bytes.Repeat([]byte("e"), 600)
+	if err := rs.Put(ctx, "p0", 0, other); err != nil {
+		t.Fatalf("rebuilding the chain after delete: %v", err)
+	}
+	if got := mustGetBytes(t, rs, "p0", 0); !bytes.Equal(got, other) {
+		t.Fatal("rebuilt chain stored wrong bytes")
+	}
+}
+
+func TestTruncateInvalidatesCommittedCache(t *testing.T) {
+	backing := storage.NewLevelStore(storage.Target{Name: "peer"})
+	rs := NewStore(startServer(t, backing), testConfig())
+	defer rs.Close()
+
+	for seq := 0; seq < 3; seq++ {
+		if err := rs.Put(ctx, "p0", seq, bytes.Repeat([]byte{byte('a' + seq)}, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rs.Truncate(ctx, "p0", 2); err != nil {
+		t.Fatal(err)
+	}
+	// The truncated seqs are gone from the store; a re-Put below the cut
+	// must be refused honestly (the chain tail is still seq 2), not acked
+	// out of the stale committed cache.
+	err := rs.Put(ctx, "p0", 1, bytes.Repeat([]byte{'b'}, 300))
+	if !errors.Is(err, storage.ErrStaleSeq) {
+		t.Fatalf("re-put below the truncation cut = %v, want ErrStaleSeq", err)
+	}
+	// The surviving seq is untouched and still idempotently re-puttable.
+	if err := rs.Put(ctx, "p0", 2, bytes.Repeat([]byte{'c'}, 300)); err != nil {
+		t.Fatalf("re-put of surviving seq: %v", err)
+	}
+}
+
 func TestRemoteStaleSeqSentinel(t *testing.T) {
 	backing := storage.NewLevelStore(storage.Target{Name: "peer"})
 	rs := NewStore(startServer(t, backing), testConfig())

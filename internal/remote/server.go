@@ -306,7 +306,14 @@ func (s *Server) serveConn(conn net.Conn) error {
 			if err := decodeJSON(payload, &m); err != nil {
 				return err
 			}
-			if err := s.reply(conn, s.store.Delete(ctx, m.Proc)); err != nil {
+			delErr := s.store.Delete(ctx, m.Proc)
+			if delErr == nil {
+				// The store no longer holds the chain: stale committed and
+				// staging entries would otherwise ack a re-Put of a deleted
+				// checkpoint without writing anything.
+				s.forget(m.Proc, func(int) bool { return true })
+			}
+			if err := s.reply(conn, delErr); err != nil {
 				return err
 			}
 
@@ -315,7 +322,11 @@ func (s *Server) serveConn(conn net.Conn) error {
 			if err := decodeJSON(payload, &m); err != nil {
 				return err
 			}
-			if err := s.reply(conn, s.store.Truncate(ctx, m.Proc, m.FullSeq)); err != nil {
+			truncErr := s.store.Truncate(ctx, m.Proc, m.FullSeq)
+			if truncErr == nil {
+				s.forget(m.Proc, func(seq int) bool { return seq < m.FullSeq })
+			}
+			if err := s.reply(conn, truncErr); err != nil {
 				return err
 			}
 
@@ -342,7 +353,9 @@ func (s *Server) serveConn(conn net.Conn) error {
 }
 
 // beginPut opens (or resumes) a transfer, answering with the offset the
-// client should send from.
+// client should send from. The store probe for a possibly-restarted server
+// runs outside s.mu — it does real I/O, and holding the mutex across it
+// would serialize every other transfer behind one disk read.
 func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key string, reply putOffsetMsg, err error) {
 	if m.Proc == "" || m.Seq < 0 || m.Size < 0 {
 		return "", reply, fmt.Errorf("remote: malformed put-begin %+v", m)
@@ -352,20 +365,41 @@ func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key string, reply
 	}
 	key = stagingKey(m.Proc, m.Seq)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if crc, ok := s.committed[key]; ok {
+		s.mu.Unlock()
 		if crc != m.CRC {
 			return "", reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
 		}
 		return key, putOffsetMsg{Offset: m.Size, Committed: true}, nil
 	}
+	// A matching staging entry implies the object is not committed (commit
+	// removes the entry under the same lock), so a resume needs no store
+	// probe.
+	if st := s.staging[key]; st != nil && st.size == m.Size && st.crc == m.CRC {
+		reply = putOffsetMsg{Offset: int64(len(st.buf))}
+		s.mu.Unlock()
+		return key, reply, nil
+	}
+	s.mu.Unlock()
+
 	// The server may have restarted since the object was committed: consult
 	// the store itself before treating this as a fresh transfer.
 	if crc, ok := s.storedCRC(ctx, m.Proc, m.Seq); ok {
 		if crc != m.CRC {
 			return "", reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
 		}
+		s.mu.Lock()
 		s.committed[key] = crc
+		s.mu.Unlock()
+		return key, putOffsetMsg{Offset: m.Size, Committed: true}, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if crc, ok := s.committed[key]; ok {
+		// Another connection committed the object while we probed the store.
+		if crc != m.CRC {
+			return "", reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
+		}
 		return key, putOffsetMsg{Offset: m.Size, Committed: true}, nil
 	}
 	st := s.staging[key]
@@ -377,8 +411,17 @@ func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key string, reply
 }
 
 // storedCRC looks up an already-stored element's CRC. It never touches s.mu
-// (safe with or without it held); the underlying store does its own locking.
+// (the lookup does store I/O, so callers must not hold it); the underlying
+// store does its own locking. Stores exposing the single-element probe are
+// consulted in O(1 element) I/O; others pay a full chain Get.
 func (s *Server) storedCRC(ctx context.Context, proc string, seq int) (uint32, bool) {
+	if eg, ok := s.store.(storage.ElemGetter); ok {
+		data, found, err := eg.GetElem(ctx, proc, seq)
+		if err != nil || !found {
+			return 0, false
+		}
+		return crc32.Checksum(data, crcTable), true
+	}
 	chain, _, err := s.store.Get(ctx, proc)
 	if err != nil {
 		return 0, false
@@ -389,6 +432,24 @@ func (s *Server) storedCRC(ctx context.Context, proc string, seq int) (uint32, b
 		}
 	}
 	return 0, false
+}
+
+// forget purges committed and staging entries for proc whose sequence
+// matches drop — Delete and Truncate change what the store holds, and a
+// stale committed entry would ack a later re-Put without storing anything.
+func (s *Server) forget(proc string, drop func(seq int) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.committed {
+		if p, seq := splitKey(key); p == proc && drop(seq) {
+			delete(s.committed, key)
+		}
+	}
+	for key := range s.staging {
+		if p, seq := splitKey(key); p == proc && drop(seq) {
+			delete(s.staging, key)
+		}
+	}
 }
 
 // commitPut verifies the staged object and makes it durable.

@@ -185,6 +185,31 @@ func (fs *FSStore) Get(ctx context.Context, proc string) (chain []Stored, missin
 	return chain, missing, nil
 }
 
+// GetElem returns the single stored element for (proc, seq) — one manifest
+// load plus one file read, regardless of chain length. A manifest entry
+// whose file is unreadable reports ok=false, matching Get's missing
+// classification.
+func (fs *FSStore) GetElem(ctx context.Context, proc string, seq int) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	m, err := fs.loadManifest(proc)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, s := range m.Seqs {
+		if s != seq {
+			continue
+		}
+		data, err := fs.fsys.ReadFile(filepath.Join(fs.procDir(proc), ckptFile(seq)))
+		if err != nil {
+			return nil, false, nil
+		}
+		return data, true, nil
+	}
+	return nil, false, nil
+}
+
 // Truncate drops checkpoints older than fullSeq, deleting their files.
 func (fs *FSStore) Truncate(ctx context.Context, proc string, fullSeq int) error {
 	if err := ctx.Err(); err != nil {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -69,9 +70,7 @@ func (e *QuorumError) Error() string {
 func (e *QuorumError) Unwrap() []error { return e.Errs }
 
 // fanOut runs op against every peer concurrently and returns nil once at
-// least quorum succeeded. A stale-sequence rejection counts as success: it
-// means that peer already holds the checkpoint (a retry after a lost ack),
-// and treating it as failure would wedge re-replication forever.
+// least quorum succeeded.
 func (r *ReplicatedStore) fanOut(ctx context.Context, name string, op func(ctx context.Context, peer Store) error) error {
 	errs := make([]error, len(r.peers))
 	var wg sync.WaitGroup
@@ -79,7 +78,7 @@ func (r *ReplicatedStore) fanOut(ctx context.Context, name string, op func(ctx c
 		wg.Add(1)
 		go func(i int, peer Store) {
 			defer wg.Done()
-			if err := op(ctx, peer); err != nil && !errors.Is(err, ErrStaleSeq) {
+			if err := op(ctx, peer); err != nil {
 				errs[i] = fmt.Errorf("peer %d: %w", i, err)
 			}
 		}(i, peer)
@@ -101,10 +100,42 @@ func (r *ReplicatedStore) fanOut(ctx context.Context, name string, op func(ctx c
 }
 
 // Put replicates the checkpoint to every peer, acknowledging on quorum.
+// A peer rejecting the Put with ErrStaleSeq counts as an ack only when it
+// verifiably holds identical bytes at that sequence (a retry after a lost
+// ack); a stale-seq from a diverged chain — same seq with different
+// content, or a higher last seq after the chain restarted elsewhere — is a
+// failure, because the peer did not store the checkpoint.
 func (r *ReplicatedStore) Put(ctx context.Context, proc string, seq int, data []byte) error {
 	return r.fanOut(ctx, "put", func(ctx context.Context, peer Store) error {
-		return peer.Put(ctx, proc, seq, data)
+		err := peer.Put(ctx, proc, seq, data)
+		if err == nil || !errors.Is(err, ErrStaleSeq) {
+			return err
+		}
+		if holdsIdentical(ctx, peer, proc, seq, data) {
+			return nil
+		}
+		return err
 	})
+}
+
+// holdsIdentical reports whether the peer's stored chain contains exactly
+// (proc, seq, data). It backs the stale-seq-as-ack decision, so it must
+// never report true on a read failure.
+func holdsIdentical(ctx context.Context, peer Store, proc string, seq int, data []byte) bool {
+	if eg, ok := peer.(ElemGetter); ok {
+		stored, found, err := eg.GetElem(ctx, proc, seq)
+		return err == nil && found && bytes.Equal(stored, data)
+	}
+	chain, _, err := peer.Get(ctx, proc)
+	if err != nil {
+		return false
+	}
+	for _, el := range chain {
+		if el.Seq == seq {
+			return bytes.Equal(el.Data, data)
+		}
+	}
+	return false
 }
 
 // Delete removes proc's chain from every peer, acknowledging on quorum.

@@ -112,11 +112,29 @@ func TestReplicatedGetPicksBestReplica(t *testing.T) {
 func TestReplicatedStaleSeqCountsAsAck(t *testing.T) {
 	ctx := context.Background()
 	rs, peers := newReplicatedTrio(t)
-	// peer0 already holds seq 0 (a retry after a lost ack): the duplicate
-	// put must not block the quorum.
+	// peer0 already holds seq 0 with identical bytes (a retry after a lost
+	// ack): the duplicate put must not block the quorum.
 	peers[0].Store.Put(ctx, "p", 0, []byte("full"))
 	if err := rs.Put(ctx, "p", 0, []byte("full")); err != nil {
 		t.Fatalf("re-replication of an already-held seq failed: %v", err)
+	}
+}
+
+func TestReplicatedStaleSeqDivergedChainIsNotAck(t *testing.T) {
+	ctx := context.Background()
+	rs, peers := newReplicatedTrio(t) // quorum 2 of 3
+	// peer0 holds different bytes at the same seq, peer1 a higher last seq:
+	// both reject the Put with ErrStaleSeq without storing anything, so
+	// neither may count toward the quorum — only peer2 truly acks.
+	peers[0].Store.Put(ctx, "p", 0, []byte("diverged"))
+	peers[1].Store.Put(ctx, "p", 5, []byte("newer"))
+	err := rs.Put(ctx, "p", 0, []byte("fresh"))
+	var qe *QuorumError
+	if !errors.As(err, &qe) {
+		t.Fatalf("diverged stale-seq counted toward quorum: err = %v", err)
+	}
+	if qe.Acked != 1 || !errors.Is(err, ErrStaleSeq) {
+		t.Fatalf("quorum error = %+v", qe)
 	}
 }
 

@@ -190,6 +190,21 @@ func (ls *LevelStore) Get(ctx context.Context, proc string) ([]Stored, []int, er
 	return out, nil, nil
 }
 
+// GetElem returns the single stored element for (proc, seq).
+func (ls *LevelStore) GetElem(ctx context.Context, proc string, seq int) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	for _, s := range ls.chains[proc] {
+		if s.Seq == seq {
+			return s.Data, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
 // List returns the process names with chains, sorted.
 func (ls *LevelStore) List(ctx context.Context) ([]string, error) {
 	if err := ctx.Err(); err != nil {

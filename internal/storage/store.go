@@ -57,9 +57,24 @@ type Store interface {
 	Target() Target
 }
 
+// ElemGetter is an optional refinement of Store for fetching one chain
+// element without materializing the whole chain. The replication server and
+// the quorum fan-out probe it to answer "does this store already hold
+// (proc, seq)?" with O(1 element) I/O instead of a full Get; stores that do
+// not implement it are probed with Get.
+type ElemGetter interface {
+	// GetElem returns the stored element for (proc, seq). ok is false when
+	// the chain holds no readable element at that sequence; err reports the
+	// store's own metadata being unreadable.
+	GetElem(ctx context.Context, proc string, seq int) (data []byte, ok bool, err error)
+}
+
 // Compile-time checks: every store in the package satisfies the contract.
 var (
 	_ Store = (*LevelStore)(nil)
 	_ Store = (*FSStore)(nil)
 	_ Store = (*ReplicatedStore)(nil)
+
+	_ ElemGetter = (*LevelStore)(nil)
+	_ ElemGetter = (*FSStore)(nil)
 )

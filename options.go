@@ -123,7 +123,7 @@ func OpenCheckpointDir(dir string, opts ...Option) (*CheckpointDir, error) {
 		}
 		local = fs
 	}
-	d := &CheckpointDir{store: local, local: local}
+	d := &CheckpointDir{local: local}
 	if c.repl == nil {
 		return d, nil
 	}

@@ -116,7 +116,8 @@ func TestCheckpointDirReplication(t *testing.T) {
 	addr1, _, peer1 := startPeer(t)
 	addr2, srv2, _ := startPeer(t)
 
-	dir, err := aic.OpenCheckpointDir(t.TempDir(), aic.WithReplication(aic.Replication{
+	tmp := t.TempDir()
+	dir, err := aic.OpenCheckpointDir(tmp, aic.WithReplication(aic.Replication{
 		Peers:       []string{addr1, addr2},
 		Quorum:      2,
 		DialTimeout: time.Second,
@@ -171,9 +172,16 @@ func TestCheckpointDirReplication(t *testing.T) {
 		t.Fatalf("local chain = %d elements, %v", len(chain), err)
 	}
 
-	// Disaster: the local directory loses the process; the survivor peer
-	// carries the restore, byte-identical up to the replicated prefix.
-	if err := dir.Remove("job"); err != nil {
+	// Disaster: the local directory loses the process — simulated by
+	// deleting the chain straight out of the backing directory, bypassing
+	// the facade (dir.Remove would fan the delete out to the surviving
+	// peer too). The survivor peer carries the restore, byte-identical up
+	// to the replicated prefix.
+	lfs, err := storage.NewFSStore(tmp, storage.Target{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lfs.Delete(t.Context(), "job"); err != nil {
 		t.Fatal(err)
 	}
 	im, rep, err := dir.RestoreBestReplica("job")
@@ -209,6 +217,44 @@ func TestCheckpointDirWithStore(t *testing.T) {
 	im, _, err := dir.RestoreLatestGood("m")
 	if err != nil || !im.Matches(p) {
 		t.Fatalf("restore through custom store: %v", err)
+	}
+}
+
+func TestCheckpointDirHousekeepingReachesPeers(t *testing.T) {
+	s1 := storage.NewLevelStore(storage.Target{Name: "a"})
+	s2 := storage.NewLevelStore(storage.Target{Name: "b"})
+	dir, err := aic.OpenCheckpointDir(t.TempDir(), aic.WithReplication(aic.Replication{
+		Stores: []aic.Store{s1, s2},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+
+	for seq := 0; seq < 3; seq++ {
+		if err := dir.Append("p", seq, []byte{byte(seq)}); err != nil {
+			t.Fatalf("append seq %d: %v", seq, err)
+		}
+	}
+	// Truncate fans out: the peers' chains are cut along with the local one,
+	// instead of growing without bound.
+	if err := dir.Truncate("p", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range []*storage.LevelStore{s1, s2} {
+		chain, _, err := s.Get(t.Context(), "p")
+		if err != nil || len(chain) != 1 || chain[0].Seq != 2 {
+			t.Fatalf("peer %d after truncate: chain = %v, %v", i, chain, err)
+		}
+	}
+	// Remove fans out too.
+	if err := dir.Remove("p"); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range []*storage.LevelStore{s1, s2} {
+		if procs, _ := s.List(t.Context()); len(procs) != 0 {
+			t.Fatalf("peer %d still lists %v after remove", i, procs)
+		}
 	}
 }
 
