@@ -139,6 +139,13 @@ type RestoreReport struct {
 	Restored  []int // elements replayed, in order
 	Discarded []int // elements present but not replayed
 	Corrupt   []int // subset of Discarded that failed integrity checks
+	// Replica identifies the store the restore came from when replicas were
+	// consulted (RestoreBestReplica: 0 = local, then peers in configuration
+	// order); -1 for single-chain restores.
+	Replica int
+	// CPUState is the replayed prefix's final execution state — the blob a
+	// resumed process loads to continue from the restored image exactly.
+	CPUState []byte
 }
 
 func goodReportToRestore(rep *recovery.GoodReport) *RestoreReport {
@@ -148,6 +155,8 @@ func goodReportToRestore(rep *recovery.GoodReport) *RestoreReport {
 		Restored:  rep.Restored,
 		Discarded: rep.Discarded,
 		Corrupt:   rep.Corrupt,
+		Replica:   rep.Replica,
+		CPUState:  rep.CPUState,
 	}
 }
 
@@ -176,6 +185,14 @@ func (im *Image) Page(index uint64) []byte { return im.as.PageCopy(index) }
 
 // Pages returns the number of mapped pages.
 func (im *Image) Pages() int { return im.as.NumPages() }
+
+// PageIndexes returns the mapped page indexes in ascending order — with
+// Page, enough to walk the whole restored image (the chaos harness rebuilds
+// a live address space from it to resume execution).
+func (im *Image) PageIndexes() []uint64 { return im.as.MappedPages() }
+
+// PageSize returns the image's page size in bytes.
+func (im *Image) PageSize() int { return im.as.PageSize() }
 
 // Matches reports whether the image is byte-identical to the live process.
 func (im *Image) Matches(p *Process) bool { return im.as.Equal(p.as) }

@@ -1,0 +1,119 @@
+// Command aicsoak soaks the whole checkpointing stack under seeded fault
+// injection: a simulated workload runs through the real delta builder, the
+// crash-safe local store and a three-peer replication cluster while the
+// schedule derived from the seed injects torn writes, bit flips, connection
+// cuts, peer deaths and process crashes; every failure is followed by a
+// full recovery and a cross-layer invariant sweep (see internal/chaos).
+//
+// Usage:
+//
+//	aicsoak                      # soak one seed
+//	aicsoak -seed 7 -seeds 100   # soak seeds 7..106
+//	aicsoak -run-forever         # soak until an invariant breaks
+//	aicsoak -seed 7 -schedule f  # replay a failing schedule exactly
+//
+// On an invariant violation the failing seed and a minimized, replayable
+// fault schedule are printed and the process exits 1. Replays are exact:
+// the harness is deterministic in (seed, schedule), so a printed schedule
+// reproduces its violation byte for byte.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aic/internal/chaos"
+)
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 1, "first seed to soak (also the seed a -schedule replay runs under)")
+		seeds      = flag.Int("seeds", 1, "number of consecutive seeds to soak")
+		runForever = flag.Bool("run-forever", false, "keep soaking consecutive seeds until an invariant breaks")
+		steps      = flag.Int("steps", 0, "workload steps per run (0 = harness default)")
+		events     = flag.Int("events", 0, "target fault events per run (0 = harness default)")
+		pages      = flag.Int("pages", 0, "workload footprint in pages (0 = harness default)")
+		ckptEvery  = flag.Int("ckpt-every", 0, "steps between checkpoints (0 = harness default)")
+		fullEvery  = flag.Int("full-every", 0, "checkpoints between fulls (0 = harness default)")
+		workers    = flag.Int("parallelism", 0, "delta-encoder workers (0 = all cores)")
+		schedule   = flag.String("schedule", "", "replay the fault schedule in this file instead of generating one")
+		minimize   = flag.Bool("minimize", true, "minimize a failing schedule before printing it")
+		verbose    = flag.Bool("v", false, "stream the run transcript to stderr")
+	)
+	flag.Parse()
+
+	mkcfg := func(s uint64) chaos.Config {
+		cfg := chaos.Config{
+			Seed:            s,
+			Steps:           *steps,
+			CheckpointEvery: *ckptEvery,
+			FullEvery:       *fullEvery,
+			Pages:           *pages,
+			Events:          *events,
+			Parallelism:     *workers,
+		}
+		if *verbose {
+			cfg.Log = os.Stderr
+		}
+		return cfg
+	}
+
+	fail := func(cfg chaos.Config, res *chaos.Result) {
+		sched := res.Schedule
+		if *minimize {
+			if min := chaos.Minimize(cfg, sched); len(min) < len(sched) {
+				fmt.Fprintf(os.Stderr, "aicsoak: minimized schedule from %d to %d events\n", len(sched), len(min))
+				if r, err := chaos.RunSchedule(cfg, min); err == nil && r.Failed() {
+					res = r
+				}
+			}
+		}
+		fmt.Print(res.FailureReport())
+		fmt.Printf("replay: aicsoak -seed %d -schedule <file with the schedule above>\n", res.Seed)
+		os.Exit(1)
+	}
+
+	if *schedule != "" {
+		text, err := os.ReadFile(*schedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aicsoak: %v\n", err)
+			os.Exit(2)
+		}
+		sched, err := chaos.ParseSchedule(string(text))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aicsoak: %v\n", err)
+			os.Exit(2)
+		}
+		cfg := mkcfg(*seed)
+		res, err := chaos.RunSchedule(cfg, sched)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aicsoak: %v\n", err)
+			os.Exit(2)
+		}
+		if res.Failed() {
+			fail(cfg, res)
+		}
+		fmt.Printf("seed=%d replay ok: %d checkpoints, %d recoveries, %d eras, %d degraded appends\n",
+			res.Seed, res.Checkpoints, res.Recoveries, res.Eras, res.Degraded)
+		return
+	}
+
+	for i := 0; ; i++ {
+		s := *seed + uint64(i)
+		cfg := mkcfg(s)
+		res, err := chaos.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aicsoak: seed %d: %v\n", s, err)
+			os.Exit(2)
+		}
+		if res.Failed() {
+			fail(cfg, res)
+		}
+		fmt.Printf("seed=%d ok: %d faults, %d checkpoints, %d recoveries, %d eras, %d degraded appends\n",
+			s, len(res.Schedule), res.Checkpoints, res.Recoveries, res.Eras, res.Degraded)
+		if !*runForever && i+1 >= *seeds {
+			return
+		}
+	}
+}

@@ -58,16 +58,19 @@ type Result struct {
 	Image *memsim.AddressSpace
 }
 
-// cpuState packs the program's execution state plus the work-time position
-// the checkpoint corresponds to.
-func cpuState(prog workload.Stateful, workNow float64) []byte {
+// PackCPUState packs the program's execution state plus the work-time
+// position the checkpoint corresponds to — the CPU-state blob format every
+// fault-injected run (this package's Run and the chaos harness) stores in
+// its checkpoints so a restore can resume the identical write stream.
+func PackCPUState(prog workload.Stateful, workNow float64) []byte {
 	blob := prog.SaveState()
 	out := make([]byte, 0, len(blob)+8)
 	out = binary.LittleEndian.AppendUint64(out, uint64(int64(workNow*1e9)))
 	return append(out, blob...)
 }
 
-func parseCPUState(blob []byte) (workNow float64, progState []byte, err error) {
+// ParseCPUState reverses PackCPUState.
+func ParseCPUState(blob []byte) (workNow float64, progState []byte, err error) {
 	if len(blob) < 8 {
 		return 0, nil, fmt.Errorf("faultsim: CPU-state blob too short")
 	}
@@ -100,7 +103,7 @@ func Run(prog workload.Stateful, cfg Config, events EventSource, mgr *recovery.M
 	lastCkptWork := 0.0
 
 	takeFull := func() error {
-		builder.SetCPUState(cpuState(prog, work))
+		builder.SetCPUState(PackCPUState(prog, work))
 		c := builder.FullCheckpoint(as)
 		if _, err := mgr.Store(ctx, c, 1); err != nil {
 			return err
@@ -111,7 +114,7 @@ func Run(prog workload.Stateful, cfg Config, events EventSource, mgr *recovery.M
 		return nil
 	}
 	takeDelta := func() error {
-		builder.SetCPUState(cpuState(prog, work))
+		builder.SetCPUState(PackCPUState(prog, work))
 		c, st := builder.DeltaCheckpoint(as)
 		if _, err := mgr.Store(ctx, c, 1); err != nil {
 			return err
@@ -124,7 +127,7 @@ func Run(prog workload.Stateful, cfg Config, events EventSource, mgr *recovery.M
 
 	// The initial full checkpoint establishes the chain (pre-staged: no
 	// wall cost, mirroring the runtime's job-submission staging).
-	builder.SetCPUState(cpuState(prog, work))
+	builder.SetCPUState(PackCPUState(prog, work))
 	if _, err := mgr.Store(ctx, builder.FullCheckpoint(as), 1); err != nil {
 		return nil, err
 	}
@@ -159,7 +162,7 @@ func Run(prog workload.Stateful, cfg Config, events EventSource, mgr *recovery.M
 			if err != nil {
 				return nil, err
 			}
-			ckptWork, progState, err := parseCPUState(blob)
+			ckptWork, progState, err := ParseCPUState(blob)
 			if err != nil {
 				return nil, err
 			}

@@ -142,8 +142,8 @@ func TestRunValidation(t *testing.T) {
 
 func TestCPUStateBlobRoundTrip(t *testing.T) {
 	prog := shortProgram(17)
-	blob := cpuState(prog, 42.5)
-	w, state, err := parseCPUState(blob)
+	blob := PackCPUState(prog, 42.5)
+	w, state, err := ParseCPUState(blob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestCPUStateBlobRoundTrip(t *testing.T) {
 	if err := prog.LoadState(state); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := parseCPUState([]byte{1, 2}); err == nil {
+	if _, _, err := ParseCPUState([]byte{1, 2}); err == nil {
 		t.Fatal("short blob accepted")
 	}
 }

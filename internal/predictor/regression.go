@@ -53,6 +53,9 @@ func (m *Model) Update(metrics Metrics, y float64) {
 		return
 	}
 	step := m.LearnRate * (y - pred.Value()) / n
+	if !finite(step) {
+		return // a poisoned observation must not contaminate the weights
+	}
 	for i := range m.Weights {
 		m.Weights[i] += step * x[i]
 	}
@@ -62,15 +65,29 @@ func (m *Model) Update(metrics Metrics, y float64) {
 // sample count is reached.
 var ErrTooFewSamples = errors.New("predictor: too few samples for stepwise fit")
 
+// ErrNonFinite reports NaN or ±Inf contaminating a fit's inputs or its
+// solved coefficients. Measured metrics can go non-finite (a zero-duration
+// interval's rate, an overflowed counter); letting them through would poison
+// every weight and every later prediction silently.
+var ErrNonFinite = errors.New("predictor: non-finite values in fit")
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // rss returns the residual sum of squares of a least-squares fit over the
 // given candidate subset, along with the fitted weights.
 func rss(samples []Metrics, targets []float64, subset []int) (float64, []float64, error) {
 	rows := make([][]float64, len(samples))
 	for i, s := range samples {
+		if !finite(targets[i]) {
+			return 0, nil, ErrNonFinite
+		}
 		c := s.Candidates()
 		row := make([]float64, 1+len(subset))
 		row[0] = 1
 		for j, idx := range subset {
+			if !finite(c[idx]) {
+				return 0, nil, ErrNonFinite
+			}
 			row[j+1] = c[idx]
 		}
 		rows[i] = row
@@ -78,6 +95,11 @@ func rss(samples []Metrics, targets []float64, subset []int) (float64, []float64
 	beta, err := numeric.LeastSquares(rows, targets)
 	if err != nil {
 		return 0, nil, err
+	}
+	for _, b := range beta {
+		if !finite(b) {
+			return 0, nil, ErrNonFinite
+		}
 	}
 	var sum numeric.KahanSum
 	for i, row := range rows {
@@ -174,7 +196,17 @@ func (o *Online) Ready() bool { return o.model != nil }
 func (o *Online) Model() *Model { return o.model }
 
 // Observe feeds a measured (metrics, target) pair back into the predictor.
+// Pairs carrying NaN or ±Inf are dropped whole: one bad measurement must
+// not poison the bootstrap fit, the running mean, or the online weights.
 func (o *Online) Observe(m Metrics, y float64) {
+	if !finite(y) {
+		return
+	}
+	for _, c := range m.Candidates() {
+		if !finite(c) {
+			return
+		}
+	}
 	o.meanSum.Add(y)
 	o.meanN++
 	if o.model != nil {

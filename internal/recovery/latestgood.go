@@ -29,6 +29,10 @@ type GoodReport struct {
 	CPUState []byte
 	// Bytes counts the bytes of the replayed prefix.
 	Bytes int64
+	// Replica identifies which store the restore came from when the chain
+	// was selected across replicas (RestoreLatestGoodStores's store index);
+	// -1 for single-chain restores.
+	Replica int
 }
 
 // RestoreLatestGood replays the newest intact full-checkpoint-anchored
@@ -46,7 +50,7 @@ func RestoreLatestGood(chain []storage.Stored) (*memsim.AddressSpace, *GoodRepor
 	elems := append([]storage.Stored(nil), chain...)
 	sort.SliceStable(elems, func(i, j int) bool { return elems[i].Seq < elems[j].Seq })
 
-	rep := &GoodReport{}
+	rep := &GoodReport{Replica: -1}
 	decoded := make([]*ckpt.Checkpoint, len(elems))
 	for i, s := range elems {
 		c, err := ckpt.Decode(s.Data)

@@ -51,5 +51,6 @@ func RestoreLatestGoodStores(ctx context.Context, proc string, stores ...storage
 		}
 		return nil, nil, -1, fmt.Errorf("recovery: no replica holds a chain for %s", proc)
 	}
+	bestRep.Replica = bestIdx
 	return bestAS, bestRep, bestIdx, nil
 }

@@ -50,6 +50,10 @@ type Config struct {
 	// Dialer overrides how connections are made (fault injection); nil
 	// selects net.Dialer.
 	Dialer Dialer
+	// JitterSeed pins the backoff-jitter RNG for deterministic retry
+	// schedules (the chaos harness's reproducibility hook); 0 seeds from
+	// the wall clock as before.
+	JitterSeed int64
 	// rng drives backoff jitter; tests may pin it. Guarded by mu.
 	rng *rand.Rand
 }
@@ -132,7 +136,11 @@ var _ storage.Store = (*RemoteStore)(nil)
 func NewStore(addr string, cfg Config) *RemoteStore {
 	cfg = cfg.withDefaults()
 	if cfg.rng == nil {
-		cfg.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		seed := cfg.JitterSeed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		cfg.rng = rand.New(rand.NewSource(seed))
 	}
 	return &RemoteStore{addr: addr, cfg: cfg}
 }

@@ -33,15 +33,20 @@ type Fault struct {
 
 // FaultDialer wraps a Dialer, applying a per-connection fault plan. The
 // plan is consulted with a 1-based connection counter, so a test can let
-// the first connection die mid-transfer and the reconnect succeed.
+// the first connection die mid-transfer and the reconnect succeed. Beyond
+// the static Plan, faults can be scripted at runtime with Enqueue — the
+// chaos harness's schedule hook — and queued faults are consumed first,
+// one per dial.
 type FaultDialer struct {
 	// Base makes the real connections (nil selects net.Dialer).
 	Base Dialer
-	// Plan maps the connection ordinal (1-based) to its fault.
+	// Plan maps the connection ordinal (1-based) to its fault. It is read
+	// under the dialer's lock, so replacing it mid-run requires SetPlan.
 	Plan func(conn int) Fault
 
-	mu sync.Mutex
-	n  int
+	mu    sync.Mutex
+	n     int
+	queue []Fault
 }
 
 // Dials reports how many connections have been attempted.
@@ -51,15 +56,57 @@ func (d *FaultDialer) Dials() int {
 	return d.n
 }
 
+// Enqueue schedules faults for the next dials: each queued fault is applied
+// to exactly one future connection, in order, before the static Plan is
+// consulted. Safe to call while connections are being made.
+func (d *FaultDialer) Enqueue(faults ...Fault) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.queue = append(d.queue, faults...)
+}
+
+// PendingFaults reports how many enqueued faults have not yet been consumed
+// by a dial — a schedule can verify its injected fault actually fired.
+func (d *FaultDialer) PendingFaults() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.queue)
+}
+
+// DrainFaults discards every queued fault, returning how many were dropped —
+// recovery's way of returning the network to health before a restore, so a
+// fault scheduled for an append that never happened cannot leak into the
+// recovery path.
+func (d *FaultDialer) DrainFaults() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.queue)
+	d.queue = nil
+	return n
+}
+
+// SetPlan replaces the static fault plan under the dialer's lock.
+func (d *FaultDialer) SetPlan(plan func(conn int) Fault) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.Plan = plan
+}
+
 // DialContext implements Dialer.
 func (d *FaultDialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
 	d.mu.Lock()
 	d.n++
 	n := d.n
-	d.mu.Unlock()
 	var f Fault
-	if d.Plan != nil {
-		f = d.Plan(n)
+	var queued bool
+	if len(d.queue) > 0 {
+		f, queued = d.queue[0], true
+		d.queue = d.queue[1:]
+	}
+	plan := d.Plan
+	d.mu.Unlock()
+	if !queued && plan != nil {
+		f = plan(n)
 	}
 	if f.FailDial {
 		return nil, fmt.Errorf("%w: dial %d refused", ErrInjected, n)

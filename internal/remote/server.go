@@ -130,6 +130,18 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// CloseConns severs every live connection while the server keeps accepting —
+// a network blip rather than a peer death. Staged partial transfers survive,
+// so reconnecting clients resume at the staged offset; the chaos harness uses
+// this to force mid-transfer reconnects at scheduled points.
+func (s *Server) CloseConns() {
+	s.lnMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.lnMu.Unlock()
+}
+
 // Close stops accepting, severs live connections and waits for their
 // handlers to exit. Staged partial transfers are lost with the server —
 // clients re-negotiate from offset 0 (or the durable store) on reconnect.

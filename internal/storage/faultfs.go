@@ -68,6 +68,32 @@ func NewFaultFS(op Op, n int) *FaultFS {
 // Crashed reports whether the simulated crash has fired.
 func (f *FaultFS) Crashed() bool { return f.crashed }
 
+// Arm schedules the crash for the nth future occurrence of op (counting from
+// now, not from construction), with the given torn-write size. The chaos
+// harness uses it to plant crash windows mid-run on a long-lived shim whose
+// operation counters are already far along.
+func (f *FaultFS) Arm(op Op, n, partialBytes int) {
+	if f.counts == nil {
+		f.counts = map[Op]int{}
+	}
+	f.CrashOp = op
+	f.CrashN = f.counts[op] + n
+	f.PartialBytes = partialBytes
+}
+
+// Disarm cancels a pending crash window without touching counters.
+func (f *FaultFS) Disarm() { f.CrashOp, f.CrashN = "", 0 }
+
+// Reboot clears the crashed state — the simulated machine comes back up over
+// the same underlying filesystem, wreckage intact. Any pending crash window
+// is disarmed; renames applied before the crash are treated as settled (a
+// reboot implies the platter state is whatever the crash left).
+func (f *FaultFS) Reboot() {
+	f.crashed = false
+	f.pending = nil
+	f.Disarm()
+}
+
 // hit advances the op counter and reports whether this call is the crash
 // point. Once crashed, every op short-circuits.
 func (f *FaultFS) hit(op Op) (crashNow bool, dead bool) {

@@ -67,6 +67,10 @@ type Replication struct {
 	DialTimeout time.Duration
 	OpTimeout   time.Duration
 	Retries     int
+	// JitterSeed pins the per-peer backoff-jitter RNG so retry schedules
+	// replay deterministically (peer i is seeded JitterSeed+i); 0 keeps the
+	// default wall-clock seeding.
+	JitterSeed int64
 }
 
 // Option configures the facade constructors (NewProcess,
@@ -131,11 +135,16 @@ func OpenCheckpointDir(dir string, opts ...Option) (*CheckpointDir, error) {
 		peers   []storage.Store
 		remotes []*remote.RemoteStore
 	)
-	for _, addr := range c.repl.Peers {
+	for i, addr := range c.repl.Peers {
+		jitter := c.repl.JitterSeed
+		if jitter != 0 {
+			jitter += int64(i)
+		}
 		rs := remote.NewStore(addr, remote.Config{
 			DialTimeout: c.repl.DialTimeout,
 			OpTimeout:   c.repl.OpTimeout,
 			Retries:     c.repl.Retries,
+			JitterSeed:  jitter,
 		})
 		remotes = append(remotes, rs)
 		peers = append(peers, rs)
