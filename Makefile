@@ -1,0 +1,38 @@
+# Developer entry points mirroring the CI gates, so `make lint test` locally
+# proves what CI will prove. Run `make help` for the list.
+
+GO ?= go
+
+.PHONY: help build lint test race fuzz-smoke cover
+
+help: ## list targets
+	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
+
+build: ## compile everything
+	$(GO) build ./...
+
+lint: ## the CI static gates: gofmt, vet, staticcheck (if installed), aiclint
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; \
+	fi
+	$(GO) run ./cmd/aiclint ./...
+
+test: ## full test suite
+	$(GO) test ./...
+
+race: ## full suite under the race detector, shuffled, as CI runs it
+	$(GO) test -race -shuffle=on ./...
+
+fuzz-smoke: ## short runs of every fuzz target, as CI runs them
+	$(GO) test -run=^$$ -fuzz=FuzzPageAlignedParallel -fuzztime=20s ./internal/delta
+	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=20s ./internal/remote
+	$(GO) test -run=^$$ -fuzz=FuzzParseSchedule -fuzztime=20s ./internal/chaos
+
+cover: ## coverage profile + per-function summary
+	$(GO) test -shuffle=on -coverprofile=coverage.out -coverpkg=./... ./...
+	$(GO) tool cover -func=coverage.out | tail -1

@@ -241,8 +241,7 @@ type CheckpointDir struct {
 // local success with a missed peer quorum returns an error wrapping
 // ErrDegraded — the checkpoint is safe locally and callers may continue in
 // degraded local-only mode or treat the loss of redundancy as fatal.
-func (d *CheckpointDir) Append(proc string, seq int, encoded []byte) error {
-	ctx := context.Background()
+func (d *CheckpointDir) Append(ctx context.Context, proc string, seq int, encoded []byte) error {
 	if emb, err := ckpt.PeekSeq(encoded); err == nil && emb != seq {
 		return fmt.Errorf("aic: append %s: label seq %d but the checkpoint itself is seq %d (label with Process.Seq before the checkpoint, or Seq-1 after)", proc, seq, emb)
 	}
@@ -261,8 +260,8 @@ func (d *CheckpointDir) Append(proc string, seq int, encoded []byte) error {
 // for RestoreImage. It fails when elements of the chain are unreadable; use
 // RestoreLatestGood to salvage a damaged chain (or RestoreBestReplica to
 // consult the replication peers too).
-func (d *CheckpointDir) Chain(proc string) ([][]byte, error) {
-	stored, missing, err := d.local.Get(context.Background(), proc)
+func (d *CheckpointDir) Chain(ctx context.Context, proc string) ([][]byte, error) {
+	stored, missing, err := d.local.Get(ctx, proc)
 	if err != nil {
 		return nil, err
 	}
@@ -281,8 +280,7 @@ func (d *CheckpointDir) Chain(proc string) ([][]byte, error) {
 // to the replication peers, so peer chains stay bounded along with the
 // local one; a missed peer quorum returns a DegradedError after the local
 // truncate succeeded.
-func (d *CheckpointDir) Truncate(proc string, fullSeq int) error {
-	ctx := context.Background()
+func (d *CheckpointDir) Truncate(ctx context.Context, proc string, fullSeq int) error {
 	if err := d.local.Truncate(ctx, proc, fullSeq); err != nil {
 		return err
 	}
@@ -297,8 +295,7 @@ func (d *CheckpointDir) Truncate(proc string, fullSeq int) error {
 // Remove deletes a process's chain — locally and, with replication
 // configured, on the peer group; a missed peer quorum returns a
 // DegradedError after the local delete succeeded.
-func (d *CheckpointDir) Remove(proc string) error {
-	ctx := context.Background()
+func (d *CheckpointDir) Remove(ctx context.Context, proc string) error {
 	if err := d.local.Delete(ctx, proc); err != nil {
 		return err
 	}
@@ -311,8 +308,8 @@ func (d *CheckpointDir) Remove(proc string) error {
 }
 
 // Procs lists the process names with chains in the local store.
-func (d *CheckpointDir) Procs() ([]string, error) {
-	return d.local.List(context.Background())
+func (d *CheckpointDir) Procs(ctx context.Context) ([]string, error) {
+	return d.local.List(ctx)
 }
 
 // Close releases resources held by the backing store (network connections to
@@ -351,8 +348,8 @@ func (r *ScrubReport) Clean() bool {
 // repair set it restores manifest/directory agreement: dead entries are
 // dropped, corrupt files and unacknowledged orphans deleted, stray temp
 // files cleared, and a destroyed manifest rebuilt from the surviving files.
-func (d *CheckpointDir) Scrub(proc string, repair bool) (*ScrubReport, error) {
-	rep, err := d.local.Scrub(context.Background(), proc, repair)
+func (d *CheckpointDir) Scrub(ctx context.Context, proc string, repair bool) (*ScrubReport, error) {
+	rep, err := d.local.Scrub(ctx, proc, repair)
 	if err != nil {
 		return nil, err
 	}
@@ -373,8 +370,8 @@ func (d *CheckpointDir) Scrub(proc string, repair bool) (*ScrubReport, error) {
 // full-checkpoint-anchored prefix of its stored chain, tolerating missing,
 // truncated and corrupt elements. The report's values are stored sequence
 // numbers; missing files appear under Discarded.
-func (d *CheckpointDir) RestoreLatestGood(proc string) (*Image, *RestoreReport, error) {
-	chain, missing, err := d.local.Get(context.Background(), proc)
+func (d *CheckpointDir) RestoreLatestGood(ctx context.Context, proc string) (*Image, *RestoreReport, error) {
+	chain, missing, err := d.local.Get(ctx, proc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -397,12 +394,12 @@ func (d *CheckpointDir) RestoreLatestGood(proc string) (*Image, *RestoreReport, 
 // prefix reaches the highest sequence wins. Without replication it behaves
 // like RestoreLatestGood. This is the disaster path — it succeeds as long as
 // any single replica still holds a restorable prefix.
-func (d *CheckpointDir) RestoreBestReplica(proc string) (*Image, *RestoreReport, error) {
+func (d *CheckpointDir) RestoreBestReplica(ctx context.Context, proc string) (*Image, *RestoreReport, error) {
 	stores := []storage.Store{d.local}
 	if d.peers != nil {
 		stores = append(stores, d.peers.Peers()...)
 	}
-	as, rep, _, err := recovery.RestoreLatestGoodStores(context.Background(), proc, stores...)
+	as, rep, _, err := recovery.RestoreLatestGoodStores(ctx, proc, stores...)
 	if err != nil {
 		return nil, nil, fmt.Errorf("aic: %w", err)
 	}

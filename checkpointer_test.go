@@ -2,6 +2,7 @@ package aic
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"testing/quick"
 )
@@ -127,13 +128,13 @@ func TestCheckpointDirPersistence(t *testing.T) {
 	}
 	p := NewProcess(256)
 	p.Write(0, 0, []byte("persist me"))
-	if err := store.Append("proc-a", p.Seq(), p.FullCheckpoint()); err != nil {
+	if err := store.Append(context.Background(), "proc-a", p.Seq(), p.FullCheckpoint()); err != nil {
 		t.Fatal(err)
 	}
 	p.Write(0, 8, []byte("MORE"))
 	p.Write(3, 0, []byte("fresh page"))
 	enc, _ := p.DeltaCheckpoint()
-	if err := store.Append("proc-a", p.Seq()-1, enc); err != nil {
+	if err := store.Append(context.Background(), "proc-a", p.Seq()-1, enc); err != nil {
 		t.Fatal(err)
 	}
 
@@ -142,7 +143,7 @@ func TestCheckpointDirPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	chain, err := store2.Chain("proc-a")
+	chain, err := store2.Chain(context.Background(), "proc-a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,10 +154,10 @@ func TestCheckpointDirPersistence(t *testing.T) {
 	if !im.Matches(p) {
 		t.Fatal("restored image differs after reopen")
 	}
-	if err := store2.Remove("proc-a"); err != nil {
+	if err := store2.Remove(context.Background(), "proc-a"); err != nil {
 		t.Fatal(err)
 	}
-	if chain, _ := store2.Chain("proc-a"); len(chain) != 0 {
+	if chain, _ := store2.Chain(context.Background(), "proc-a"); len(chain) != 0 {
 		t.Fatal("chain survived Remove")
 	}
 }
@@ -168,17 +169,17 @@ func TestCheckpointDirTruncate(t *testing.T) {
 	}
 	p := NewProcess(256)
 	p.Write(0, 0, []byte{1})
-	store.Append("p", 0, p.FullCheckpoint())
+	store.Append(context.Background(), "p", 0, p.FullCheckpoint())
 	p.Write(0, 1, []byte{2})
 	enc, _ := p.DeltaCheckpoint()
-	store.Append("p", 1, enc)
+	store.Append(context.Background(), "p", 1, enc)
 	// A new full checkpoint supersedes the old chain.
 	full2 := p.FullCheckpoint()
-	store.Append("p", 2, full2)
-	if err := store.Truncate("p", 2); err != nil {
+	store.Append(context.Background(), "p", 2, full2)
+	if err := store.Truncate(context.Background(), "p", 2); err != nil {
 		t.Fatal(err)
 	}
-	chain, err := store.Chain("p")
+	chain, err := store.Chain(context.Background(), "p")
 	if err != nil || len(chain) != 1 {
 		t.Fatalf("chain after truncate: %d, %v", len(chain), err)
 	}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -65,15 +66,18 @@ func main() {
 	}
 	log.Printf("aicd: serving checkpoint replication on %s", ln.Addr())
 
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
 		log.Printf("aicd: %v: shutting down", s)
+		cancel()
 		srv.Close()
 	}()
 
-	if err := srv.Serve(ln); err != nil {
+	if err := srv.Serve(ctx, ln); err != nil {
 		log.Fatalf("aicd: %v", err)
 	}
 }

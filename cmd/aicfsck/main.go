@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -27,37 +28,49 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", "", "checkpoint store root (this or -peer is required)")
-	peer := flag.String("peer", "", "check a running aicd peer at host:port instead of a local directory")
-	proc := flag.String("proc", "", "check a single process (default: all)")
-	repair := flag.Bool("repair", false, "repair manifests: drop dead entries, delete corrupt/orphaned files, rebuild destroyed manifests")
-	restoreCheck := flag.Bool("restore-check", false, "additionally replay each chain's newest intact prefix and report what a restore would discard")
-	timeout := flag.Duration("timeout", time.Minute, "overall deadline for peer operations")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit: args are the command-line
+// arguments after the program name, output goes to stdout/stderr, and the
+// fsck exit status is returned instead of passed to os.Exit, so tests can
+// drive every exit path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("aicfsck", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	dir := fl.String("dir", "", "checkpoint store root (this or -peer is required)")
+	peer := fl.String("peer", "", "check a running aicd peer at host:port instead of a local directory")
+	proc := fl.String("proc", "", "check a single process (default: all)")
+	repair := fl.Bool("repair", false, "repair manifests: drop dead entries, delete corrupt/orphaned files, rebuild destroyed manifests")
+	restoreCheck := fl.Bool("restore-check", false, "additionally replay each chain's newest intact prefix and report what a restore would discard")
+	timeout := fl.Duration("timeout", time.Minute, "overall deadline for peer operations")
+	if err := fl.Parse(args); err != nil {
+		return 3
+	}
 
 	var store storage.Store
 	switch {
 	case *dir != "" && *peer != "":
-		fmt.Fprintln(os.Stderr, "aicfsck: -dir and -peer are mutually exclusive")
-		os.Exit(3)
+		fmt.Fprintln(stderr, "aicfsck: -dir and -peer are mutually exclusive")
+		return 3
 	case *peer != "":
 		rs := remote.NewStore(*peer, remote.Config{})
 		defer rs.Close()
 		store = rs
 	case *dir != "":
 		if _, err := os.Stat(*dir); err != nil {
-			fmt.Fprintln(os.Stderr, "aicfsck:", err)
-			os.Exit(3)
+			fmt.Fprintln(stderr, "aicfsck:", err)
+			return 3
 		}
 		fs, err := storage.NewFSStore(*dir, storage.Target{Name: "fsck"})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "aicfsck:", err)
-			os.Exit(3)
+			fmt.Fprintln(stderr, "aicfsck:", err)
+			return 3
 		}
 		store = fs
 	default:
-		fmt.Fprintln(os.Stderr, "aicfsck: -dir or -peer is required")
-		os.Exit(3)
+		fmt.Fprintln(stderr, "aicfsck: -dir or -peer is required")
+		return 3
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -68,12 +81,12 @@ func main() {
 		var err error
 		procs, err = store.List(ctx)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "aicfsck:", err)
-			os.Exit(3)
+			fmt.Fprintln(stderr, "aicfsck:", err)
+			return 3
 		}
 		if len(procs) == 0 {
-			fmt.Println("aicfsck: empty store")
-			return
+			fmt.Fprintln(stdout, "aicfsck: empty store")
+			return 0
 		}
 	}
 
@@ -86,11 +99,11 @@ func main() {
 	for _, p := range procs {
 		rep, err := store.Scrub(ctx, p, *repair)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "aicfsck: %s: %v\n", p, err)
+			fmt.Fprintf(stderr, "aicfsck: %s: %v\n", p, err)
 			worse(3)
 			continue
 		}
-		fmt.Println(rep)
+		fmt.Fprintln(stdout, rep)
 		if !rep.Clean() && !rep.Repaired {
 			worse(1)
 		}
@@ -99,18 +112,18 @@ func main() {
 		}
 		chain, missing, err := store.Get(ctx, p)
 		if err != nil || len(chain) == 0 {
-			fmt.Printf("%s: restore-check: no readable chain (%v)\n", p, err)
+			fmt.Fprintf(stdout, "%s: restore-check: no readable chain (%v)\n", p, err)
 			worse(2)
 			continue
 		}
 		_, good, err := recovery.RestoreLatestGood(chain)
 		if err != nil {
-			fmt.Printf("%s: restore-check: UNRESTORABLE: %v\n", p, err)
+			fmt.Fprintf(stdout, "%s: restore-check: UNRESTORABLE: %v\n", p, err)
 			worse(2)
 			continue
 		}
-		fmt.Printf("%s: restore-check: ok anchor=%d last=%d replayed=%d discarded=%v missing=%v\n",
+		fmt.Fprintf(stdout, "%s: restore-check: ok anchor=%d last=%d replayed=%d discarded=%v missing=%v\n",
 			p, good.AnchorSeq, good.LastSeq, len(good.Restored), good.Discarded, missing)
 	}
-	os.Exit(status)
+	return status
 }

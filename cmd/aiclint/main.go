@@ -1,0 +1,75 @@
+// Command aiclint runs the project-invariant analyzer suite over the given
+// package patterns (./... by default) and exits non-zero when any
+// invariant is violated. The five analyzers prove, per build, the rules
+// the rest of the repo can only test probabilistically:
+//
+//	durablefs    storage does filesystem I/O through the FS shim, and
+//	             fsyncs temp files before renaming them into place
+//	sentinelerr  error sentinels are compared with errors.Is, never ==
+//	ctxflow      contexts are threaded from callers, not minted mid-stack
+//	lockio       no file or network I/O while holding a mutex
+//	detrand      simulation packages stay seed-deterministic
+//
+// A deliberate exception is suppressed in place with a reasoned directive:
+//
+//	//aiclint:ignore lockio r.mu is the connection-ownership lock by design
+//
+// See DESIGN.md §12 for each analyzer's exact rule and suppression policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aic/internal/analysis"
+	"aic/internal/analysis/ctxflow"
+	"aic/internal/analysis/detrand"
+	"aic/internal/analysis/durablefs"
+	"aic/internal/analysis/lockio"
+	"aic/internal/analysis/sentinelerr"
+)
+
+var suite = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	detrand.Analyzer,
+	durablefs.Analyzer,
+	lockio.Analyzer,
+	sentinelerr.Analyzer,
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: aiclint [packages]\n\nanalyzers:")
+		for _, a := range suite {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aiclint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aiclint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aiclint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "aiclint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -59,12 +60,13 @@ func main() {
 		return cfg
 	}
 
+	ctx := context.Background()
 	fail := func(cfg chaos.Config, res *chaos.Result) {
 		sched := res.Schedule
 		if *minimize {
-			if min := chaos.Minimize(cfg, sched); len(min) < len(sched) {
+			if min := chaos.Minimize(ctx, cfg, sched); len(min) < len(sched) {
 				fmt.Fprintf(os.Stderr, "aicsoak: minimized schedule from %d to %d events\n", len(sched), len(min))
-				if r, err := chaos.RunSchedule(cfg, min); err == nil && r.Failed() {
+				if r, err := chaos.RunSchedule(ctx, cfg, min); err == nil && r.Failed() {
 					res = r
 				}
 			}
@@ -86,7 +88,7 @@ func main() {
 			os.Exit(2)
 		}
 		cfg := mkcfg(*seed)
-		res, err := chaos.RunSchedule(cfg, sched)
+		res, err := chaos.RunSchedule(ctx, cfg, sched)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aicsoak: %v\n", err)
 			os.Exit(2)
@@ -102,7 +104,7 @@ func main() {
 	for i := 0; ; i++ {
 		s := *seed + uint64(i)
 		cfg := mkcfg(s)
-		res, err := chaos.Run(cfg)
+		res, err := chaos.Run(ctx, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aicsoak: seed %d: %v\n", s, err)
 			os.Exit(2)

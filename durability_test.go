@@ -1,6 +1,7 @@
 package aic
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -79,15 +80,15 @@ func TestCheckpointDirScrubAndRestoreLatestGood(t *testing.T) {
 	}
 	_, chain := buildProcessChain(t)
 	for seq, enc := range chain {
-		if err := store.Append("job", seq, enc); err != nil {
+		if err := store.Append(context.Background(), "job", seq, enc); err != nil {
 			t.Fatal(err)
 		}
 	}
-	procs, err := store.Procs()
+	procs, err := store.Procs(context.Background())
 	if err != nil || len(procs) != 1 || procs[0] != "job" {
 		t.Fatalf("procs = %v, %v", procs, err)
 	}
-	rep, err := store.Scrub("job", false)
+	rep, err := store.Scrub(context.Background(), "job", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +102,14 @@ func TestCheckpointDirScrubAndRestoreLatestGood(t *testing.T) {
 	if err := os.WriteFile(name, []byte("torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	rep, err = store.Scrub("job", true)
+	rep, err = store.Scrub(context.Background(), "job", true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rep.Repaired || len(rep.Corrupt) != 1 || rep.Corrupt[0] != 3 {
 		t.Fatalf("scrub report = %+v", rep)
 	}
-	im, good, err := store.RestoreLatestGood("job")
+	im, good, err := store.RestoreLatestGood(context.Background(), "job")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestCheckpointDirRestoreLatestGoodEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := store.RestoreLatestGood("nobody"); err == nil {
+	if _, _, err := store.RestoreLatestGood(context.Background(), "nobody"); err == nil {
 		t.Fatal("empty process restored")
 	}
 }

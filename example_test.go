@@ -1,6 +1,7 @@
 package aic_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -87,13 +88,13 @@ func ExampleCheckpointDir() {
 	p.Write(0, 0, []byte("alpha"))
 	p.Write(1, 0, []byte("beta"))
 	seq := p.Seq()
-	if err := ckpts.Append("job", seq, p.FullCheckpoint()); err != nil {
+	if err := ckpts.Append(context.Background(), "job", seq, p.FullCheckpoint()); err != nil {
 		panic(err)
 	}
 	for _, update := range []string{"brave", "omega"} {
 		p.Write(1, 0, []byte(update))
 		enc, _ := p.DeltaCheckpoint()
-		if err := ckpts.Append("job", p.Seq()-1, enc); err != nil {
+		if err := ckpts.Append(context.Background(), "job", p.Seq()-1, enc); err != nil {
 			panic(err)
 		}
 	}
@@ -109,11 +110,11 @@ func ExampleCheckpointDir() {
 		panic(err)
 	}
 
-	rep, err := ckpts.Scrub("job", true)
+	rep, err := ckpts.Scrub(context.Background(), "job", true)
 	if err != nil {
 		panic(err)
 	}
-	im, rrep, err := ckpts.RestoreLatestGood("job")
+	im, rrep, err := ckpts.RestoreLatestGood(context.Background(), "job")
 	if err != nil {
 		panic(err)
 	}

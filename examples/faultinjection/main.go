@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -60,7 +61,7 @@ func facadeDemo() error {
 	proc := aic.NewProcess(0, aic.WithParallelism(4))
 	proc.Write(0, 0, []byte("alpha"))
 	proc.Write(1, 0, []byte("beta"))
-	if err := ckpts.Append("job", proc.Seq(), proc.FullCheckpoint()); err != nil {
+	if err := ckpts.Append(context.Background(), "job", proc.Seq(), proc.FullCheckpoint()); err != nil {
 		return err
 	}
 	for _, update := range []string{"brave", "omega"} {
@@ -68,7 +69,7 @@ func facadeDemo() error {
 		proc.Write(1, 0, []byte(update))
 		enc, st := proc.DeltaCheckpoint()
 		fmt.Printf("  delta seq=%d: %d bytes (ratio %.2f)\n", proc.Seq()-1, len(enc), st.Ratio())
-		if err := ckpts.Append("job", proc.Seq()-1, enc); err != nil {
+		if err := ckpts.Append(context.Background(), "job", proc.Seq()-1, enc); err != nil {
 			return err
 		}
 	}
@@ -87,12 +88,12 @@ func facadeDemo() error {
 
 	// Scrub quarantines the damage; RestoreLatestGood falls back to the
 	// newest intact prefix.
-	rep, err := ckpts.Scrub("job", true)
+	rep, err := ckpts.Scrub(context.Background(), "job", true)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("  scrub: corrupt=%v repaired=%v\n", rep.Corrupt, rep.Repaired)
-	im, rrep, err := ckpts.RestoreLatestGood("job")
+	im, rrep, err := ckpts.RestoreLatestGood(context.Background(), "job")
 	if err != nil {
 		return err
 	}

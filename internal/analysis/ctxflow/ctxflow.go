@@ -1,0 +1,88 @@
+// Package ctxflow enforces context threading: library code must not mint
+// root contexts with context.Background()/context.TODO() — those belong in
+// main packages and tests, where a call chain starts — and no call may
+// pass a fresh Background()/TODO() while a real context is already in
+// scope, which silently severs cancellation and deadlines from the
+// storage.Store call chain.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"aic/internal/analysis"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "thread contexts from callers; no context.Background/TODO outside main and tests, and never while a ctx is in scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body, hasCtxParam(pass.TypesInfo, fn.Type))
+		}
+	}
+	return nil
+}
+
+// checkFunc walks a function body, tracking whether a context parameter is
+// in scope (accumulating through nested function literals).
+func checkFunc(pass *analysis.Pass, body ast.Node, ctxInScope bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(pass, n.Body, ctxInScope || hasCtxParam(pass.TypesInfo, n.Type))
+			return false
+		case *ast.CallExpr:
+			obj := analysis.CalleeObj(pass.TypesInfo, n)
+			if !analysis.IsPkgFunc(obj, "context", "Background", "TODO") {
+				return true
+			}
+			switch {
+			case ctxInScope:
+				pass.Reportf(n.Pos(), "context.%s() while a context is in scope drops the caller's cancellation and deadline; thread the in-scope ctx instead", obj.Name())
+			case !pass.IsMain:
+				pass.Reportf(n.Pos(), "context.%s() in library code severs the call chain from its caller; accept a ctx parameter and thread it here", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether the function type declares a parameter of
+// type context.Context.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"aic/internal/analysis/analyzertest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analyzertest.Run(t, Analyzer, "ctxlib", "ctxmain")
+}

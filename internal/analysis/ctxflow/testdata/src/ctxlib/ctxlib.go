@@ -1,0 +1,32 @@
+// Package ctxlib is a ctxflow fixture: a library package minting root
+// contexts and dropping in-scope ones.
+package ctxlib
+
+import "context"
+
+type store interface {
+	Put(ctx context.Context, key string, data []byte) error
+}
+
+func mintsRoot(s store) error {
+	ctx := context.Background() // want `context\.Background\(\) in library code`
+	return s.Put(ctx, "k", nil)
+}
+
+func mintsTODO(s store) error {
+	return s.Put(context.TODO(), "k", nil) // want `context\.TODO\(\) in library code`
+}
+
+func dropsInScope(ctx context.Context, s store) error {
+	return s.Put(context.Background(), "k", nil) // want `context\.Background\(\) while a context is in scope`
+}
+
+func dropsInClosure(ctx context.Context, s store) func() error {
+	return func() error {
+		return s.Put(context.Background(), "k", nil) // want `context\.Background\(\) while a context is in scope`
+	}
+}
+
+func threads(ctx context.Context, s store) error {
+	return s.Put(ctx, "k", nil)
+}

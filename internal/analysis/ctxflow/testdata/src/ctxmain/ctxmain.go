@@ -1,0 +1,17 @@
+// Command ctxmain is a ctxflow fixture: a main package may mint root
+// contexts, but dropping an in-scope one is still flagged.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // entry points own the root context
+	work(ctx)
+}
+
+func work(ctx context.Context) {
+	use(ctx)
+	use(context.Background()) // want `context\.Background\(\) while a context is in scope`
+}
+
+func use(ctx context.Context) { _ = ctx }

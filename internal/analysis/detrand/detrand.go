@@ -1,0 +1,85 @@
+// Package detrand enforces byte-determinism in the simulation packages:
+// the paper's Markov/NET² numbers and the chaos soak are reproducible only
+// if a seed fully determines every run, so wall-clock reads (time.Now and
+// friends), the process-global math/rand source, and select statements
+// racing multiple channels (whose winner is scheduler-dependent) are all
+// banned there. Use the injected clock and a seeded *rand.Rand instead.
+package detrand
+
+import (
+	"go/ast"
+
+	"aic/internal/analysis"
+)
+
+// TargetSuffixes are the import-path suffixes of the packages that must be
+// deterministic. Tests override this to point at fixtures.
+var TargetSuffixes = []string{
+	"internal/chaos", "internal/sim", "internal/markov",
+	"internal/memsim", "internal/workload",
+}
+
+// wallClockFuncs are the time functions that read the wall clock.
+var wallClockFuncs = []string{"Now", "Since", "Until"}
+
+// seededConstructors are the math/rand functions that merely build
+// generators from an explicit source and are therefore allowed.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "deterministic packages must not read the wall clock, use the global math/rand source, or race channels in select",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasSuffix(pass.Path, TargetSuffixes) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := analysis.CalleeObj(pass.TypesInfo, call)
+	if obj == nil {
+		return
+	}
+	if analysis.IsPkgFunc(obj, "time", wallClockFuncs...) {
+		pass.Reportf(call.Pos(), "time.%s reads the wall clock in a deterministic package; thread the injected clock instead", obj.Name())
+		return
+	}
+	if (analysis.IsPkgFunc(obj, "math/rand") || analysis.IsPkgFunc(obj, "math/rand/v2")) &&
+		!seededConstructors[obj.Name()] {
+		pass.Reportf(call.Pos(), "rand.%s draws from the process-global source in a deterministic package; use a seeded *rand.Rand", obj.Name())
+	}
+}
+
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	comms := 0
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms >= 2 {
+		pass.Reportf(sel.Pos(), "select over %d channels picks a scheduler-dependent winner in a deterministic package; poll in a fixed order instead", comms)
+	}
+}

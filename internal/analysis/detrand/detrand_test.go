@@ -1,0 +1,21 @@
+package detrand
+
+import (
+	"testing"
+
+	"aic/internal/analysis/analyzertest"
+)
+
+func TestDetRand(t *testing.T) {
+	defer func(old []string) { TargetSuffixes = old }(TargetSuffixes)
+	TargetSuffixes = []string{"testdata/src/detbad", "testdata/src/detok"}
+	analyzertest.Run(t, Analyzer, "detbad", "detok")
+}
+
+// TestOutsideTargets proves non-deterministic packages outside the target
+// list are left alone.
+func TestOutsideTargets(t *testing.T) {
+	defer func(old []string) { TargetSuffixes = old }(TargetSuffixes)
+	TargetSuffixes = []string{"internal/sim"}
+	analyzertest.RunExpectClean(t, Analyzer, "detbad")
+}

@@ -1,0 +1,29 @@
+// Package detbad is a detrand fixture: wall-clock reads, global math/rand
+// draws and channel races inside a deterministic package.
+package detbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global source`
+}
+
+func races(a, b chan int) int {
+	select { // want `select over 2 channels picks a scheduler-dependent winner`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,25 @@
+// Package detok is the clean detrand fixture: an injected clock, a seeded
+// generator, and single-channel receives.
+package detok
+
+import "math/rand"
+
+type clock interface {
+	Now() float64
+}
+
+func tick(c clock) float64 { return c.Now() }
+
+func draw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func recv(ch chan int, stop chan struct{}) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,22 @@
+package durablefs
+
+import (
+	"testing"
+
+	"aic/internal/analysis/analyzertest"
+)
+
+func TestDurableFS(t *testing.T) {
+	defer func(old []string) { TargetSuffixes = old }(TargetSuffixes)
+	TargetSuffixes = []string{"testdata/src/durable", "testdata/src/durableok"}
+	analyzertest.Run(t, Analyzer, "durable", "durableok")
+}
+
+// TestOutsideTargets proves the analyzer ignores packages outside its
+// target list: the violating fixture must produce nothing when the target
+// list no longer matches it.
+func TestOutsideTargets(t *testing.T) {
+	defer func(old []string) { TargetSuffixes = old }(TargetSuffixes)
+	TargetSuffixes = []string{"internal/storage"}
+	analyzertest.RunExpectClean(t, Analyzer, "durable", "durableok")
+}

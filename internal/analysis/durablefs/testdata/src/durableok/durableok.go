@@ -1,0 +1,30 @@
+// Package durableok is the clean durablefs fixture: every mutation runs
+// through the shim and follows the write-temp→fsync→rename protocol.
+package durableok
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS mirrors the storage shim's shape.
+type FS interface {
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	SyncFile(name string) error
+	SyncDir(name string) error
+}
+
+func atomicWrite(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := fsys.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := fsys.SyncFile(tmp); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}

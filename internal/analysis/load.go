@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. When the
+// package has in-package test files they are type-checked together with the
+// non-test files (one augmented unit), so analyzers see both; external
+// _test packages are not loaded — they compile against a rebuilt world the
+// export-data importer cannot reproduce.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	Dir         string
+	ImportPath  string
+	Name        string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	TestImports []string
+}
+
+const listFields = "-json=Dir,ImportPath,Name,Export,GoFiles,TestGoFiles,TestImports"
+
+// Load type-checks the packages matching patterns (resolved relative to
+// dir, which must sit inside the module) and returns them ready for
+// analysis. It shells out to `go list -export` so all dependencies —
+// stdlib included — are imported from compiler export data, keeping the
+// loader free of out-of-module dependencies and working fully offline.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// In-package test files may pull in dependencies the non-test build
+	// graph lacks; resolve any such stragglers with a second export pass.
+	var missing []string
+	seen := map[string]bool{}
+	for _, t := range targets {
+		for _, imp := range t.TestImports {
+			if imp != "C" && exports[imp] == "" && !seen[imp] {
+				seen[imp] = true
+				missing = append(missing, imp)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		extra, err := goList(dir, append([]string{"-deps", "-export"}, missing...))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range extra {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e := exports[path]
+		if e == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		files := append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
+		if len(files) == 0 {
+			continue
+		}
+		var syntax []*ast.File
+		for _, name := range files {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			syntax = append(syntax, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(t.ImportPath, fset, syntax, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:  t.ImportPath,
+			Dir:   t.Dir,
+			Fset:  fset,
+			Files: syntax,
+			Types: pkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}
+
+func goList(dir string, args []string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", listFields}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(args, " "), msg)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPkg
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,51 @@
+// Package lockbad is a lockio fixture: file and network I/O inside
+// critical sections, plus the suppression-directive paths.
+package lockbad
+
+import (
+	"net"
+	"os"
+	"sync"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state map[string]int
+}
+
+func (s *server) deferredHold(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state[path]++
+	return os.ReadFile(path) // want `os\.ReadFile while s\.mu is held`
+}
+
+func (s *server) connWriteHeld(conn net.Conn, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := conn.Write(buf) // want `Conn\.Write while s\.mu is held`
+	return err
+}
+
+func (s *server) releasedFirst(path string) ([]byte, error) {
+	s.mu.Lock()
+	s.state[path]++
+	s.mu.Unlock()
+	return os.ReadFile(path)
+}
+
+func (s *server) suppressed(conn net.Conn, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//aiclint:ignore lockio the mutex is this connection's ownership lock
+	_, err := conn.Write(buf)
+	return err
+}
+
+func (s *server) bareDirective(conn net.Conn, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//aiclint:ignore lockio  // want `suppression directive needs a reason`
+	_, err := conn.Write(buf) // want `Conn\.Write while s\.mu is held`
+	return err
+}

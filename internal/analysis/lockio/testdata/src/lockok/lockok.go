@@ -1,0 +1,30 @@
+// Package lockok is the clean lockio fixture: locks guard state, I/O
+// happens outside the critical section.
+package lockok
+
+import (
+	"os"
+	"sync"
+)
+
+type cache struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+func (c *cache) get(path string) ([]byte, error) {
+	c.mu.RLock()
+	cached, ok := c.data[path]
+	c.mu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+	loaded, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.data[path] = loaded
+	c.mu.Unlock()
+	return loaded, nil
+}

@@ -1,0 +1,123 @@
+// Package sentinelerr flags ==/!= comparisons against package-level error
+// sentinels. The storage and replication layers wrap their sentinels
+// (QuorumError and DegradedError chains around ErrStaleSeq, ErrPeerDark,
+// ErrDegraded), so identity comparison is silently wrong the moment an
+// error crosses a layer — errors.Is is required. The one sanctioned
+// identity comparison is inside an Is(error) bool method, which is how a
+// type joins the errors.Is protocol in the first place.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aic/internal/analysis"
+)
+
+// Analyzer is the sentinelerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelerr",
+	Doc:  "compare package error sentinels with errors.Is, not == or !=",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isIsMethod(pass.TypesInfo, fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if s := sentinel(pass.TypesInfo, n.X); s != nil {
+						report(pass, n.OpPos, n.Op, s)
+					} else if s := sentinel(pass.TypesInfo, n.Y); s != nil {
+						report(pass, n.OpPos, n.Op, s)
+					}
+				case *ast.SwitchStmt:
+					checkSwitch(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, op token.Token, s types.Object) {
+	verb := "errors.Is"
+	if op == token.NEQ {
+		verb = "!errors.Is"
+	}
+	pass.Reportf(pos, "%s comparison against sentinel %s breaks on wrapped errors; use %s(err, %s)", op, s.Name(), verb, s.Name())
+}
+
+// checkSwitch flags `switch err { case ErrX: }` forms, which are identity
+// comparisons in disguise.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || !analysis.IsErrorType(tv.Type) {
+		return
+	}
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if s := sentinel(pass.TypesInfo, e); s != nil {
+				pass.Reportf(e.Pos(), "switch case compares sentinel %s by identity; use if/else with errors.Is(err, %s)", s.Name(), s.Name())
+			}
+		}
+	}
+}
+
+// sentinel returns the object when expr references a package-level variable
+// of the error interface type (an error sentinel), nil otherwise.
+func sentinel(info *types.Info, expr ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !analysis.IsErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// isIsMethod reports whether fn is an Is(error) bool method — the
+// errors.Is protocol hook, where identity comparison against the target is
+// the point.
+func isIsMethod(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Name.Name != "Is" || fn.Recv == nil {
+		return false
+	}
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && analysis.IsErrorType(sig.Params().At(0).Type()) &&
+		sig.Results().Len() == 1 && sig.Results().At(0).Type() == types.Typ[types.Bool]
+}

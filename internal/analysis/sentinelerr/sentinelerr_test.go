@@ -1,0 +1,11 @@
+package sentinelerr
+
+import (
+	"testing"
+
+	"aic/internal/analysis/analyzertest"
+)
+
+func TestSentinelErr(t *testing.T) {
+	analyzertest.Run(t, Analyzer, "sentinel", "sentinelok")
+}

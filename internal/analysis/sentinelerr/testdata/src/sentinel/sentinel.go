@@ -1,0 +1,47 @@
+// Package sentinel is a sentinelerr fixture with identity comparisons
+// against error sentinels, locally declared and imported.
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrStale mirrors the repo's sentinel style.
+var ErrStale = errors.New("stale")
+
+func compares(err error) bool {
+	return err == ErrStale // want `== comparison against sentinel ErrStale`
+}
+
+func comparesNeq(err error) bool {
+	return err != ErrStale // want `!= comparison against sentinel ErrStale`
+}
+
+func comparesImported(err error) bool {
+	return err == os.ErrNotExist // want `== comparison against sentinel ErrNotExist`
+}
+
+func comparesField(err error) bool {
+	var pe *os.PathError
+	if errors.As(err, &pe) {
+		return pe.Err == os.ErrInvalid // want `== comparison against sentinel ErrInvalid`
+	}
+	return false
+}
+
+func switches(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrStale: // want `switch case compares sentinel ErrStale by identity`
+		return "stale"
+	default:
+		return "other"
+	}
+}
+
+func wrapped() error {
+	return fmt.Errorf("context: %w", ErrStale)
+}

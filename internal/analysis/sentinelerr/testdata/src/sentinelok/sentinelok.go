@@ -1,0 +1,35 @@
+// Package sentinelok is the clean sentinelerr fixture: errors.Is for
+// sentinels, identity only where the errors.Is protocol itself requires it.
+package sentinelok
+
+import "errors"
+
+// ErrGone mirrors the repo's sentinel style.
+var ErrGone = errors.New("gone")
+
+// DecayError wraps a cause; its Is hook makes errors.Is(err, ErrGone) work
+// on wrapped chains — the identity comparison inside is the protocol.
+type DecayError struct{ Err error }
+
+func (e *DecayError) Error() string { return "decayed: " + e.Err.Error() }
+
+func (e *DecayError) Unwrap() error { return e.Err }
+
+// Is implements the errors.Is protocol.
+func (e *DecayError) Is(target error) bool { return target == ErrGone }
+
+func checks(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+func nilChecks(err error) bool {
+	return err == nil || err != errLocal()
+}
+
+func errLocal() error { return nil }
+
+func localCompare() bool {
+	a := errors.New("a")
+	b := errors.New("b")
+	return a == b // locals are not sentinels
+}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -23,11 +24,11 @@ func shortConfig(seed uint64, t *testing.T) Config {
 // zero violations.
 func TestChaosShort(t *testing.T) {
 	cfg := shortConfig(42, t)
-	r1, err := Run(cfg)
+	r1, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("run 1: %v", err)
 	}
-	r2, err := Run(cfg)
+	r2, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("run 2: %v", err)
 	}
@@ -66,7 +67,7 @@ func TestChaosShort(t *testing.T) {
 func TestChaosKnownBad(t *testing.T) {
 	cfg, sched := KnownBad()
 	cfg.Dir = t.TempDir()
-	r, err := RunSchedule(cfg, sched)
+	r, err := RunSchedule(context.Background(), cfg, sched)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -103,7 +104,7 @@ func TestChaosKnownBadReplay(t *testing.T) {
 	if parsed.String() != sched.String() {
 		t.Fatalf("schedule round-trip changed the plan:\n--- original:\n%s--- parsed:\n%s", sched, parsed)
 	}
-	r, err := RunSchedule(cfg, parsed)
+	r, err := RunSchedule(context.Background(), cfg, parsed)
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}
@@ -156,7 +157,7 @@ func TestChaosSmokeSeeds(t *testing.T) {
 	}
 	for _, seed := range []uint64{1, 2, 3} {
 		cfg := shortConfig(seed, t)
-		r, err := Run(cfg)
+		r, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -173,11 +174,11 @@ func TestChaosSmokeSeeds(t *testing.T) {
 func TestMinimizeKnownBad(t *testing.T) {
 	cfg, sched := KnownBad()
 	cfg.Dir = t.TempDir()
-	minimal := Minimize(cfg, sched)
+	minimal := Minimize(context.Background(), cfg, sched)
 	if len(minimal) == 0 || len(minimal) > len(sched) {
 		t.Fatalf("minimized schedule has %d events (original %d)", len(minimal), len(sched))
 	}
-	r, err := RunSchedule(cfg, minimal)
+	r, err := RunSchedule(context.Background(), cfg, minimal)
 	if err != nil {
 		t.Fatalf("minimized run: %v", err)
 	}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"path/filepath"
@@ -17,6 +18,7 @@ import (
 // reboot, not a disk loss — so quorum-committed data stays durable.
 type peer struct {
 	idx    int
+	ctx    context.Context // the run's root context, for the peer's server
 	root   string
 	store  *storage.FSStore
 	addr   string
@@ -26,12 +28,12 @@ type peer struct {
 	alive  bool
 }
 
-func newPeer(idx int, root string, seed uint64) (*peer, error) {
+func newPeer(ctx context.Context, idx int, root string, seed uint64) (*peer, error) {
 	st, err := storage.NewFSStore(root, storage.Target{Name: fmt.Sprintf("peer%d", idx)})
 	if err != nil {
 		return nil, err
 	}
-	p := &peer{idx: idx, root: root, store: st, dialer: &remote.FaultDialer{}}
+	p := &peer{ctx: ctx, idx: idx, root: root, store: st, dialer: &remote.FaultDialer{}}
 	if err := p.start(""); err != nil {
 		return nil, err
 	}
@@ -77,7 +79,7 @@ func (p *peer) start(addr string) error {
 	}
 	p.addr = ln.Addr().String()
 	p.srv = remote.NewServer(p.store, remote.ServerConfig{})
-	go p.srv.Serve(ln)
+	go p.srv.Serve(p.ctx, ln)
 	p.alive = true
 	return nil
 }

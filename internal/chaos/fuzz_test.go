@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSchedule pins the ParseSchedule/String round-trip: any input the
+// parser accepts must render to a canonical form that re-parses to the
+// identical schedule (parse∘render is a fixed point), and rendering must
+// never produce a line the parser rejects. This is the contract -schedule
+// replay files depend on: a minimized schedule written by aicsoak must read
+// back as exactly the schedule that failed.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("step=3 kind=crash\n")
+	f.Add("step=1 kind=torn-write peer=-1 n=512 bit=0\nstep=2 kind=bit-flip peer=1 n=9 bit=3\n")
+	f.Add("# comment\n\nstep=5 kind=conn-cut peer=0 n=100 bit=0\n")
+	f.Add("step=2 kind=peer-death peer=2\nstep=1 kind=dial-fail peer=0\n")
+	f.Add("step=0 kind=crash\n")
+	f.Add("step=1 kind=\n")
+	f.Add("step=1 step=2 kind=crash\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		s1, err := ParseSchedule(text)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		rendered := s1.String()
+		s2, err := ParseSchedule(rendered)
+		if err != nil {
+			t.Fatalf("rendered schedule rejected by its own parser: %v\nrendered:\n%s", err, rendered)
+		}
+		if !reflect.DeepEqual(normalize(s1), normalize(s2)) {
+			t.Fatalf("round-trip changed the schedule:\n first: %#v\nsecond: %#v\nrendered:\n%s", s1, s2, rendered)
+		}
+		if rendered != s2.String() {
+			t.Fatalf("render is not a fixed point:\n first:\n%s\nsecond:\n%s", rendered, s2.String())
+		}
+	})
+}
+
+// normalize maps an empty schedule and a nil one to the same value so
+// DeepEqual compares content, not allocation history.
+func normalize(s Schedule) Schedule {
+	if len(s) == 0 {
+		return Schedule{}
+	}
+	return s
+}

@@ -101,24 +101,26 @@ func (r *Result) FailureReport() string {
 	return b.String()
 }
 
-// Run generates the fault schedule from cfg.Seed and soaks it.
-func Run(cfg Config) (*Result, error) {
+// Run generates the fault schedule from cfg.Seed and soaks it. ctx bounds
+// the run's storage and network operations; determinism holds for any ctx
+// that is never cancelled mid-run.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	sched := Generate(cfg.Seed, GenConfig{Steps: cfg.Steps, Peers: cfg.Peers, Events: cfg.Events})
-	return RunSchedule(cfg, sched)
+	return RunSchedule(ctx, cfg, sched)
 }
 
 // RunSchedule soaks an explicit fault schedule — the replay entry point.
 // The returned error covers only harness infrastructure failures (scratch
 // directory, listeners); invariant violations land in Result.Violations.
-func RunSchedule(cfg Config, sched Schedule) (*Result, error) {
+func RunSchedule(ctx context.Context, cfg Config, sched Schedule) (*Result, error) {
 	cfg = cfg.withDefaults()
 	scratch, err := os.MkdirTemp(cfg.Dir, "aic-chaos-*")
 	if err != nil {
 		return nil, err
 	}
 	defer os.RemoveAll(scratch)
-	h := &harness{cfg: cfg, sched: sched, res: &Result{Seed: cfg.Seed, Schedule: sched}}
+	h := &harness{ctx: ctx, cfg: cfg, sched: sched, res: &Result{Seed: cfg.Seed, Schedule: sched}}
 	if err := h.setup(scratch); err != nil {
 		return nil, err
 	}
@@ -130,9 +132,9 @@ func RunSchedule(cfg Config, sched Schedule) (*Result, error) {
 // Minimize greedily shrinks a failing schedule to a locally minimal one:
 // events are dropped one at a time as long as the run still violates an
 // invariant. Non-failing schedules come back unchanged.
-func Minimize(cfg Config, sched Schedule) Schedule {
+func Minimize(ctx context.Context, cfg Config, sched Schedule) Schedule {
 	fails := func(s Schedule) bool {
-		r, err := RunSchedule(cfg, s)
+		r, err := RunSchedule(ctx, cfg, s)
 		return err == nil && r.Failed()
 	}
 	cur := sched
@@ -173,6 +175,7 @@ func KnownBad() (Config, Schedule) {
 // the only concurrency is the production code's own (parallel delta encode,
 // replication fan-out, server connections).
 type harness struct {
+	ctx   context.Context // the run's root context, threaded into every store call
 	cfg   Config
 	sched Schedule
 	res   *Result
@@ -211,7 +214,7 @@ func (h *harness) setup(scratch string) error {
 	h.local = local
 	stores := make([]aic.Store, 0, h.cfg.Peers)
 	for i := 0; i < h.cfg.Peers; i++ {
-		p, err := newPeer(i, filepath.Join(scratch, fmt.Sprintf("peer%d", i)), h.cfg.Seed)
+		p, err := newPeer(h.ctx, i, filepath.Join(scratch, fmt.Sprintf("peer%d", i)), h.cfg.Seed)
 		if err != nil {
 			return err
 		}
@@ -405,7 +408,7 @@ func (h *harness) checkpoint() {
 	h.ckptCount++
 	h.shadows[seq] = h.as.Clone()
 	h.res.Checkpoints++
-	err := h.dir.Append(h.proc, seq, enc)
+	err := h.dir.Append(h.ctx, h.proc, seq, enc)
 	switch {
 	case err == nil:
 		h.lastSeq, h.lastQuorum = seq, seq
@@ -422,7 +425,7 @@ func (h *harness) checkpoint() {
 		return
 	}
 	if full && seq > 0 {
-		switch terr := h.dir.Truncate(h.proc, seq); {
+		switch terr := h.dir.Truncate(h.ctx, h.proc, seq); {
 		case terr == nil:
 			h.localTrunc, h.truncSeq = true, seq
 			h.transcript("truncate seq=%d ok", seq)
@@ -495,7 +498,7 @@ func (h *harness) recover(reason string) {
 	h.scrubAll()
 	h.checkChains()
 
-	im, rep, err := h.dir.RestoreBestReplica(h.proc)
+	im, rep, err := h.dir.RestoreBestReplica(h.ctx, h.proc)
 	if err != nil {
 		h.violation("restore-failed", fmt.Sprintf("no replica restorable: %v", err))
 		// The soak continues from the live image so later schedule events
@@ -550,18 +553,18 @@ func (h *harness) scrubAll() {
 	if h.lastSeq < 0 {
 		return // era never landed a checkpoint locally; nothing to scrub
 	}
-	if rep, err := h.dir.Scrub(h.proc, true); err != nil {
+	if rep, err := h.dir.Scrub(h.ctx, h.proc, true); err != nil {
 		h.violation("scrub-clean", "local scrub-repair failed")
 	} else {
 		if !rep.Clean() {
 			h.transcript("scrub local repaired corrupt=%d missing=%d orphaned=%d stray=%d",
 				len(rep.Corrupt), len(rep.Missing), len(rep.Orphaned), len(rep.StrayRemoved))
 		}
-		if rep2, err := h.dir.Scrub(h.proc, false); err != nil || !rep2.Clean() {
+		if rep2, err := h.dir.Scrub(h.ctx, h.proc, false); err != nil || !rep2.Clean() {
 			h.violation("scrub-clean", "local store dirty after scrub-repair")
 		}
 	}
-	ctx := context.Background()
+	ctx := h.ctx
 	for _, p := range h.peers {
 		procs, err := p.client.List(ctx)
 		if err != nil {
@@ -591,7 +594,7 @@ func (h *harness) scrubAll() {
 // across every replica of the current era's chain. Runs after scrubAll, so
 // chains reflect repaired on-disk truth.
 func (h *harness) checkChains() {
-	ctx := context.Background()
+	ctx := h.ctx
 	// A chain may miss at most two truncates (a peer dead across one full
 	// boundary, revived, plus the checkpoints since) before it is unbounded.
 	bound := 3*h.cfg.FullEvery + 4
@@ -645,7 +648,7 @@ func (h *harness) rotateEra(live *memsim.AddressSpace) {
 	h.ckptCount = 1
 	h.shadows[0] = h.as.Clone()
 	h.res.Checkpoints++
-	switch err := h.dir.Append(h.proc, 0, enc); {
+	switch err := h.dir.Append(h.ctx, h.proc, 0, enc); {
 	case err == nil:
 		h.lastSeq, h.lastQuorum = 0, 0
 		h.transcript("bootstrap seq=0 bytes=%d ok", len(enc))
@@ -661,7 +664,7 @@ func (h *harness) rotateEra(live *memsim.AddressSpace) {
 	if oldProc == "" {
 		return
 	}
-	switch err := h.dir.Remove(oldProc); {
+	switch err := h.dir.Remove(h.ctx, oldProc); {
 	case err == nil:
 		h.transcript("removed old chain")
 	case errors.Is(err, aic.ErrDegraded):
@@ -670,7 +673,7 @@ func (h *harness) rotateEra(live *memsim.AddressSpace) {
 		h.violation("remove-leak", "removing the previous era's chain failed locally")
 	}
 	leaks := 0
-	ctx := context.Background()
+	ctx := h.ctx
 	for _, p := range h.peers {
 		procs, err := p.client.List(ctx)
 		if err == nil && contains(procs, oldProc) {

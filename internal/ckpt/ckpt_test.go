@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -303,7 +304,7 @@ func TestChecksumErrorIsTyped(t *testing.T) {
 	b := NewBuilder(64, 0, 0)
 	enc := b.FullCheckpoint(as).Encode()
 	enc[len(enc)-1] ^= 0xFF
-	if _, err := Decode(enc); err != ErrChecksum {
+	if _, err := Decode(enc); !errors.Is(err, ErrChecksum) {
 		t.Fatalf("err = %v, want ErrChecksum", err)
 	}
 }

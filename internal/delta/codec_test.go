@@ -2,6 +2,7 @@ package delta
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -269,7 +270,7 @@ func TestXORRoundTripProperty(t *testing.T) {
 }
 
 func TestXORLengthMismatch(t *testing.T) {
-	if _, err := EncodeXOR([]byte("ab"), []byte("abc")); err != ErrLengthMismatch {
+	if _, err := EncodeXOR([]byte("ab"), []byte("abc")); !errors.Is(err, ErrLengthMismatch) {
 		t.Fatalf("err = %v", err)
 	}
 	if _, err := DecodeXOR([]byte("ab"), []byte{0x05}); err == nil {

@@ -84,6 +84,7 @@ func Run(prog workload.Stateful, cfg Config, events EventSource, mgr *recovery.M
 	// The simulation is node-local even when the manager's stores are not;
 	// a background context keeps the store calls unbounded, matching the
 	// model's assumption that simulated transfers always complete.
+	//aiclint:ignore ctxflow node-local simulation contract: simulated transfers always complete
 	ctx := context.Background()
 	if cfg.Interval <= 0 {
 		return nil, fmt.Errorf("faultsim: non-positive checkpoint interval")

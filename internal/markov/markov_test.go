@@ -1,6 +1,7 @@
 package markov
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -144,7 +145,7 @@ func TestNonAbsorbingChainDetected(t *testing.T) {
 	b := c.AddState("b", 1)
 	c.SetSuccess(a, b)
 	c.SetSuccess(b, a)
-	if _, err := c.ExpectedTime(a); err != ErrNotAbsorbing {
+	if _, err := c.ExpectedTime(a); !errors.Is(err, ErrNotAbsorbing) {
 		t.Fatalf("err = %v, want ErrNotAbsorbing", err)
 	}
 }

@@ -1,6 +1,7 @@
 package numeric
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -47,7 +48,7 @@ func TestSolveLinearNeedsPivot(t *testing.T) {
 func TestSolveLinearSingular(t *testing.T) {
 	a := [][]float64{{1, 2}, {2, 4}}
 	b := []float64{1, 2}
-	if _, err := SolveLinear(a, b); err != ErrSingular {
+	if _, err := SolveLinear(a, b); !errors.Is(err, ErrSingular) {
 		t.Fatalf("err = %v, want ErrSingular", err)
 	}
 }

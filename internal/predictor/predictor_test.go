@@ -1,6 +1,7 @@
 package predictor
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -122,7 +123,7 @@ func TestFitStepwiseErrors(t *testing.T) {
 		t.Fatal("mismatched lengths accepted")
 	}
 	s := []Metrics{{DP: 1}, {DP: 2}}
-	if _, err := FitStepwise(s, []float64{1, 2}, 3, 0.5); err != ErrTooFewSamples {
+	if _, err := FitStepwise(s, []float64{1, 2}, 3, 0.5); !errors.Is(err, ErrTooFewSamples) {
 		t.Fatalf("err = %v, want ErrTooFewSamples", err)
 	}
 }

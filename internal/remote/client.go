@@ -217,6 +217,8 @@ func asRemoteErr(payload []byte) error {
 // connection with its deadline already set; any failure drops the
 // connection (see below), transport failures retry, application errors
 // return immediately.
+//
+//aiclint:ignore lockio r.mu is the connection-ownership lock; the single conn is only usable while held
 func (r *RemoteStore) do(ctx context.Context, op func(conn net.Conn, br *bufio.Reader) error) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -33,7 +34,7 @@ func TestReplicationSurvivesPeerDeathAndReset(t *testing.T) {
 			t.Fatal(err)
 		}
 		srv := NewServer(fs, ServerConfig{})
-		go srv.Serve(ln)
+		go srv.Serve(context.Background(), ln)
 		t.Cleanup(func() { srv.Close() })
 		addrs[i], servers[i], disks[i] = ln.Addr().String(), srv, fs
 	}

@@ -25,7 +25,7 @@ func startServer(t *testing.T, store storage.Store) string {
 		t.Fatal(err)
 	}
 	srv := NewServer(store, ServerConfig{IdleTimeout: 30 * time.Second})
-	go srv.Serve(ln)
+	go srv.Serve(context.Background(), ln)
 	t.Cleanup(func() { srv.Close() })
 	return ln.Addr().String()
 }

@@ -85,8 +85,10 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // Serve accepts connections on ln until Close. It returns nil after Close,
-// or the accept error that stopped it.
-func (s *Server) Serve(ln net.Listener) error {
+// or the accept error that stopped it. ctx is the server's lifetime
+// context: every connection's store operations run under it, so a caller
+// cancelling ctx bounds in-flight work during shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	s.lnMu.Lock()
 	if s.closed {
 		s.lnMu.Unlock()
@@ -123,7 +125,7 @@ func (s *Server) Serve(ln net.Listener) error {
 				delete(s.conns, conn)
 				s.lnMu.Unlock()
 			}()
-			if err := s.serveConn(conn); err != nil && !errors.Is(err, io.EOF) {
+			if err := s.serveConn(ctx, conn); err != nil && !errors.Is(err, io.EOF) {
 				s.logf("remote: conn %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
@@ -136,10 +138,16 @@ func (s *Server) Serve(ln net.Listener) error {
 // this to force mid-transfer reconnects at scheduled points.
 func (s *Server) CloseConns() {
 	s.lnMu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
 	for conn := range s.conns {
-		conn.Close()
+		conns = append(conns, conn)
 	}
 	s.lnMu.Unlock()
+	// Severing happens outside lnMu: Close can block (TCP linger), and the
+	// accept loop needs the lock to register new connections meanwhile.
+	for _, conn := range conns {
+		conn.Close()
+	}
 }
 
 // Close stops accepting, severs live connections and waits for their
@@ -149,10 +157,14 @@ func (s *Server) Close() error {
 	s.lnMu.Lock()
 	s.closed = true
 	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
 	for conn := range s.conns {
-		conn.Close()
+		conns = append(conns, conn)
 	}
 	s.lnMu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
 	if ln != nil {
 		ln.Close()
 	}
@@ -165,9 +177,9 @@ func stagingKey(proc string, seq int) string {
 }
 
 // serveConn runs the request loop for one connection. cur tracks the
-// transfer the connection's last PutBegin opened.
-func (s *Server) serveConn(conn net.Conn) error {
-	ctx := context.Background()
+// transfer the connection's last PutBegin opened; ctx is the server's
+// lifetime context from Serve.
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 	var (
 		curKey string
 		cur    *staging

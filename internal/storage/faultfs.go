@@ -282,6 +282,8 @@ func (f *FaultFS) RemoveAll(path string) error {
 
 // FlipBit flips one bit of the file at path — the silent-corruption
 // injection the scrub's CRC cross-check must catch.
+//
+//aiclint:ignore durablefs simulates an external corruptor, so it must bypass the FS shim's durability protocol
 func FlipBit(path string, byteOffset int, bit uint) error {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -81,7 +82,7 @@ func (OSFS) SyncDir(name string) error {
 
 func isSyncUnsupported(err error) bool {
 	pe, ok := err.(*os.PathError)
-	return ok && (pe.Err == os.ErrInvalid || pe.Err.Error() == "invalid argument")
+	return ok && (errors.Is(pe.Err, os.ErrInvalid) || pe.Err.Error() == "invalid argument")
 }
 
 // atomicWrite is the durable-write protocol every FSStore mutation uses:

@@ -2,6 +2,7 @@ package aic_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"net"
@@ -107,7 +108,7 @@ func startPeer(t *testing.T) (string, *remote.Server, *storage.LevelStore) {
 		t.Fatal(err)
 	}
 	srv := remote.NewServer(backing, remote.ServerConfig{})
-	go srv.Serve(ln)
+	go srv.Serve(context.Background(), ln)
 	t.Cleanup(func() { srv.Close() })
 	return ln.Addr().String(), srv, backing
 }
@@ -134,17 +135,17 @@ func TestCheckpointDirReplication(t *testing.T) {
 		p.Write(uint64(i), 0, bytes.Repeat([]byte{byte(i + 1)}, 512))
 	}
 	full := p.FullCheckpoint()
-	if err := dir.Append("job", p.Seq()-1, full); err != nil {
+	if err := dir.Append(context.Background(), "job", p.Seq()-1, full); err != nil {
 		t.Fatalf("replicated append: %v", err)
 	}
 	p.Write(3, 0, []byte("delta delta"))
 	delta, _ := p.DeltaCheckpoint()
-	if err := dir.Append("job", p.Seq()-1, delta); err != nil {
+	if err := dir.Append(context.Background(), "job", p.Seq()-1, delta); err != nil {
 		t.Fatalf("replicated append: %v", err)
 	}
 	// A label that contradicts the frame's own seq is rejected before it
 	// can poison local or remote manifests.
-	if err := dir.Append("job", p.Seq()+7, delta); err == nil {
+	if err := dir.Append(context.Background(), "job", p.Seq()+7, delta); err == nil {
 		t.Fatal("mislabelled append accepted")
 	}
 
@@ -158,7 +159,7 @@ func TestCheckpointDirReplication(t *testing.T) {
 	srv2.Close()
 	p.Write(4, 0, []byte("second delta"))
 	delta2, _ := p.DeltaCheckpoint()
-	err = dir.Append("job", p.Seq()-1, delta2)
+	err = dir.Append(context.Background(), "job", p.Seq()-1, delta2)
 	if !errors.Is(err, aic.ErrDegraded) {
 		t.Fatalf("append with a dead peer = %v, want ErrDegraded", err)
 	}
@@ -167,7 +168,7 @@ func TestCheckpointDirReplication(t *testing.T) {
 		t.Fatalf("degraded error carries no cause: %v", err)
 	}
 	// The local chain is intact despite the degraded replication.
-	chain, err := dir.Chain("job")
+	chain, err := dir.Chain(context.Background(), "job")
 	if err != nil || len(chain) != 3 {
 		t.Fatalf("local chain = %d elements, %v", len(chain), err)
 	}
@@ -184,7 +185,7 @@ func TestCheckpointDirReplication(t *testing.T) {
 	if err := lfs.Delete(t.Context(), "job"); err != nil {
 		t.Fatal(err)
 	}
-	im, rep, err := dir.RestoreBestReplica("job")
+	im, rep, err := dir.RestoreBestReplica(context.Background(), "job")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,13 +209,13 @@ func TestCheckpointDirWithStore(t *testing.T) {
 	p := aic.NewProcess(256)
 	p.Write(0, 0, []byte("hello"))
 	full := p.FullCheckpoint()
-	if err := dir.Append("m", p.Seq()-1, full); err != nil {
+	if err := dir.Append(context.Background(), "m", p.Seq()-1, full); err != nil {
 		t.Fatal(err)
 	}
 	if chain, _, err := backing.Get(t.Context(), "m"); err != nil || len(chain) != 1 {
 		t.Fatalf("custom store chain = %d, %v", len(chain), err)
 	}
-	im, _, err := dir.RestoreLatestGood("m")
+	im, _, err := dir.RestoreLatestGood(context.Background(), "m")
 	if err != nil || !im.Matches(p) {
 		t.Fatalf("restore through custom store: %v", err)
 	}
@@ -232,13 +233,13 @@ func TestCheckpointDirHousekeepingReachesPeers(t *testing.T) {
 	defer dir.Close()
 
 	for seq := 0; seq < 3; seq++ {
-		if err := dir.Append("p", seq, []byte{byte(seq)}); err != nil {
+		if err := dir.Append(context.Background(), "p", seq, []byte{byte(seq)}); err != nil {
 			t.Fatalf("append seq %d: %v", seq, err)
 		}
 	}
 	// Truncate fans out: the peers' chains are cut along with the local one,
 	// instead of growing without bound.
-	if err := dir.Truncate("p", 2); err != nil {
+	if err := dir.Truncate(context.Background(), "p", 2); err != nil {
 		t.Fatal(err)
 	}
 	for i, s := range []*storage.LevelStore{s1, s2} {
@@ -248,7 +249,7 @@ func TestCheckpointDirHousekeepingReachesPeers(t *testing.T) {
 		}
 	}
 	// Remove fans out too.
-	if err := dir.Remove("p"); err != nil {
+	if err := dir.Remove(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 	for i, s := range []*storage.LevelStore{s1, s2} {
@@ -269,7 +270,7 @@ func TestReplicationQuorumDefaultsToMajority(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer dir.Close()
-	if err := dir.Append("p", 0, []byte("onlyseq")); err == nil {
+	if err := dir.Append(context.Background(), "p", 0, []byte("onlyseq")); err == nil {
 		// Raw bytes are fine for the stores; the append must reach all
 		// three in-memory peers.
 		for i, s := range []*storage.LevelStore{s1, s2, s3} {
