@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: help build lint test race fuzz-smoke cover
+.PHONY: help build lint test race fuzz-smoke cover bench bench-smoke
 
 help: ## list targets
 	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
@@ -36,3 +36,12 @@ fuzz-smoke: ## short runs of every fuzz target, as CI runs them
 cover: ## coverage profile + per-function summary
 	$(GO) test -shuffle=on -coverprofile=coverage.out -coverpkg=./... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
+
+bench: ## full pinned perf suite; refreshes BENCH_6.json against its recorded baseline
+	$(GO) run ./cmd/aicbench -json -out BENCH_6.json -baseline-from BENCH_6.json
+	$(GO) run ./cmd/aicbench -check BENCH_6.json
+
+bench-smoke: ## CI-sized perf suite + schema validation of the committed report
+	$(GO) run ./cmd/aicbench -json -short -out /tmp/bench-smoke.json
+	$(GO) run ./cmd/aicbench -check /tmp/bench-smoke.json
+	$(GO) run ./cmd/aicbench -check BENCH_6.json

@@ -3,9 +3,14 @@
 // compressor ablation (Xdelta3-PA vs whole-file Xdelta3 vs XOR+RLE), and a
 // throughput/allocation microbenchmark of the serial vs parallel
 // page-aligned encode pipeline.
+//
+// The throughput experiment supports -json for machine-readable output:
+// per-pass timings, throughput relative to the input image size, and
+// go-test-benchmem-style allocation counters.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,7 +20,7 @@ import (
 
 	"aic/internal/delta"
 	"aic/internal/exp"
-	"aic/internal/numeric"
+	"aic/internal/perfbench"
 )
 
 func main() {
@@ -24,6 +29,7 @@ func main() {
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (fig2/ablation)")
 	parallel := flag.Int("parallel", 0, "encode workers for the throughput experiment (0 = GOMAXPROCS)")
 	dirtyMiB := flag.Int("dirty-mib", 64, "dirty-set size in MiB for the throughput experiment")
+	jsonOut := flag.Bool("json", false, "with -experiment throughput: emit machine-readable JSON")
 	flag.Parse()
 
 	var subset []string
@@ -66,48 +72,39 @@ func main() {
 		fmt.Print(exp.RenderAblations(rows, nil, nil))
 	}
 	if run["throughput"] {
-		runThroughput(*seed, *dirtyMiB, *parallel)
+		runThroughput(*seed, *dirtyMiB, *parallel, *jsonOut)
 	}
 	if !run["fig2"] && !run["table3"] && !run["ablation"] && !run["throughput"] {
 		die(fmt.Errorf("unknown experiment %q", *experiment))
 	}
 }
 
-// throughputUpdates synthesizes a dirty set with the AIC steady-state mix:
-// 70% hot lightly-edited pages, 10% hot rewritten pages (raw fallback),
-// 20% fresh pages without a previous version.
-func throughputUpdates(seed uint64, totalBytes int) []delta.PageUpdate {
-	const pageSize = 4096
-	rng := numeric.NewRNG(seed)
-	pages := totalBytes / pageSize
-	updates := make([]delta.PageUpdate, pages)
-	for i := range updates {
-		newPage := make([]byte, pageSize)
-		switch {
-		case i%10 < 7:
-			old := make([]byte, pageSize)
-			rng.Bytes(old)
-			copy(newPage, old)
-			for k := 0; k < 8; k++ {
-				newPage[rng.Intn(pageSize)] ^= byte(1 + rng.Intn(255))
-			}
-			updates[i] = delta.PageUpdate{Index: uint64(i), Old: old, New: newPage}
-		case i%10 < 8:
-			old := make([]byte, pageSize)
-			rng.Bytes(old)
-			rng.Bytes(newPage)
-			updates[i] = delta.PageUpdate{Index: uint64(i), Old: old, New: newPage}
-		default:
-			rng.Bytes(newPage)
-			updates[i] = delta.PageUpdate{Index: uint64(i), New: newPage}
-		}
-	}
-	return updates
+// passResult is one measured encode or decode pass. MiBps is relative to the
+// input image size (the dirty-set bytes fed in), not the stream produced —
+// the number that tells you how fast a checkpoint interval drains.
+type passResult struct {
+	Name        string  `json:"name"`
+	PerOpNanos  int64   `json:"per_op_ns"`
+	MiBps       float64 `json:"mibps"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
 }
 
-// measureEncode times fn over reps passes and reports throughput plus
-// go-test-benchmem-style allocation counters sampled via runtime.MemStats.
-func measureEncode(name string, bytesPerOp int64, reps int, fn func()) (mbps float64) {
+// throughputReport is the -json document for the throughput experiment.
+type throughputReport struct {
+	Bench       string       `json:"bench"`
+	DirtyMiB    int          `json:"dirty_mib"`
+	Pages       int          `json:"pages"`
+	Workers     int          `json:"workers"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	Passes      []passResult `json:"passes"`
+	StreamBytes int          `json:"stream_bytes"`
+	Ratio       float64      `json:"ratio"`
+}
+
+// measurePass times fn over reps passes and samples allocation counters via
+// runtime.MemStats, mirroring go test -benchmem.
+func measurePass(name string, bytesPerOp int64, reps int, fn func()) passResult {
 	fn() // warm the encoder pools so steady-state allocations are measured
 
 	var before, after runtime.MemStats
@@ -121,18 +118,24 @@ func measureEncode(name string, bytesPerOp int64, reps int, fn func()) (mbps flo
 	runtime.ReadMemStats(&after)
 
 	perOp := elapsed / time.Duration(reps)
-	mbps = float64(bytesPerOp) / perOp.Seconds() / (1 << 20)
-	allocsPerOp := (after.Mallocs - before.Mallocs) / uint64(reps)
-	bPerOp := (after.TotalAlloc - before.TotalAlloc) / uint64(reps)
-	fmt.Printf("  %-14s %10v/op  %8.1f MiB/s  %9d B/op  %7d allocs/op\n",
-		name, perOp.Round(time.Microsecond), mbps, bPerOp, allocsPerOp)
-	return mbps
+	return passResult{
+		Name:        name,
+		PerOpNanos:  perOp.Nanoseconds(),
+		MiBps:       float64(bytesPerOp) / perOp.Seconds() / (1 << 20),
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(reps),
+		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(reps),
+	}
+}
+
+func (p passResult) render() string {
+	return fmt.Sprintf("  %-14s %10v/op  %8.1f MiB/s  %9d B/op  %7d allocs/op\n",
+		p.Name, time.Duration(p.PerOpNanos).Round(time.Microsecond), p.MiBps, p.BytesPerOp, p.AllocsPerOp)
 }
 
 // runThroughput benchmarks the serial and parallel page-aligned encoders
-// (and decoders) over a synthetic dirty set, reporting throughput,
-// speedup, and allocation counts.
-func runThroughput(seed uint64, dirtyMiB, parallelism int) {
+// (and decoders) over a synthetic dirty set, reporting throughput relative
+// to the input image, speedup, and allocation counts.
+func runThroughput(seed uint64, dirtyMiB, parallelism int, jsonOut bool) {
 	if dirtyMiB <= 0 {
 		dirtyMiB = 64
 	}
@@ -141,19 +144,23 @@ func runThroughput(seed uint64, dirtyMiB, parallelism int) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	totalBytes := int64(dirtyMiB) << 20
-	updates := throughputUpdates(seed, int(totalBytes))
+	updates := perfbench.SyntheticUpdates(seed, int(totalBytes))
 	reps := 3
 
-	fmt.Printf("Throughput — page-aligned delta pipeline, %d MiB dirty set (%d pages, GOMAXPROCS=%d)\n",
-		dirtyMiB, len(updates), runtime.GOMAXPROCS(0))
+	rep := throughputReport{
+		Bench:      "deltabench-throughput",
+		DirtyMiB:   dirtyMiB,
+		Pages:      len(updates),
+		Workers:    workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
 
-	serial := measureEncode("encode serial", totalBytes, reps, func() {
+	serial := measurePass("encode_serial", totalBytes, reps, func() {
 		delta.EncodePageAlignedParallel(updates, delta.DefaultBlockSize, 1)
 	})
-	par := measureEncode(fmt.Sprintf("encode par=%d", workers), totalBytes, reps, func() {
+	par := measurePass(fmt.Sprintf("encode_par%d", workers), totalBytes, reps, func() {
 		delta.EncodePageAlignedParallel(updates, delta.DefaultBlockSize, workers)
 	})
-	fmt.Printf("  encode speedup ×%.2f at %d workers\n", par/serial, workers)
 
 	stream := delta.EncodePageAlignedParallel(updates, delta.DefaultBlockSize, workers)
 	olds := make(map[uint64][]byte, len(updates))
@@ -163,16 +170,35 @@ func runThroughput(seed uint64, dirtyMiB, parallelism int) {
 		}
 	}
 	fetch := func(idx uint64) []byte { return olds[idx] }
-	dserial := measureEncode("decode serial", totalBytes, reps, func() {
+	dserial := measurePass("decode_serial", totalBytes, reps, func() {
 		if _, err := delta.DecodePageAlignedParallel(stream, fetch, 1); err != nil {
 			panic(err)
 		}
 	})
-	dpar := measureEncode(fmt.Sprintf("decode par=%d", workers), totalBytes, reps, func() {
+	dpar := measurePass(fmt.Sprintf("decode_par%d", workers), totalBytes, reps, func() {
 		if _, err := delta.DecodePageAlignedParallel(stream, fetch, workers); err != nil {
 			panic(err)
 		}
 	})
-	fmt.Printf("  decode speedup ×%.2f at %d workers\n", dpar/dserial, workers)
-	fmt.Printf("  stream: %d bytes (ratio %.4f)\n", len(stream), float64(len(stream))/float64(totalBytes))
+	rep.Passes = []passResult{serial, par, dserial, dpar}
+	rep.StreamBytes = len(stream)
+	rep.Ratio = float64(len(stream)) / float64(totalBytes)
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "deltabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("Throughput — page-aligned delta pipeline, %d MiB dirty set (%d pages, GOMAXPROCS=%d)\n",
+		dirtyMiB, len(updates), rep.GoMaxProcs)
+	fmt.Print(serial.render(), par.render())
+	fmt.Printf("  encode speedup ×%.2f at %d workers\n", par.MiBps/serial.MiBps, workers)
+	fmt.Print(dserial.render(), dpar.render())
+	fmt.Printf("  decode speedup ×%.2f at %d workers\n", dpar.MiBps/dserial.MiBps, workers)
+	fmt.Printf("  stream: %d bytes (ratio %.4f)\n", rep.StreamBytes, rep.Ratio)
 }

@@ -8,9 +8,11 @@
 package delta
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 )
 
@@ -54,13 +56,27 @@ type weakHash struct {
 }
 
 func newWeakHash(window []byte) weakHash {
-	var h weakHash
-	h.n = uint32(len(window))
-	for i, c := range window {
-		h.a += uint32(c)
-		h.b += uint32(len(window)-i) * uint32(c)
+	// Unrolled 8-wide: with s = Σ c_i and t = Σ i·c_i the checksum halves
+	// are a = s and b = n·s − t, so the loop reduces to two running sums
+	// whose per-chunk weights are compile-time constants — no per-byte
+	// multiply, and the eight loads per iteration vectorize.
+	var s, t uint32
+	i := 0
+	for ; i+8 <= len(window); i += 8 {
+		w := window[i : i+8 : i+8]
+		c0, c1, c2, c3 := uint32(w[0]), uint32(w[1]), uint32(w[2]), uint32(w[3])
+		c4, c5, c6, c7 := uint32(w[4]), uint32(w[5]), uint32(w[6]), uint32(w[7])
+		cs := c0 + c1 + c2 + c3 + c4 + c5 + c6 + c7
+		t += uint32(i)*cs + c1 + 2*c2 + 3*c3 + 4*c4 + 5*c5 + 6*c6 + 7*c7
+		s += cs
 	}
-	return h
+	for ; i < len(window); i++ {
+		c := uint32(window[i])
+		s += c
+		t += uint32(i) * c
+	}
+	n := uint32(len(window))
+	return weakHash{a: s, b: n*s - t, n: n}
 }
 
 // roll slides the window one byte: out leaves, in enters.
@@ -71,18 +87,28 @@ func (h *weakHash) roll(out, in byte) {
 
 func (h weakHash) sum() uint32 { return (h.b&0xffff)<<16 | (h.a & 0xffff) }
 
-// strongHash is FNV-1a 64-bit, cheap and collision-safe enough once the
-// weak hash has pre-filtered (byte equality is verified afterwards anyway).
+// strongHash is a word-at-a-time FNV-style hash: eight bytes enter the
+// multiply chain per step instead of one, followed by a finalizer that
+// mixes word-level structure back across the lanes. Collision quality only
+// needs to be good enough to pre-filter — candidate blocks are confirmed by
+// byte comparison before they are used — and the encoder's output depends
+// only on that byte comparison, so the hash function is free to change
+// without affecting the stream format.
 func strongHash(p []byte) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, c := range p {
-		h ^= uint64(c)
-		h *= prime
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for len(p) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(p)) * prime
+		p = p[8:]
 	}
+	for _, c := range p {
+		h = (h ^ uint64(c)) * prime
+	}
+	// splitmix64-style avalanche: word-wide XORs above leave low bytes
+	// correlated; two shift-xor-multiply rounds spread them.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 31
 	return h
 }
 
@@ -226,7 +252,7 @@ func (e *Encoder) AppendEncode(dst, source, target []byte, blockSize int) []byte
 				sh := strongHash(win)
 				for id := head; id >= 0; id = e.chain[id].next {
 					c := e.chain[id].blk
-					if c.strong == sh && bytesEqual(source[c.offset:c.offset+blockSize], win) {
+					if c.strong == sh && bytes.Equal(source[c.offset:c.offset+blockSize], win) {
 						match = c.offset
 						break
 					}
@@ -242,11 +268,7 @@ func (e *Encoder) AppendEncode(dst, source, target []byte, blockSize int) []byte
 			// Extend the match forward beyond the block, and backward into
 			// the pending literal (matches rarely begin exactly on a block
 			// boundary).
-			length := blockSize
-			for pos+length < len(target) && match+length < len(source) &&
-				target[pos+length] == source[match+length] {
-				length++
-			}
+			length := blockSize + commonPrefixLen(target[pos+blockSize:], source[match+blockSize:])
 			back := 0
 			for pos-back > litStart && match-back > 0 &&
 				target[pos-back-1] == source[match-back-1] {
@@ -274,16 +296,28 @@ func (e *Encoder) Reset() {
 	e.heads, e.tails, e.chain, e.buf = nil, nil, nil, nil
 }
 
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
+// commonPrefixLen returns the length of the longest common prefix of a and
+// b, comparing eight bytes per step; the first differing word pinpoints the
+// mismatch via its trailing zero bits. It drives forward match extension,
+// where matches regularly run hundreds of bytes past the seed block.
+func commonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
+		if x != 0 {
+			return i + bits.TrailingZeros64(x)/8
 		}
 	}
-	return true
+	for ; i < n; i++ {
+		if a[i] != b[i] {
+			break
+		}
+	}
+	return i
 }
 
 // Decode reconstructs the target from source and a delta stream produced by

@@ -56,24 +56,26 @@ func encodePageAligned(updates []PageUpdate, blockSize, parallelism int) ([]byte
 
 	frames := make([][]byte, len(sorted))
 	modes := make([]byte, len(sorted))
+	arenas := make([]*frameArena, parallelism)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
-		go func() {
+		arenas[w] = getArena()
+		go func(ar *frameArena) {
 			defer wg.Done()
 			e := GetEncoder()
 			defer PutEncoder(e)
-			var scratch []byte // reused frame buffer; frames get exact-size copies
+			var scratch []byte // reused frame buffer; frames get arena copies
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(sorted) {
 					return
 				}
 				scratch, modes[i] = appendPageFrame(e, scratch[:0], sorted[i], blockSize)
-				frames[i] = append([]byte(nil), scratch...)
+				frames[i] = ar.copyFrame(scratch)
 			}
-		}()
+		}(arenas[w])
 	}
 	wg.Wait()
 
@@ -89,6 +91,11 @@ func encodePageAligned(updates []PageUpdate, blockSize, parallelism int) ([]byte
 	for i, f := range frames {
 		out = append(out, f...)
 		st.count(sorted[i], modes[i])
+	}
+	// Frames are copied out; the arenas (and their chunks) can be recycled
+	// for the next encode run.
+	for _, ar := range arenas {
+		putArena(ar)
 	}
 	st.OutputBytes = len(out)
 	return out, st

@@ -1,0 +1,102 @@
+package perfbench
+
+import (
+	"runtime"
+	"sort"
+	"time"
+
+	"aic/internal/delta"
+	"aic/internal/numeric"
+)
+
+// sample holds the timing and allocation counters of one measured section.
+type sample struct {
+	perOp       time.Duration
+	mbps        float64 // input-image-relative MiB/s
+	allocsPerOp float64
+	bytesPerOp  float64
+}
+
+// measure times fn over reps passes after one warm-up pass, sampling
+// allocation counters via runtime.MemStats exactly as `go test -benchmem`
+// does (total mallocs across the process, so concurrent sections attribute
+// their workers' allocations to the op that spawned them).
+func measure(bytesPerOp int64, reps int, fn func()) sample {
+	if reps < 1 {
+		reps = 1
+	}
+	fn() // warm pools and caches so steady state is what gets measured
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	perOp := elapsed / time.Duration(reps)
+	if perOp <= 0 {
+		perOp = time.Nanosecond
+	}
+	return sample{
+		perOp:       perOp,
+		mbps:        float64(bytesPerOp) / perOp.Seconds() / (1 << 20),
+		allocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(reps),
+		bytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(reps),
+	}
+}
+
+// percentile returns the p-th percentile (0..100) of the samples using
+// nearest-rank on a sorted copy; it is what the latency metrics report.
+func percentile(durations []time.Duration, p float64) time.Duration {
+	if len(durations) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// SyntheticUpdates synthesizes a dirty page set with the AIC steady-state
+// mix the throughput studies use: 70% hot lightly-edited pages (delta-coded
+// cheaply), 10% hot rewritten pages (raw fallback), 20% fresh pages without
+// a previous version. Shared by the perfbench suite and cmd/deltabench so
+// both report over the same workload and units.
+func SyntheticUpdates(seed uint64, totalBytes int) []delta.PageUpdate {
+	const pageSize = 4096
+	rng := numeric.NewRNG(seed)
+	pages := totalBytes / pageSize
+	updates := make([]delta.PageUpdate, pages)
+	for i := range updates {
+		newPage := make([]byte, pageSize)
+		switch {
+		case i%10 < 7:
+			old := make([]byte, pageSize)
+			rng.Bytes(old)
+			copy(newPage, old)
+			for k := 0; k < 8; k++ {
+				newPage[rng.Intn(pageSize)] ^= byte(1 + rng.Intn(255))
+			}
+			updates[i] = delta.PageUpdate{Index: uint64(i), Old: old, New: newPage}
+		case i%10 < 8:
+			old := make([]byte, pageSize)
+			rng.Bytes(old)
+			rng.Bytes(newPage)
+			updates[i] = delta.PageUpdate{Index: uint64(i), Old: old, New: newPage}
+		default:
+			rng.Bytes(newPage)
+			updates[i] = delta.PageUpdate{Index: uint64(i), New: newPage}
+		}
+	}
+	return updates
+}

@@ -1,0 +1,364 @@
+// Package perfbench is the pinned benchmark harness behind the repo's
+// BENCH_*.json trajectory: a fixed suite covering the three hot paths of
+// the checkpoint pipeline — delta encode (serial and parallel), durable
+// FSStore Put under concurrent writers, and remote Put over loopback TCP —
+// plus restore latency as a function of delta-chain length. Every run emits
+// the same machine-readable metrics, so perf claims in PRs are reproducible
+// by machine instead of living in prose.
+//
+// The suite is a measurement harness, not a simulation: numbers vary with
+// the host. What the trajectory pins is the *relative* movement between the
+// baseline and current runs recorded in one report, produced on one machine
+// in one sitting.
+package perfbench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"aic/internal/ckpt"
+	"aic/internal/delta"
+	"aic/internal/memsim"
+	"aic/internal/numeric"
+	"aic/internal/recovery"
+	"aic/internal/remote"
+	"aic/internal/storage"
+)
+
+// Config sizes the suite. The zero value selects the full-size defaults;
+// Short shrinks every dimension to CI-smoke scale.
+type Config struct {
+	Short bool   `json:"short"`
+	Seed  uint64 `json:"seed"`
+
+	// Encode section.
+	EncodeMiB   int `json:"encode_mib"`
+	EncodeReps  int `json:"encode_reps"`
+	Parallelism int `json:"parallelism"` // 0 = GOMAXPROCS
+
+	// FSStore section.
+	PutWriters    int `json:"put_writers"`
+	PutsPerWriter int `json:"puts_per_writer"`
+	PutKiB        int `json:"put_kib"`
+
+	// Remote section.
+	RemotePuts int `json:"remote_puts"`
+	RemoteKiB  int `json:"remote_kib"`
+
+	// Restore section.
+	ChainLengths []int `json:"chain_lengths"`
+	RestorePages int   `json:"restore_pages"`
+
+	// Dir is the scratch directory for the FSStore benchmarks; empty
+	// selects a fresh directory under the OS temp dir, removed afterwards.
+	Dir string `json:"-"`
+}
+
+func (c Config) withDefaults() Config {
+	def := func(p *int, full, short int) {
+		if *p <= 0 {
+			*p = full
+			if c.Short {
+				*p = short
+			}
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	def(&c.EncodeMiB, 64, 4)
+	def(&c.EncodeReps, 3, 1)
+	def(&c.PutWriters, 8, 4)
+	def(&c.PutsPerWriter, 24, 4)
+	def(&c.PutKiB, 256, 64)
+	def(&c.RemotePuts, 48, 8)
+	def(&c.RemoteKiB, 256, 64)
+	def(&c.RestorePages, 1024, 64)
+	if len(c.ChainLengths) == 0 {
+		c.ChainLengths = []int{1, 8, 32}
+		if c.Short {
+			c.ChainLengths = []int{1, 8}
+		}
+	}
+	return c
+}
+
+// RunSuite executes the fixed benchmark suite and returns its metrics under
+// the given label. The context bounds the storage and network operations.
+func RunSuite(ctx context.Context, cfg Config, label string) (Run, error) {
+	cfg = cfg.withDefaults()
+	run := Run{Label: label}
+
+	encMetrics, err := benchEncode(cfg)
+	if err != nil {
+		return run, err
+	}
+	run.Metrics = append(run.Metrics, encMetrics...)
+
+	putMetrics, err := benchFSStorePut(ctx, cfg)
+	if err != nil {
+		return run, err
+	}
+	run.Metrics = append(run.Metrics, putMetrics...)
+
+	remMetrics, err := benchRemotePut(ctx, cfg)
+	if err != nil {
+		return run, err
+	}
+	run.Metrics = append(run.Metrics, remMetrics...)
+
+	resMetrics, err := benchRestore(cfg)
+	if err != nil {
+		return run, err
+	}
+	run.Metrics = append(run.Metrics, resMetrics...)
+	return run, nil
+}
+
+// NewReport wraps a run (and optional baseline) into a schema-complete
+// report with the environment pinned and deltas computed.
+func NewReport(cfg Config, baseline *Run, current Run) *Report {
+	rep := &Report{
+		Schema: Schema,
+		Bench:  6,
+		Env: Env{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Config:   cfg.withDefaults(),
+		Baseline: baseline,
+		Current:  current,
+	}
+	rep.ComputeDeltas()
+	return rep
+}
+
+// benchEncode measures the page-aligned delta pipeline: serial and parallel
+// throughput over the synthetic steady-state dirty set, with allocation
+// counts per encode pass.
+func benchEncode(cfg Config) ([]Metric, error) {
+	totalBytes := int64(cfg.EncodeMiB) << 20
+	updates := SyntheticUpdates(cfg.Seed, int(totalBytes))
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("perfbench: encode section sized to zero pages")
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	serial := measure(totalBytes, cfg.EncodeReps, func() {
+		delta.EncodePageAlignedParallel(updates, delta.DefaultBlockSize, 1)
+	})
+	par := measure(totalBytes, cfg.EncodeReps, func() {
+		delta.EncodePageAlignedParallel(updates, delta.DefaultBlockSize, workers)
+	})
+
+	stream := delta.EncodePageAlignedParallel(updates, delta.DefaultBlockSize, workers)
+	olds := make(map[uint64][]byte, len(updates))
+	for _, u := range updates {
+		if u.Old != nil {
+			olds[u.Index] = u.Old
+		}
+	}
+	fetch := func(idx uint64) []byte { return olds[idx] }
+	dec := measure(totalBytes, cfg.EncodeReps, func() {
+		if _, err := delta.DecodePageAlignedParallel(stream, fetch, workers); err != nil {
+			panic(err)
+		}
+	})
+
+	return []Metric{
+		{Name: "encode_serial_mibps", Unit: "MiB/s", Value: serial.mbps, Better: BetterHigher},
+		{Name: "encode_parallel_mibps", Unit: "MiB/s", Value: par.mbps, Better: BetterHigher},
+		{Name: "encode_serial_allocs_per_op", Unit: "allocs/op", Value: serial.allocsPerOp, Better: BetterLower},
+		{Name: "encode_parallel_allocs_per_op", Unit: "allocs/op", Value: par.allocsPerOp, Better: BetterLower},
+		{Name: "decode_parallel_mibps", Unit: "MiB/s", Value: dec.mbps, Better: BetterHigher},
+	}, nil
+}
+
+// benchFSStorePut measures the durable local store under concurrent
+// writers: wall-clock throughput across all writers, per-Put latency
+// percentiles, and allocations per Put.
+func benchFSStorePut(ctx context.Context, cfg Config) ([]Metric, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "perfbench-fsstore-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	fs, err := storage.NewFSStore(filepath.Join(dir, "fsstore"), storage.Target{Name: "bench"})
+	if err != nil {
+		return nil, err
+	}
+
+	payload := make([]byte, cfg.PutKiB<<10)
+	numeric.NewRNG(cfg.Seed + 1).Bytes(payload)
+	totalPuts := cfg.PutWriters * cfg.PutsPerWriter
+	totalBytes := int64(totalPuts) * int64(len(payload))
+
+	lats := make([][]time.Duration, cfg.PutWriters)
+	errs := make([]error, cfg.PutWriters)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.PutWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			proc := fmt.Sprintf("writer-%02d", w)
+			lats[w] = make([]time.Duration, 0, cfg.PutsPerWriter)
+			for i := 0; i < cfg.PutsPerWriter; i++ {
+				t0 := time.Now()
+				if err := fs.Put(ctx, proc, i, payload); err != nil {
+					errs[w] = err
+					return
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("perfbench: concurrent put: %w", err)
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	return []Metric{
+		{Name: "fsstore_put_mibps", Unit: "MiB/s",
+			Value: float64(totalBytes) / wall.Seconds() / (1 << 20), Better: BetterHigher},
+		{Name: "fsstore_put_p50_ms", Unit: "ms",
+			Value: percentile(all, 50).Seconds() * 1e3, Better: BetterLower},
+		{Name: "fsstore_put_p99_ms", Unit: "ms",
+			Value: percentile(all, 99).Seconds() * 1e3, Better: BetterLower},
+		{Name: "fsstore_put_allocs_per_op", Unit: "allocs/op",
+			Value: float64(after.Mallocs-before.Mallocs) / float64(totalPuts), Better: BetterLower},
+	}, nil
+}
+
+// benchRemotePut measures the replication client/server pair over loopback
+// TCP against an in-memory backing store, isolating the wire path: per-Put
+// latency percentiles and end-to-end throughput.
+func benchRemotePut(ctx context.Context, cfg Config) ([]Metric, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := remote.NewServer(storage.NewLevelStore(storage.Target{Name: "peer"}), remote.ServerConfig{})
+	serveCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go srv.Serve(serveCtx, ln) //nolint:errcheck // shut down via Close below
+	defer srv.Close()
+
+	client := remote.NewStore(ln.Addr().String(), remote.Config{})
+	defer client.Close()
+
+	payload := make([]byte, cfg.RemoteKiB<<10)
+	numeric.NewRNG(cfg.Seed + 2).Bytes(payload)
+
+	// One warm-up Put establishes the connection outside the timed section.
+	if err := client.Put(ctx, "warmup", 0, payload); err != nil {
+		return nil, fmt.Errorf("perfbench: remote warm-up put: %w", err)
+	}
+
+	lats := make([]time.Duration, 0, cfg.RemotePuts)
+	start := time.Now()
+	for i := 0; i < cfg.RemotePuts; i++ {
+		t0 := time.Now()
+		if err := client.Put(ctx, "remote-bench", i, payload); err != nil {
+			return nil, fmt.Errorf("perfbench: remote put %d: %w", i, err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	wall := time.Since(start)
+	totalBytes := int64(cfg.RemotePuts) * int64(len(payload))
+
+	return []Metric{
+		{Name: "remote_put_mibps", Unit: "MiB/s",
+			Value: float64(totalBytes) / wall.Seconds() / (1 << 20), Better: BetterHigher},
+		{Name: "remote_put_p50_ms", Unit: "ms",
+			Value: percentile(lats, 50).Seconds() * 1e3, Better: BetterLower},
+		{Name: "remote_put_p99_ms", Unit: "ms",
+			Value: percentile(lats, 99).Seconds() * 1e3, Better: BetterLower},
+	}, nil
+}
+
+// benchRestore measures end-to-end restore latency (decode + replay via
+// the last-good-prefix restore) as a function of delta-chain length: one
+// full anchor followed by L-1 delta checkpoints.
+func benchRestore(cfg Config) ([]Metric, error) {
+	var metrics []Metric
+	for _, L := range cfg.ChainLengths {
+		if L < 1 {
+			return nil, fmt.Errorf("perfbench: chain length %d", L)
+		}
+		chain, err := buildChain(cfg.Seed+uint64(L), cfg.RestorePages, L)
+		if err != nil {
+			return nil, err
+		}
+		reps := cfg.EncodeReps
+		s := measure(0, reps, func() {
+			if _, _, err := recovery.RestoreLatestGood(chain); err != nil {
+				panic(err)
+			}
+		})
+		metrics = append(metrics, Metric{
+			Name:   fmt.Sprintf("restore_chain%03d_ms", L),
+			Unit:   "ms",
+			Value:  s.perOp.Seconds() * 1e3,
+			Better: BetterLower,
+		})
+	}
+	return metrics, nil
+}
+
+// buildChain produces an encoded checkpoint chain: a full anchor over a
+// pages×4KiB address space plus length-1 delta checkpoints, each mutating a
+// spread of pages.
+func buildChain(seed uint64, pages, length int) ([]storage.Stored, error) {
+	const pageSize = 4096
+	rng := numeric.NewRNG(seed)
+	as := memsim.New(pageSize)
+	b := ckpt.NewBuilder(pageSize, 0, 64)
+	buf := make([]byte, pageSize)
+	for i := 0; i < pages; i++ {
+		rng.Bytes(buf)
+		as.Write(uint64(i), 0, buf, 0)
+	}
+	chain := []storage.Stored{{Seq: 0, Data: b.FullCheckpoint(as).Encode()}}
+	dirtyPerStep := pages / 16
+	if dirtyPerStep < 1 {
+		dirtyPerStep = 1
+	}
+	for step := 1; step < length; step++ {
+		for i := 0; i < dirtyPerStep; i++ {
+			idx := uint64(rng.Intn(pages))
+			rng.Bytes(buf[:128])
+			as.Write(idx, rng.Intn(pageSize-128), buf[:128], float64(step))
+		}
+		c, _ := b.DeltaCheckpoint(as)
+		chain = append(chain, storage.Stored{Seq: step, Data: c.Encode()})
+	}
+	return chain, nil
+}

@@ -1,0 +1,128 @@
+package perfbench
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestShortSuiteProducesValidReport runs the CI-smoke-sized suite end to
+// end and proves the emitted report passes its own schema validation with
+// every section's metrics present.
+func TestShortSuiteProducesValidReport(t *testing.T) {
+	cfg := Config{Short: true, Seed: 7, Dir: t.TempDir()}
+	run, err := RunSuite(context.Background(), cfg, "test run")
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	rep := NewReport(cfg, nil, run)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("fresh report fails validation: %v", err)
+	}
+	for _, want := range []string{
+		"encode_serial_mibps", "encode_parallel_mibps", "encode_serial_allocs_per_op",
+		"fsstore_put_mibps", "fsstore_put_p50_ms", "fsstore_put_p99_ms", "fsstore_put_allocs_per_op",
+		"remote_put_mibps", "remote_put_p50_ms", "remote_put_p99_ms",
+		"restore_chain001_ms",
+	} {
+		if _, ok := run.Metric(want); !ok {
+			t.Errorf("suite did not record %s", want)
+		}
+	}
+	for _, m := range run.Metrics {
+		if m.Value <= 0 && !strings.Contains(m.Name, "allocs") {
+			t.Errorf("metric %s is %g, want positive", m.Name, m.Value)
+		}
+	}
+}
+
+// TestComputeDeltas covers the direction-aware improvement decision and the
+// skipping of metrics absent from one side.
+func TestComputeDeltas(t *testing.T) {
+	base := Run{Label: "base", Metrics: []Metric{
+		{Name: "tput", Unit: "MiB/s", Value: 100, Better: BetterHigher},
+		{Name: "lat", Unit: "ms", Value: 10, Better: BetterLower},
+		{Name: "gone", Unit: "ms", Value: 1, Better: BetterLower},
+	}}
+	cur := Run{Label: "cur", Metrics: []Metric{
+		{Name: "tput", Unit: "MiB/s", Value: 150, Better: BetterHigher},
+		{Name: "lat", Unit: "ms", Value: 12, Better: BetterLower},
+		{Name: "new", Unit: "ms", Value: 5, Better: BetterLower},
+	}}
+	rep := &Report{Schema: Schema, Bench: 6, Baseline: &base, Current: cur}
+	rep.ComputeDeltas()
+	if len(rep.Deltas) != 2 {
+		t.Fatalf("deltas = %+v, want 2 entries", rep.Deltas)
+	}
+	byName := map[string]Delta{}
+	for _, d := range rep.Deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["tput"]; !d.Improved || d.ChangePct != 50 {
+		t.Errorf("tput delta = %+v, want improved +50%%", d)
+	}
+	if d := byName["lat"]; d.Improved || d.ChangePct != 20 {
+		t.Errorf("lat delta = %+v, want regressed +20%%", d)
+	}
+	if got := rep.Improved(); len(got) != 1 || got[0] != "tput" {
+		t.Errorf("Improved() = %v, want [tput]", got)
+	}
+}
+
+// TestValidateRejects covers the schema guard rails the CI check relies on.
+func TestValidateRejects(t *testing.T) {
+	valid := func() *Report {
+		return NewReport(Config{Short: true}, nil, Run{
+			Label: "r", Metrics: []Metric{{Name: "m", Unit: "ms", Value: 1, Better: BetterLower}},
+		})
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "nope/9" }},
+		{"zero bench id", func(r *Report) { r.Bench = 0 }},
+		{"no metrics", func(r *Report) { r.Current.Metrics = nil }},
+		{"unlabelled run", func(r *Report) { r.Current.Label = "" }},
+		{"bad better", func(r *Report) { r.Current.Metrics[0].Better = "sideways" }},
+		{"empty unit", func(r *Report) { r.Current.Metrics[0].Unit = "" }},
+		{"negative value", func(r *Report) { r.Current.Metrics[0].Value = -1 }},
+		{"duplicate metric", func(r *Report) {
+			r.Current.Metrics = append(r.Current.Metrics, r.Current.Metrics[0])
+		}},
+		{"deltas without baseline", func(r *Report) {
+			r.Deltas = []Delta{{Name: "m", Baseline: 1, Current: 1}}
+		}},
+		{"env wiped", func(r *Report) { r.Env = Env{} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := valid()
+			tc.mutate(rep)
+			data, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Validate(data); err == nil {
+				t.Fatal("validation passed on a malformed report")
+			}
+		})
+	}
+	// Unknown top-level keys are schema drift, not tolerated extras.
+	if err := Validate([]byte(`{"schema":"aic-perfbench/1","bench":6,"surprise":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	// And the happy path stays valid.
+	data, err := json.Marshal(valid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+}

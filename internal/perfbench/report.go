@@ -1,0 +1,205 @@
+package perfbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Schema is the identifier every BENCH_*.json report carries; Validate
+// rejects reports claiming any other schema, so the CI artifact check fails
+// loudly when the report shape changes without a schema bump.
+const Schema = "aic-perfbench/1"
+
+// Direction of improvement for a metric.
+const (
+	BetterHigher = "higher" // throughput-like: more is better
+	BetterLower  = "lower"  // latency/allocation-like: less is better
+)
+
+// Metric is one measured number of a suite run. Name is the stable key
+// deltas are computed over; Unit and Better make the number interpretable
+// by machines (the CI trend check) and humans alike.
+type Metric struct {
+	Name   string  `json:"name"`
+	Unit   string  `json:"unit"`
+	Value  float64 `json:"value"`
+	Better string  `json:"better"`
+}
+
+// Run is the result of one full suite execution, labelled with the code
+// state it measured (e.g. "pre-optimization @a3c7645").
+type Run struct {
+	Label   string   `json:"label"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Metric returns the named metric, if the run recorded it.
+func (r Run) Metric(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Delta compares one metric across the baseline and current runs.
+// ChangePct is the signed relative change of Value ((current-baseline)/
+// baseline, in percent); Improved applies the metric's Better direction.
+type Delta struct {
+	Name      string  `json:"name"`
+	Unit      string  `json:"unit"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	ChangePct float64 `json:"change_pct"`
+	Improved  bool    `json:"improved"`
+}
+
+// Env pins the machine context a report was produced on — benchmark numbers
+// are only comparable within one environment.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Report is the machine-readable benchmark trajectory artifact: the current
+// run, optionally the pinned baseline run it is measured against, and the
+// per-metric deltas between them.
+type Report struct {
+	Schema   string  `json:"schema"`
+	Bench    int     `json:"bench"`
+	Env      Env     `json:"env"`
+	Config   Config  `json:"config"`
+	Baseline *Run    `json:"baseline,omitempty"`
+	Current  Run     `json:"current"`
+	Deltas   []Delta `json:"deltas,omitempty"`
+}
+
+// ComputeDeltas fills in Deltas from Baseline and Current. Metrics present
+// in only one run are skipped — a suite may grow metrics between PRs.
+func (r *Report) ComputeDeltas() {
+	r.Deltas = nil
+	if r.Baseline == nil {
+		return
+	}
+	for _, cur := range r.Current.Metrics {
+		base, ok := r.Baseline.Metric(cur.Name)
+		if !ok {
+			continue
+		}
+		d := Delta{Name: cur.Name, Unit: cur.Unit, Baseline: base.Value, Current: cur.Value}
+		if base.Value != 0 {
+			d.ChangePct = (cur.Value - base.Value) / base.Value * 100
+		}
+		switch cur.Better {
+		case BetterHigher:
+			d.Improved = cur.Value > base.Value
+		case BetterLower:
+			d.Improved = cur.Value < base.Value
+		}
+		r.Deltas = append(r.Deltas, d)
+	}
+	sort.Slice(r.Deltas, func(i, j int) bool { return r.Deltas[i].Name < r.Deltas[j].Name })
+}
+
+// Improved returns the names of metrics that improved versus the baseline.
+func (r *Report) Improved() []string {
+	var names []string
+	for _, d := range r.Deltas {
+		if d.Improved {
+			names = append(names, d.Name)
+		}
+	}
+	return names
+}
+
+// ErrSchema reports a report that fails structural validation.
+var ErrSchema = errors.New("perfbench: report fails schema validation")
+
+// Validate structurally validates a serialized report: required fields,
+// known schema identifier, well-formed metrics with unique names and known
+// Better directions, and deltas consistent with the runs they compare. It
+// is the check the CI bench-smoke job runs against both its own fresh
+// report and the committed BENCH_*.json.
+func Validate(data []byte) error {
+	var rep Report
+	dec := jsonDecoderStrict(data)
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("%w: %v", ErrSchema, err)
+	}
+	if rep.Schema != Schema {
+		return fmt.Errorf("%w: schema %q, want %q", ErrSchema, rep.Schema, Schema)
+	}
+	if rep.Bench <= 0 {
+		return fmt.Errorf("%w: bench id %d must be positive", ErrSchema, rep.Bench)
+	}
+	if rep.Env.GoVersion == "" || rep.Env.GOOS == "" || rep.Env.GOARCH == "" {
+		return fmt.Errorf("%w: env is incomplete: %+v", ErrSchema, rep.Env)
+	}
+	if rep.Env.GOMAXPROCS < 1 {
+		return fmt.Errorf("%w: gomaxprocs %d", ErrSchema, rep.Env.GOMAXPROCS)
+	}
+	if err := validateRun("current", rep.Current); err != nil {
+		return err
+	}
+	if rep.Baseline != nil {
+		if err := validateRun("baseline", *rep.Baseline); err != nil {
+			return err
+		}
+	}
+	for _, d := range rep.Deltas {
+		if rep.Baseline == nil {
+			return fmt.Errorf("%w: deltas present without a baseline run", ErrSchema)
+		}
+		cur, okC := rep.Current.Metric(d.Name)
+		base, okB := rep.Baseline.Metric(d.Name)
+		if !okC || !okB {
+			return fmt.Errorf("%w: delta %q names a metric missing from a run", ErrSchema, d.Name)
+		}
+		if d.Current != cur.Value || d.Baseline != base.Value {
+			return fmt.Errorf("%w: delta %q disagrees with run values", ErrSchema, d.Name)
+		}
+	}
+	return nil
+}
+
+func validateRun(which string, run Run) error {
+	if run.Label == "" {
+		return fmt.Errorf("%w: %s run has no label", ErrSchema, which)
+	}
+	if len(run.Metrics) == 0 {
+		return fmt.Errorf("%w: %s run has no metrics", ErrSchema, which)
+	}
+	seen := map[string]bool{}
+	for _, m := range run.Metrics {
+		if m.Name == "" || m.Unit == "" {
+			return fmt.Errorf("%w: %s run has a metric without name/unit: %+v", ErrSchema, which, m)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("%w: %s run repeats metric %q", ErrSchema, which, m.Name)
+		}
+		seen[m.Name] = true
+		if m.Better != BetterHigher && m.Better != BetterLower {
+			return fmt.Errorf("%w: metric %q has better=%q, want %q or %q",
+				ErrSchema, m.Name, m.Better, BetterHigher, BetterLower)
+		}
+		if m.Value < 0 {
+			return fmt.Errorf("%w: metric %q is negative (%g)", ErrSchema, m.Name, m.Value)
+		}
+	}
+	return nil
+}
+
+// jsonDecoderStrict decodes rejecting unknown fields, so schema drift
+// (renamed or mistyped keys) fails validation instead of silently passing
+// as zero values.
+func jsonDecoderStrict(data []byte) *json.Decoder {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec
+}

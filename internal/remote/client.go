@@ -127,6 +127,10 @@ type RemoteStore struct {
 	conn   net.Conn
 	br     *bufio.Reader
 	closed bool
+
+	// putBuf is the reused frame-encode scratch for Put's pipelined window
+	// bursts. Guarded by mu (held for the whole operation by do).
+	putBuf []byte
 }
 
 var _ storage.Store = (*RemoteStore)(nil)
@@ -332,25 +336,36 @@ func (r *RemoteStore) Put(ctx context.Context, proc string, seq int, data []byte
 		if off.Offset < 0 || off.Offset > int64(len(data)) {
 			return fmt.Errorf("remote: peer offers offset %d of %d", off.Offset, len(data))
 		}
-		// Stream chunks with a bounded in-flight window: past Window
-		// unacked frames, each send first waits for one cumulative ack.
+		// Stream chunks pipelined under the bounded in-flight window: fill
+		// the window with one buffered burst — a single Write for up to
+		// Window frames — then drain acks down to half the window before
+		// the next burst. The syscall and small-segment cost amortizes
+		// across each burst instead of accruing once per chunk, and the
+		// window invariant (at most Window unacked frames) is unchanged.
 		inflight := 0
 		for pos := off.Offset; pos < int64(len(data)); {
 			if inflight >= r.cfg.Window {
-				if err := readPutAck(br, r.cfg.MaxFrame); err != nil {
-					return err
+				for inflight > r.cfg.Window/2 {
+					if err := readPutAck(br, r.cfg.MaxFrame); err != nil {
+						return err
+					}
+					inflight--
 				}
-				inflight--
 			}
-			end := pos + int64(r.cfg.ChunkSize)
-			if end > int64(len(data)) {
-				end = int64(len(data))
+			burst := r.putBuf[:0]
+			for inflight < r.cfg.Window && pos < int64(len(data)) {
+				end := pos + int64(r.cfg.ChunkSize)
+				if end > int64(len(data)) {
+					end = int64(len(data))
+				}
+				burst = appendDataFrame(burst, pos, data[pos:end])
+				pos = end
+				inflight++
 			}
-			if err := writeFrame(conn, kindPutData, dataFrame(pos, data[pos:end])); err != nil {
+			r.putBuf = burst
+			if _, err := conn.Write(burst); err != nil {
 				return err
 			}
-			pos = end
-			inflight++
 		}
 		if err := writeFrame(conn, kindPutCommit, nil); err != nil {
 			return err

@@ -130,16 +130,60 @@ type errMsg struct {
 	Msg  string `json:"msg"`
 }
 
+// appendFrame appends one encoded frame (length prefix, kind, payload, CRC)
+// to dst. The hot transfer paths batch several frames into one buffer this
+// way and hand the kernel a single Write, instead of a syscall and an
+// allocation per frame.
+func appendFrame(dst []byte, kind byte, payload []byte) []byte {
+	n := 1 + len(payload)
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], uint32(n))
+	dst = append(dst, word[:]...)
+	body := len(dst)
+	dst = append(dst, kind)
+	dst = append(dst, payload...)
+	binary.LittleEndian.PutUint32(word[:], crc32.Update(0, crcTable, dst[body:]))
+	return append(dst, word[:]...)
+}
+
+// appendDataFrame appends an encoded kindPutData frame (uvarint offset ++
+// chunk) to dst without materializing the payload separately.
+func appendDataFrame(dst []byte, offset int64, chunk []byte) []byte {
+	var uv [binary.MaxVarintLen64]byte
+	un := binary.PutUvarint(uv[:], uint64(offset))
+	n := 1 + un + len(chunk)
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], uint32(n))
+	dst = append(dst, word[:]...)
+	body := len(dst)
+	dst = append(dst, kindPutData)
+	dst = append(dst, uv[:un]...)
+	dst = append(dst, chunk...)
+	binary.LittleEndian.PutUint32(word[:], crc32.Update(0, crcTable, dst[body:]))
+	return append(dst, word[:]...)
+}
+
+// appendElemFrame appends an encoded kindElem frame (uvarint seq ++
+// checkpoint bytes) to dst.
+func appendElemFrame(dst []byte, seq int, data []byte) []byte {
+	var uv [binary.MaxVarintLen64]byte
+	un := binary.PutUvarint(uv[:], uint64(seq))
+	n := 1 + un + len(data)
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], uint32(n))
+	dst = append(dst, word[:]...)
+	body := len(dst)
+	dst = append(dst, kindElem)
+	dst = append(dst, uv[:un]...)
+	dst = append(dst, data...)
+	binary.LittleEndian.PutUint32(word[:], crc32.Update(0, crcTable, dst[body:]))
+	return append(dst, word[:]...)
+}
+
 // writeFrame sends one frame in a single Write call (fault injection and the
 // resume tests rely on frames not being interleaved with other writes).
 func writeFrame(w io.Writer, kind byte, payload []byte) error {
-	n := 1 + len(payload)
-	buf := make([]byte, 4+n+4)
-	binary.LittleEndian.PutUint32(buf, uint32(n))
-	buf[4] = kind
-	copy(buf[5:], payload)
-	crc := crc32.Update(0, crcTable, buf[4:4+n])
-	binary.LittleEndian.PutUint32(buf[4+n:], crc)
+	buf := appendFrame(make([]byte, 0, 4+1+len(payload)+4), kind, payload)
 	_, err := w.Write(buf)
 	return err
 }

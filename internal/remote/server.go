@@ -2,6 +2,7 @@ package remote
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -172,6 +173,15 @@ func (s *Server) Close() error {
 	return nil
 }
 
+const (
+	// sendFlushSize is the batching threshold for pipelined reply streams:
+	// past this many buffered bytes the batch goes to the kernel.
+	sendFlushSize = 256 << 10
+	// sendRetainCap bounds how much reply scratch a connection keeps
+	// between requests.
+	sendRetainCap = 1 << 20
+)
+
 func stagingKey(proc string, seq int) string {
 	return fmt.Sprintf("%s\x00%d", proc, seq)
 }
@@ -183,6 +193,9 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 	var (
 		curKey string
 		cur    *staging
+		// sendBuf batches a Get reply's element frames into few large
+		// writes; reused across requests, released if a big chain grew it.
+		sendBuf []byte
 	)
 	for {
 		if s.cfg.IdleTimeout > 0 {
@@ -304,13 +317,29 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 				}
 				continue
 			}
-			if err := writeJSON(conn, kindChain, chainMsg{Count: len(chain), Missing: missing}); err != nil {
+			hdr, err := json.Marshal(chainMsg{Count: len(chain), Missing: missing})
+			if err != nil {
 				return err
 			}
+			// Pipeline the chain: header and element frames accumulate in
+			// one buffer and flush in large writes, not one per element.
+			sendBuf = appendFrame(sendBuf[:0], kindChain, hdr)
 			for _, el := range chain {
-				if err := writeFrame(conn, kindElem, elemFrame(el.Seq, el.Data)); err != nil {
+				sendBuf = appendElemFrame(sendBuf, el.Seq, el.Data)
+				if len(sendBuf) >= sendFlushSize {
+					if _, err := conn.Write(sendBuf); err != nil {
+						return err
+					}
+					sendBuf = sendBuf[:0]
+				}
+			}
+			if len(sendBuf) > 0 {
+				if _, err := conn.Write(sendBuf); err != nil {
 					return err
 				}
+			}
+			if cap(sendBuf) > sendRetainCap {
+				sendBuf = nil // a giant element grew the scratch; let it go
 			}
 
 		case kindList:

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // FSStore is a file-backed checkpoint store: each checkpoint becomes one
@@ -23,10 +25,53 @@ import (
 // states: the old manifest with at worst an orphaned data file or temp
 // (cleaned by Scrub), or the new manifest with its data file fully durable.
 // The manifest never references bytes that are not safely on disk.
+//
+// Concurrent Puts to the same process group-commit: each caller enqueues its
+// checkpoint and one caller at a time becomes that process's commit leader,
+// draining the queue and committing the whole batch with a single directory
+// fsync for the staged data files and a single manifest write. That amortizes
+// the fsync-per-Put cost across same-chain writers without weakening the
+// guarantee — a Put only returns nil after the manifest referencing its data
+// is durable, and a batch of one produces exactly the op sequence of a solo
+// Put, so every crash window of the serial protocol exists unchanged.
+// Different processes share nothing on disk (disjoint directories and
+// manifests), so their commits proceed in parallel.
 type FSStore struct {
 	root   string
 	target Target
 	fsys   FS
+
+	mu    sync.Mutex // guards procs only; never held across I/O
+	procs map[string]*procState
+}
+
+// procState is the group-commit machinery for one process's chain. States are
+// created on demand and never removed — a deleted chain keeps its (empty)
+// state so a later re-append reuses the same token.
+type procState struct {
+	mu    sync.Mutex // guards queue only; never held across I/O
+	queue []*putReq
+
+	// tok is a capacity-1 token serializing every mutation of this
+	// process's chain. The Put that acquires it is the commit leader for
+	// whatever requests are queued at that moment; Truncate, Delete and
+	// Scrub take the same token so repairs never interleave with a batch
+	// commit.
+	tok chan struct{}
+
+	// encBuf is the manifest JSON encode scratch, reused across commits.
+	// Only touched with tok held.
+	encBuf bytes.Buffer
+}
+
+// putReq is one queued checkpoint append awaiting a group commit. done is
+// buffered and receives exactly one result from whichever leader claims the
+// request.
+type putReq struct {
+	proc string
+	seq  int
+	data []byte
+	done chan error
 }
 
 // manifest records one process's chain on disk.
@@ -53,8 +98,39 @@ func NewFSStoreFS(dir string, target Target, fsys FS) (*FSStore, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
-	return &FSStore{root: dir, target: target, fsys: fsys}, nil
+	return &FSStore{
+		root:   dir,
+		target: target,
+		fsys:   fsys,
+		procs:  make(map[string]*procState),
+	}, nil
 }
+
+// state returns (creating if needed) the commit state for proc.
+func (fs *FSStore) state(proc string) *procState {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st := fs.procs[proc]
+	if st == nil {
+		st = &procState{tok: make(chan struct{}, 1)}
+		fs.procs[proc] = st
+	}
+	return st
+}
+
+// lockProc acquires proc's mutation token, serializing the caller with any
+// in-flight group commit on that chain. ctx cancellation aborts the wait.
+func (fs *FSStore) lockProc(ctx context.Context, proc string) (*procState, error) {
+	st := fs.state(proc)
+	select {
+	case st.tok <- struct{}{}:
+		return st, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (st *procState) unlock() { <-st.tok }
 
 // Target returns the store's bandwidth model.
 func (fs *FSStore) Target() Target { return fs.target }
@@ -93,12 +169,17 @@ func (fs *FSStore) loadManifest(proc string) (*manifest, error) {
 	return &m, nil
 }
 
-func (fs *FSStore) saveManifest(proc string, m *manifest) error {
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
+// saveManifest durably writes proc's manifest. Callers must hold proc's
+// mutation token: the encode buffer is per-chain scratch, reused so the
+// manifest rewrite on every commit stops costing an allocation per Put.
+func (fs *FSStore) saveManifest(st *procState, proc string, m *manifest) error {
+	st.encBuf.Reset()
+	enc := json.NewEncoder(&st.encBuf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
 		return err
 	}
-	return atomicWrite(fs.fsys, fs.manifestPath(proc), data, 0o644)
+	return atomicWrite(fs.fsys, fs.manifestPath(proc), st.encBuf.Bytes(), 0o644)
 }
 
 func ckptFile(seq int) string { return fmt.Sprintf("ckpt-%08d.aic", seq) }
@@ -126,37 +207,135 @@ func (fs *FSStore) List(ctx context.Context) ([]string, error) {
 // Put appends a checkpoint for proc. Sequence numbers must be strictly
 // increasing. The checkpoint is durable — data file fsynced, rename pinned
 // by a directory fsync, manifest updated with the same discipline — before
-// Put returns.
+// Put returns nil. Concurrent Puts to the same process coalesce into one
+// group commit; the caller's result always reflects its own request's fate,
+// never a batchmate's.
 func (fs *FSStore) Put(ctx context.Context, proc string, seq int, data []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	st := fs.state(proc)
+	req := &putReq{proc: proc, seq: seq, data: data, done: make(chan error, 1)}
+	st.mu.Lock()
+	st.queue = append(st.queue, req)
+	st.mu.Unlock()
+	for {
+		select {
+		case err := <-req.done:
+			return err
+		case st.tok <- struct{}{}:
+			// We are the leader: commit everything queued for this chain
+			// (including, in the common case, our own request) and re-check.
+			fs.drainAndCommit(st, proc)
+			<-st.tok
+			select {
+			case err := <-req.done:
+				return err
+			default:
+				// Another leader claimed the queue out from under us and
+				// has not signalled yet; wait for it on the next spin.
+			}
+		case <-ctx.Done():
+			// Withdraw if no leader has claimed the request yet; if one
+			// has, the commit is in flight and its outcome — possibly a
+			// durable success — is what the caller must hear.
+			st.mu.Lock()
+			for i, q := range st.queue {
+				if q == req {
+					st.queue = append(st.queue[:i], st.queue[i+1:]...)
+					st.mu.Unlock()
+					return ctx.Err()
+				}
+			}
+			st.mu.Unlock()
+			return <-req.done
+		}
+	}
+}
+
+// drainAndCommit claims proc's queued requests and commits them as one
+// batch. Caller holds proc's commit token. The batch commits in sequence
+// order rather than arrival order — concurrent appenders sharing a process
+// (seqs handed out by an external counter) may enqueue out of order, and
+// sorting keeps the strictly-increasing check about actual staleness instead
+// of scheduling luck.
+func (fs *FSStore) drainAndCommit(st *procState, proc string) {
+	st.mu.Lock()
+	batch := st.queue
+	st.queue = nil
+	st.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	fs.commitProc(st, proc, batch)
+}
+
+// commitProc commits one process's batched appends: stage every data file
+// (write temp, fsync, rename), pin all the renames with a single directory
+// fsync, then write the manifest once. Ack ordering is the invariant the
+// crash tests pin down: no request's done fires nil until the manifest
+// referencing its data is durable. A batch of one performs exactly the op
+// sequence of the pre-batching serial Put.
+func (fs *FSStore) commitProc(st *procState, proc string, reqs []*putReq) {
+	fail := func(reqs []*putReq, err error) {
+		for _, r := range reqs {
+			r.done <- err
+		}
+	}
 	dir := fs.procDir(proc)
 	if err := fs.fsys.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("storage: %w", err)
+		fail(reqs, fmt.Errorf("storage: %w", err))
+		return
 	}
 	m, err := fs.loadManifest(proc)
 	if err != nil {
-		return err
+		fail(reqs, err)
+		return
 	}
-	if n := len(m.Seqs); n > 0 && seq <= m.Seqs[n-1] {
-		return fmt.Errorf("storage: %s: %w: seq %d not after %d", proc, ErrStaleSeq, seq, m.Seqs[n-1])
+	last, haveLast := 0, false
+	if n := len(m.Seqs); n > 0 {
+		last, haveLast = m.Seqs[n-1], true
 	}
-	path := filepath.Join(dir, ckptFile(seq))
-	if err := atomicWrite(fs.fsys, path, data, 0o644); err != nil {
-		return err
+	var staged []*putReq
+	for _, req := range reqs {
+		if haveLast && req.seq <= last {
+			req.done <- fmt.Errorf("storage: %s: %w: seq %d not after %d", proc, ErrStaleSeq, req.seq, last)
+			continue
+		}
+		path := filepath.Join(dir, ckptFile(req.seq))
+		if err := stageWrite(fs.fsys, path, req.data, 0o644); err != nil {
+			req.done <- err
+			continue
+		}
+		last, haveLast = req.seq, true
+		m.Seqs = append(m.Seqs, req.seq)
+		m.Sizes[ckptFile(req.seq)] = len(req.data)
+		staged = append(staged, req)
 	}
-	m.Seqs = append(m.Seqs, seq)
-	m.Sizes[ckptFile(seq)] = len(data)
-	if err := fs.saveManifest(proc, m); err != nil {
-		// Unwind the data file so the manifest and the directory agree:
-		// leaving it would leak an orphan the Bytes/Truncate accounting
-		// never sees. Best effort — after a real crash the removal fails
-		// too, and Scrub adopts or discards the orphan on reopen.
-		_ = fs.fsys.Remove(path)
-		return err
+	if len(staged) == 0 {
+		return
 	}
-	return nil
+	if err := fs.fsys.SyncDir(dir); err != nil {
+		// Staged files may or may not have survived; the manifest was not
+		// touched, so Scrub discards them as orphans on reopen.
+		fail(staged, fmt.Errorf("storage: %w", err))
+		return
+	}
+	if err := fs.saveManifest(st, proc, m); err != nil {
+		// Unwind the data files so the manifest and the directory agree:
+		// leaving them would leak orphans the Bytes/Truncate accounting
+		// never sees. Best effort — after a real crash the removals fail
+		// too, and Scrub adopts or discards the orphans on reopen.
+		for _, req := range staged {
+			_ = fs.fsys.Remove(filepath.Join(dir, ckptFile(req.seq)))
+		}
+		fail(staged, err)
+		return
+	}
+	for _, req := range staged {
+		req.done <- nil
+	}
 }
 
 // Get returns whatever manifest-listed checkpoints are still readable, in
@@ -212,9 +391,11 @@ func (fs *FSStore) GetElem(ctx context.Context, proc string, seq int) ([]byte, b
 
 // Truncate drops checkpoints older than fullSeq, deleting their files.
 func (fs *FSStore) Truncate(ctx context.Context, proc string, fullSeq int) error {
-	if err := ctx.Err(); err != nil {
+	st, err := fs.lockProc(ctx, proc)
+	if err != nil {
 		return err
 	}
+	defer st.unlock()
 	m, err := fs.loadManifest(proc)
 	if err != nil {
 		return err
@@ -232,14 +413,16 @@ func (fs *FSStore) Truncate(ctx context.Context, proc string, fullSeq int) error
 		delete(m.Sizes, name)
 	}
 	m.Seqs = kept
-	return fs.saveManifest(proc, m)
+	return fs.saveManifest(st, proc, m)
 }
 
 // Delete removes one process's chain and manifest.
 func (fs *FSStore) Delete(ctx context.Context, proc string) error {
-	if err := ctx.Err(); err != nil {
+	st, err := fs.lockProc(ctx, proc)
+	if err != nil {
 		return err
 	}
+	defer st.unlock()
 	if err := fs.fsys.RemoveAll(fs.procDir(proc)); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}

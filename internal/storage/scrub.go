@@ -106,9 +106,11 @@ func parseCkptName(name string) (int, bool) {
 // itself destroyed. Scrub never repairs chain-level damage (gaps, lost
 // anchors) — that is RestoreLatestGood's job.
 func (fs *FSStore) Scrub(ctx context.Context, proc string, repair bool) (*ScrubReport, error) {
-	if err := ctx.Err(); err != nil {
+	st, err := fs.lockProc(ctx, proc)
+	if err != nil {
 		return nil, err
 	}
+	defer st.unlock()
 	rep := &ScrubReport{Proc: proc}
 	dir := fs.procDir(proc)
 	entries, err := fs.fsys.ReadDir(dir)
@@ -226,7 +228,7 @@ func (fs *FSStore) Scrub(ctx context.Context, proc string, repair bool) (*ScrubR
 			return rep, fmt.Errorf("storage: %w", err)
 		}
 	}
-	if err := fs.saveManifest(proc, keep); err != nil {
+	if err := fs.saveManifest(st, proc, keep); err != nil {
 		return rep, err
 	}
 	rep.Repaired = true
