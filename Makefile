@@ -37,11 +37,11 @@ cover: ## coverage profile + per-function summary
 	$(GO) test -shuffle=on -coverprofile=coverage.out -coverpkg=./... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-bench: ## full pinned perf suite; refreshes BENCH_6.json against its recorded baseline
-	$(GO) run ./cmd/aicbench -json -out BENCH_6.json -baseline-from BENCH_6.json
-	$(GO) run ./cmd/aicbench -check BENCH_6.json
+bench: ## full pinned perf suite; writes BENCH_7.json against the BENCH_6.json baseline
+	$(GO) run ./cmd/aicbench -json -out BENCH_7.json -baseline-from BENCH_6.json
+	$(GO) run ./cmd/aicbench -check BENCH_7.json -max-regress 25
 
 bench-smoke: ## CI-sized perf suite + schema validation of the committed report
 	$(GO) run ./cmd/aicbench -json -short -out /tmp/bench-smoke.json
 	$(GO) run ./cmd/aicbench -check /tmp/bench-smoke.json
-	$(GO) run ./cmd/aicbench -check BENCH_6.json
+	$(GO) run ./cmd/aicbench -check BENCH_7.json

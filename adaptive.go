@@ -1,0 +1,128 @@
+package aic
+
+import (
+	"math"
+
+	"aic/internal/control"
+	"aic/internal/metrics"
+)
+
+// MetricsRegistry is the facade's metric registry type: a dependency-free
+// counter/gauge/histogram registry with deterministic Prometheus text
+// exposition. Pass one to OpenCheckpointDir via WithMetrics and mount
+// Registry.Handler() (or serve Text()) at /metrics.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry creates an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// AdaptiveControlConfig tunes the saturation controller WithAdaptiveControl
+// installs; the zero value selects the documented defaults (DESIGN.md §14).
+type AdaptiveControlConfig = control.Config
+
+// AdaptiveController is the saturation analyzer driving the shed ladder.
+// Step() advances it one deterministic tick; State()/Handler() expose it
+// for inspection endpoints. Obtain one from CheckpointDir.Controller.
+type AdaptiveController = control.Controller
+
+// ControlState is the JSON-shaped controller snapshot State() returns.
+type ControlState = control.State
+
+// Shed-ladder levels, re-exported for callers inspecting Controller state.
+const (
+	ControlNormal       = control.LevelNormal
+	ControlWideInterval = control.LevelWideInterval
+	ControlSerialEncode = control.LevelSerialEncode
+	ControlLocalOnly    = control.LevelLocalOnly
+)
+
+// dirMetrics is the CheckpointDir's instrument set; nil (metrics not
+// enabled) makes every observation a no-op branch.
+type dirMetrics struct {
+	appends  *metrics.Counter // aic_ckptdir_append_total
+	degraded *metrics.Counter // aic_ckptdir_append_degraded_total
+	shed     *metrics.Counter // aic_ckptdir_append_shed_total
+}
+
+func newDirMetrics(reg *metrics.Registry) *dirMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &dirMetrics{
+		appends: reg.Counter("aic_ckptdir_append_total",
+			"Checkpoints appended through the facade."),
+		degraded: reg.Counter("aic_ckptdir_append_degraded_total",
+			"Appends durable locally but short of the replication quorum."),
+		shed: reg.Counter("aic_ckptdir_append_shed_total",
+			"Appends that skipped the peer fan-out because the controller shed replication."),
+	}
+}
+
+func (m *dirMetrics) observeAppend(degraded, shed bool) {
+	if m == nil {
+		return
+	}
+	m.appends.Inc()
+	if degraded {
+		m.degraded.Inc()
+	}
+	if shed {
+		m.shed.Inc()
+	}
+}
+
+// The CheckpointDir is the adaptive controller's actuator: the three Set
+// methods below satisfy control.Actuator, storing knob positions in atomics
+// the hot paths (and the embedding application) consult lock-free.
+
+// SetIntervalScale implements the controller's interval knob. Schedulers
+// pacing checkpoints should multiply their configured interval by
+// IntervalScale each round; scales below 1 clamp to 1.
+func (d *CheckpointDir) SetIntervalScale(scale float64) {
+	if scale < 1 || math.IsNaN(scale) {
+		scale = 1
+	}
+	d.intervalScale.Store(math.Float64bits(scale))
+}
+
+// IntervalScale returns the checkpoint-interval multiplier the controller
+// currently requests (1 when unset or at LevelNormal).
+func (d *CheckpointDir) IntervalScale() float64 {
+	bits := d.intervalScale.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
+
+// SetParallelism implements the controller's encode-parallelism cap: 0
+// restores the configured default, 1 forces the serial encoder. Appliers
+// drive Process.SetParallelism (or rebuild workers) from EncodeParallelism.
+func (d *CheckpointDir) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	d.parCap.Store(int32(n))
+}
+
+// EncodeParallelism returns the controller's current worker cap (0 = use
+// the configured default).
+func (d *CheckpointDir) EncodeParallelism() int { return int(d.parCap.Load()) }
+
+// SetReplication implements the controller's replication knob: disabled
+// sheds the peer fan-out, so Append commits locally and returns without
+// consulting the peer group.
+func (d *CheckpointDir) SetReplication(enabled bool) { d.replShed.Store(!enabled) }
+
+// ReplicationEnabled reports whether Appends currently fan out to the
+// peer group (always true until a controller sheds replication).
+func (d *CheckpointDir) ReplicationEnabled() bool { return !d.replShed.Load() }
+
+// Metrics returns the registry the directory was opened with (nil without
+// WithMetrics/WithAdaptiveControl). Mount Metrics().Handler() at /metrics.
+func (d *CheckpointDir) Metrics() *MetricsRegistry { return d.reg }
+
+// Controller returns the adaptive controller WithAdaptiveControl installed
+// (nil otherwise). Drive it with Step from the application's pacing loop,
+// or Run for a wall-clock ticker; mount Controller().Handler() at /control.
+func (d *CheckpointDir) Controller() *AdaptiveController { return d.ctrl }

@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"aic/internal/ckpt"
+	"aic/internal/control"
 	"aic/internal/delta"
 	"aic/internal/memsim"
+	"aic/internal/metrics"
 	"aic/internal/recovery"
 	"aic/internal/storage"
 )
@@ -227,6 +230,17 @@ type CheckpointDir struct {
 	local  storage.Store            // every operation's first (and reads' only) stop
 	peers  *storage.ReplicatedStore // nil unless replication is configured
 	closer func() error
+
+	reg  *metrics.Registry   // nil unless opened WithMetrics/WithAdaptiveControl
+	met  *dirMetrics         // nil unless instrumented
+	ctrl *control.Controller // nil unless opened WithAdaptiveControl
+
+	// Adaptive-control knob positions (see adaptive.go). Atomics so the
+	// controller's actuator writes never contend with hot-path reads; the
+	// zero values mean "all knobs at defaults, replication on".
+	intervalScale atomic.Uint64 // float bits; 0 reads as 1
+	parCap        atomic.Int32  // encode-worker cap; 0 = configured default
+	replShed      atomic.Bool   // true while the controller shed replication
 }
 
 // Append stores an encoded checkpoint under the process name. Sequence
@@ -240,7 +254,10 @@ type CheckpointDir struct {
 // then fans it out to the peer group. A local failure fails the append; a
 // local success with a missed peer quorum returns an error wrapping
 // ErrDegraded — the checkpoint is safe locally and callers may continue in
-// degraded local-only mode or treat the loss of redundancy as fatal.
+// degraded local-only mode or treat the loss of redundancy as fatal. While
+// an adaptive controller has shed replication (SetReplication(false)), the
+// fan-out is skipped deliberately and Append succeeds local-only without
+// an error; the skip is counted in aic_ckptdir_append_shed_total.
 func (d *CheckpointDir) Append(ctx context.Context, proc string, seq int, encoded []byte) error {
 	if emb, err := ckpt.PeekSeq(encoded); err == nil && emb != seq {
 		return fmt.Errorf("aic: append %s: label seq %d but the checkpoint itself is seq %d (label with Process.Seq before the checkpoint, or Seq-1 after)", proc, seq, emb)
@@ -249,10 +266,16 @@ func (d *CheckpointDir) Append(ctx context.Context, proc string, seq int, encode
 		return err
 	}
 	if d.peers != nil {
+		if d.replShed.Load() {
+			d.met.observeAppend(false, true)
+			return nil
+		}
 		if err := d.peers.Put(ctx, proc, seq, encoded); err != nil {
+			d.met.observeAppend(true, false)
 			return &DegradedError{Op: "append", Err: err}
 		}
 	}
+	d.met.observeAppend(false, false)
 	return nil
 }
 

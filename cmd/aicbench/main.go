@@ -5,9 +5,9 @@
 //
 //	aicbench -experiment all            # every table and figure
 //	aicbench -experiment fig11 -seed 7  # one experiment, custom seed
-//	aicbench -json -out BENCH_6.json    # machine-readable perf suite
+//	aicbench -json -out BENCH_7.json    # machine-readable perf suite
 //	aicbench -json -short               # CI-smoke-sized perf suite
-//	aicbench -check BENCH_6.json        # schema-validate an existing report
+//	aicbench -check BENCH_7.json        # schema-validate an existing report
 //
 // Experiments: fig2, fig5, fig6, fig7, fig11, fig12, table1, table3,
 // ablations.
@@ -37,15 +37,16 @@ func main() {
 	format := flag.String("format", "text", "text | csv (csv supports the figure/table experiments)")
 	jsonMode := flag.Bool("json", false, "run the pinned perf suite and write a machine-readable report")
 	short := flag.Bool("short", false, "with -json: CI-smoke-sized suite")
-	out := flag.String("out", "BENCH_6.json", "with -json: report output path")
+	out := flag.String("out", "BENCH_7.json", "with -json: report output path")
 	baselineFrom := flag.String("baseline-from", "", "with -json: prior report whose current run becomes this report's baseline")
 	runLabel := flag.String("run-label", "", "with -json: label for the current run (default: timestamped)")
 	check := flag.String("check", "", "schema-validate an existing report and exit")
+	maxRegress := flag.Float64("max-regress", 0, "with -check: fail when any metric regressed versus the report's baseline by more than this percentage (0 disables)")
 	flag.Parse()
 
 	switch {
 	case *check != "":
-		os.Exit(runCheck(*check))
+		os.Exit(runCheck(*check, *maxRegress))
 	case *jsonMode:
 		os.Exit(runPerfSuite(*short, *seed, *out, *baselineFrom, *runLabel))
 	}
@@ -74,8 +75,9 @@ func main() {
 	}
 }
 
-// runCheck validates a report file against the perfbench schema.
-func runCheck(path string) int {
+// runCheck validates a report file against the perfbench schema and, with
+// maxRegress > 0, gates its deltas against the recorded baseline.
+func runCheck(path string, maxRegress float64) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aicbench: %v\n", err)
@@ -86,6 +88,23 @@ func runCheck(path string) int {
 		return 1
 	}
 	fmt.Printf("aicbench: %s: schema ok\n", path)
+	if maxRegress <= 0 {
+		return 0
+	}
+	var rep perfbench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "aicbench: %s: %v\n", path, err)
+		return 1
+	}
+	regs := rep.Regressions(maxRegress)
+	for _, d := range regs {
+		fmt.Fprintf(os.Stderr, "aicbench: %s: %s regressed %.1f%% (%.3f -> %.3f %s, tolerance %.0f%%)\n",
+			path, d.Name, d.ChangePct, d.Baseline, d.Current, d.Unit, maxRegress)
+	}
+	if len(regs) > 0 {
+		return 1
+	}
+	fmt.Printf("aicbench: %s: all deltas within %.0f%% of baseline\n", path, maxRegress)
 	return 0
 }
 

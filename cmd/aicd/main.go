@@ -9,6 +9,11 @@
 // Usage:
 //
 //	aicd -listen :9337 -dir /var/lib/aic/peer
+//	aicd -listen :9337 -dir /var/lib/aic/peer -metrics :9338
+//
+// With -metrics, the daemon exposes its live instrumentation (DESIGN.md
+// §14) as Prometheus text at /metrics, plus an observe-only saturation
+// controller's state at /control.
 //
 // The store directory is scrub-compatible with aicfsck, which can also
 // check a running peer over the wire with -peer.
@@ -16,15 +21,19 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"aic/internal/control"
+	"aic/internal/metrics"
 	"aic/internal/remote"
 	"aic/internal/storage"
 )
@@ -35,6 +44,8 @@ func main() {
 	mem := flag.Bool("mem", false, "serve an in-memory store instead of a directory (volatile; for experiments)")
 	idle := flag.Duration("idle", 2*time.Minute, "per-connection idle timeout")
 	quiet := flag.Bool("quiet", false, "suppress per-connection diagnostics")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and controller /control on this address (e.g. :9338; empty disables)")
+	controlEvery := flag.Duration("control-interval", time.Second, "saturation-controller sampling interval (with -metrics)")
 	flag.Parse()
 
 	var (
@@ -68,6 +79,36 @@ func main() {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		srv.SetMetrics(reg)
+		if fs, ok := store.(*storage.FSStore); ok {
+			fs.SetMetrics(reg)
+		}
+		// The daemon's controller observes only: it classifies this peer's
+		// saturation for operators (and the /control endpoint) without
+		// actuating anything — interval and replication decisions belong to
+		// the writing node's CheckpointDir controller.
+		ctrl := control.New(control.Config{}, control.NewRegistryCollector(reg), &control.NopActuator{}, reg)
+		go ctrl.Run(ctx, *controlEvery)
+
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/control", ctrl.Handler())
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("aicd: metrics listener: %v", err)
+		}
+		log.Printf("aicd: serving /metrics and /control on %s", mln.Addr())
+		msrv := &http.Server{Handler: mux}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("aicd: metrics server: %v", err)
+			}
+		}()
+		defer msrv.Close()
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {

@@ -9,6 +9,8 @@
 //	ctxflow      contexts are threaded from callers, not minted mid-stack
 //	lockio       no file or network I/O while holding a mutex
 //	detrand      simulation packages stay seed-deterministic
+//	metricnames  metric registrations keep the stable, unit-suffixed
+//	             snake_case surface DESIGN.md §14 documents
 //
 // A deliberate exception is suppressed in place with a reasoned directive:
 //
@@ -27,6 +29,7 @@ import (
 	"aic/internal/analysis/detrand"
 	"aic/internal/analysis/durablefs"
 	"aic/internal/analysis/lockio"
+	"aic/internal/analysis/metricnames"
 	"aic/internal/analysis/sentinelerr"
 )
 
@@ -35,6 +38,7 @@ var suite = []*analysis.Analyzer{
 	detrand.Analyzer,
 	durablefs.Analyzer,
 	lockio.Analyzer,
+	metricnames.Analyzer,
 	sentinelerr.Analyzer,
 }
 

@@ -1,0 +1,141 @@
+// Package metricnames enforces the stable metric surface's naming rules
+// (DESIGN.md §14) at the registration sites: every name handed to a
+// metrics.Registry constructor must be a compile-time string constant
+// (so the surface is auditable without running anything), snake_case with
+// the aic_ prefix, unit-suffixed by instrument kind (counters _total,
+// histograms _seconds/_bytes/_size, gauges a unit or state suffix), and
+// registered from exactly one call site per package — a second site for
+// the same name is either a copy-paste error or two help strings fighting
+// over one series.
+//
+// The metrics package itself is exempt (its tests exercise the registry
+// with deliberately arbitrary names), as are _test.go files everywhere:
+// the rule protects the production scrape surface, not test scaffolding.
+package metricnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"aic/internal/analysis"
+)
+
+// Analyzer is the metricnames pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc:  "metric names are constant, aic_-prefixed snake_case, unit-suffixed, registered once per package",
+	Run:  run,
+}
+
+// metricsPkgPath is the registry package whose constructor methods anchor
+// the analysis.
+const metricsPkgPath = "aic/internal/metrics"
+
+// kindOf maps a Registry constructor method to its instrument kind.
+var kindOf = map[string]string{
+	"Counter":      "counter",
+	"CounterVec":   "counter",
+	"Gauge":        "gauge",
+	"GaugeVec":     "gauge",
+	"Histogram":    "histogram",
+	"HistogramVec": "histogram",
+}
+
+// Allowed unit suffixes per instrument kind.
+var suffixes = map[string][]string{
+	"counter":   {"_total"},
+	"histogram": {"_seconds", "_bytes", "_size"},
+	"gauge":     {"_bytes", "_depth", "_scale", "_state", "_level", "_ratio", "_count"},
+}
+
+var snakeRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *analysis.Pass) error {
+	if pass.Path == metricsPkgPath {
+		return nil
+	}
+	type site struct {
+		pos  token.Pos
+		line int
+	}
+	first := map[string]site{}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			kind, ok := registryCall(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "metric name must be a compile-time string constant, so the scrape surface is auditable statically")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			checkName(pass, arg.Pos(), kind, name)
+			if prev, dup := first[name]; dup && prev.pos != arg.Pos() {
+				pass.Reportf(arg.Pos(), "metric %q already registered at line %d; register each series from one site per package", name, prev.line)
+			} else if !dup {
+				first[name] = site{pos: arg.Pos(), line: pass.Fset.Position(arg.Pos()).Line}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkName(pass *analysis.Pass, pos token.Pos, kind, name string) {
+	if !snakeRe.MatchString(name) {
+		pass.Reportf(pos, "metric name %q is not snake_case ([a-z][a-z0-9_]*)", name)
+		return
+	}
+	if !strings.HasPrefix(name, "aic_") {
+		pass.Reportf(pos, "metric name %q lacks the aic_ namespace prefix", name)
+		return
+	}
+	for _, suf := range suffixes[kind] {
+		if strings.HasSuffix(name, suf) {
+			return
+		}
+	}
+	pass.Reportf(pos, "%s name %q needs a unit suffix (one of %s)",
+		kind, name, strings.Join(suffixes[kind], ", "))
+}
+
+// registryCall reports whether call invokes a metrics.Registry constructor
+// method, and which instrument kind it registers.
+func registryCall(info *types.Info, call *ast.CallExpr) (kind string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	kind, ok = kindOf[sel.Sel.Name]
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != metricsPkgPath {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	ptr, ok := recv.Type().(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return kind, ok && named.Obj().Name() == "Registry"
+}

@@ -1,0 +1,11 @@
+package metricnames
+
+import (
+	"testing"
+
+	"aic/internal/analysis/analyzertest"
+)
+
+func TestMetricNames(t *testing.T) {
+	analyzertest.Run(t, Analyzer, "metricbad", "metricok")
+}

@@ -1,0 +1,18 @@
+// Package metricbad is a metricnames fixture violating each naming rule.
+package metricbad
+
+import "aic/internal/metrics"
+
+func register(reg *metrics.Registry) {
+	reg.Counter("aic_good_total", "fine")
+	reg.Counter("aic_bad_counter", "no unit suffix")      // want `counter name "aic_bad_counter" needs a unit suffix`
+	reg.Gauge("AicCamel_depth", "not snake case")         // want `is not snake_case`
+	reg.Gauge("queue_depth", "missing namespace")         // want `lacks the aic_ namespace prefix`
+	reg.Histogram("aic_put_latency", "no unit", nil)      // want `histogram name "aic_put_latency" needs a unit suffix`
+	reg.CounterVec("aic_retries", "no unit suffix", "op") // want `counter name "aic_retries" needs a unit suffix`
+	reg.Counter("aic_good_total", "second registration")  // want `already registered at line 7`
+	name := pick()
+	reg.Counter(name, "dynamic name") // want `must be a compile-time string constant`
+}
+
+func pick() string { return "aic_dynamic_total" }

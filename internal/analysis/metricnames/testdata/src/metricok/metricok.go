@@ -1,0 +1,30 @@
+// Package metricok is a metricnames fixture exercising every accepted
+// form: literals and named constants, one site per series, unit suffixes
+// per instrument kind.
+package metricok
+
+import "aic/internal/metrics"
+
+const syncHist = "aic_store_sync_duration_seconds"
+
+type set struct {
+	puts *metrics.Counter
+}
+
+func register(reg *metrics.Registry) *set {
+	reg.Gauge("aic_store_queue_depth", "waiters parked behind commit leaders")
+	reg.Gauge("aic_store_staged_bytes", "bytes staged and unsynced")
+	reg.Histogram(syncHist, "fsync wall time", nil)
+	reg.Histogram("aic_store_batch_size", "group-commit batch size", nil)
+	reg.HistogramVec("aic_peer_op_duration_seconds", "per-op wall time", nil, "peer", "op")
+	reg.CounterVec("aic_peer_retries_total", "retried attempts", "peer")
+	return &set{puts: reg.Counter("aic_store_put_total", "puts accepted")}
+}
+
+// loop registers from one lexical site many times — get-or-create makes
+// that idempotent, and one site is what the once-per-package rule counts.
+func loop(reg *metrics.Registry) {
+	for i := 0; i < 3; i++ {
+		reg.Counter("aic_loop_total", "registered thrice from one site").Inc()
+	}
+}

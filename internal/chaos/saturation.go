@@ -1,0 +1,236 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"aic"
+	"aic/internal/control"
+	"aic/internal/storage"
+)
+
+// SaturationConfig parameterizes a saturation→shed→recover scenario run.
+// The zero value selects defaults sized for a sub-second test run.
+type SaturationConfig struct {
+	// SyncDelay is the fsync stall injected during the saturation phase;
+	// it must land well above Threshold's bucket. Default 20ms.
+	SyncDelay time.Duration
+	// Threshold is the controller's fsync-p99 saturation threshold.
+	// Default 10ms — half the injected stall.
+	Threshold float64
+	// MaxRounds bounds each phase's append/step loop, so a controller that
+	// never converges fails the scenario instead of spinning. Default 60.
+	MaxRounds int
+	// Dir is the parent for the scratch store ("" = os temp); the caller
+	// owns cleanup of non-empty values.
+	Dir string
+}
+
+func (c SaturationConfig) withDefaults() SaturationConfig {
+	if c.SyncDelay <= 0 {
+		c.SyncDelay = 20 * time.Millisecond
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.01
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 60
+	}
+	return c
+}
+
+// SaturationResult reports the scenario: the shed arc the controller
+// walked, what replication did at the bottom of it, and the final
+// /metrics exposition for end-to-end assertions.
+type SaturationResult struct {
+	Transcript  []string
+	ShedArc     []control.Level // level after every ladder movement, in order
+	ShedSkips   float64         // appends that skipped the fan-out while shed
+	PeerGapSeqs []int           // seqs the peer never received (shed while appended)
+	MetricsText string          // final Prometheus exposition
+	Violations  []string
+}
+
+// Failed reports whether the scenario missed any expectation.
+func (r *SaturationResult) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *SaturationResult) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+func (r *SaturationResult) transcript(format string, args ...any) {
+	r.Transcript = append(r.Transcript, fmt.Sprintf(format, args...))
+}
+
+// RunSaturation drives the adaptive-control loop end to end through the
+// production stack: a real FSStore (behind a DelayFS fault injector), a
+// replication peer, live metrics, and the saturation controller acting on
+// the CheckpointDir. The arc it pins:
+//
+//  1. healthy traffic holds LevelNormal;
+//  2. a sustained fsync stall walks the shed ladder rung by rung to
+//     LevelLocalOnly, where Appends verifiably stop reaching the peer;
+//  3. when the stall clears, hysteresis walks every rung back to
+//     LevelNormal and the peer fan-out resumes.
+//
+// The controller is stepped manually (no wall-clock ticker), so the arc is
+// reproducible; the only real time in the run is the injected stall itself.
+func RunSaturation(ctx context.Context, cfg SaturationConfig) (*SaturationResult, error) {
+	cfg = cfg.withDefaults()
+	res := &SaturationResult{}
+
+	scratch, err := os.MkdirTemp(cfg.Dir, "aic-saturation-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+
+	dfs := storage.NewDelayFS(nil)
+	local, err := storage.NewFSStoreFS(filepath.Join(scratch, "local"), storage.Target{Name: "local"}, dfs)
+	if err != nil {
+		return nil, err
+	}
+	peer := storage.NewLevelStore(storage.Target{Name: "peer"})
+	reg := aic.NewMetricsRegistry()
+	dir, err := aic.OpenCheckpointDir("",
+		aic.WithStore(local),
+		aic.WithReplication(aic.Replication{Stores: []aic.Store{peer}, Quorum: 1}),
+		aic.WithMetrics(reg),
+		aic.WithAdaptiveControl(aic.AdaptiveControlConfig{
+			FsyncP99Threshold:   cfg.Threshold,
+			QueueDepthThreshold: 1 << 20, // fsync latency is the scenario's only signal
+			SaturateAfter:       2,
+			RecoverAfter:        2,
+		}))
+	if err != nil {
+		return nil, err
+	}
+	defer dir.Close()
+	ctrl := dir.Controller()
+
+	seq := 0
+	append1 := func() error {
+		err := dir.Append(ctx, "sat", seq, []byte{byte(seq)})
+		if err == nil {
+			seq++
+		}
+		return err
+	}
+
+	// Phase 1: healthy traffic never moves the ladder.
+	for i := 0; i < 3; i++ {
+		if err := append1(); err != nil {
+			return nil, fmt.Errorf("healthy append: %w", err)
+		}
+		d := ctrl.Step()
+		if d.Changed {
+			res.violate("healthy sample moved the ladder to %v", d.Level)
+		}
+	}
+	if lvl := ctrl.Level(); lvl != control.LevelNormal {
+		res.violate("level %v after healthy phase, want normal", lvl)
+	}
+	res.transcript("healthy held level=%v", ctrl.Level())
+
+	// Phase 2: sustained stall. Each round appends (so the sample window
+	// holds stalled fsyncs) and steps once; the ladder must reach
+	// LevelLocalOnly and stop there.
+	dfs.SetSyncDelay(cfg.SyncDelay)
+	for i := 0; i < cfg.MaxRounds && ctrl.Level() < control.LevelLocalOnly; i++ {
+		if err := append1(); err != nil {
+			return nil, fmt.Errorf("saturated append: %w", err)
+		}
+		if d := ctrl.Step(); d.Changed {
+			res.ShedArc = append(res.ShedArc, d.Level)
+			res.transcript("shed to level=%v p99=%.3fs", d.Level, d.Signals.FsyncP99)
+		}
+	}
+	if lvl := ctrl.Level(); lvl != control.LevelLocalOnly {
+		res.violate("ladder stuck at %v under sustained saturation", lvl)
+	}
+	if s := dir.IntervalScale(); s <= 1 {
+		res.violate("interval scale %v while shed, want >1", s)
+	}
+	if p := dir.EncodeParallelism(); p != 1 {
+		res.violate("encode parallelism %d while shed, want 1", p)
+	}
+	if dir.ReplicationEnabled() {
+		res.violate("replication still enabled at local-only")
+	}
+
+	// While shed, appends commit locally and verifiably skip the peer.
+	shedStart := seq
+	for i := 0; i < 2; i++ {
+		if err := append1(); err != nil {
+			res.violate("shed append failed: %v", err)
+		}
+	}
+	for s := shedStart; s < seq; s++ {
+		if _, ok, err := peer.GetElem(ctx, "sat", s); err == nil && !ok {
+			res.PeerGapSeqs = append(res.PeerGapSeqs, s)
+		}
+	}
+	if len(res.PeerGapSeqs) != seq-shedStart {
+		res.violate("shed appends reached the peer anyway (gaps %v)", res.PeerGapSeqs)
+	}
+
+	// Phase 3: the stall clears. Idle samples read healthy (an empty fsync
+	// window is not saturation), so hysteresis walks the ladder back down.
+	dfs.SetSyncDelay(0)
+	for i := 0; i < cfg.MaxRounds && ctrl.Level() > control.LevelNormal; i++ {
+		if d := ctrl.Step(); d.Changed {
+			res.ShedArc = append(res.ShedArc, d.Level)
+			res.transcript("restored to level=%v", d.Level)
+		}
+	}
+	if lvl := ctrl.Level(); lvl != control.LevelNormal {
+		res.violate("ladder never recovered: level %v", lvl)
+	}
+	if !dir.ReplicationEnabled() || dir.IntervalScale() != 1 || dir.EncodeParallelism() != 0 {
+		res.violate("knobs not restored: repl=%v scale=%v par=%d",
+			dir.ReplicationEnabled(), dir.IntervalScale(), dir.EncodeParallelism())
+	}
+
+	// Replication resumes: the first post-recovery append reaches the peer.
+	resumeSeq := seq
+	if err := append1(); err != nil {
+		res.violate("post-recovery append failed: %v", err)
+	} else if _, ok, gerr := peer.GetElem(ctx, "sat", resumeSeq); gerr != nil || !ok {
+		res.violate("post-recovery append did not reach the peer (ok=%v err=%v)", ok, gerr)
+	}
+
+	wantArc := []control.Level{
+		control.LevelWideInterval, control.LevelSerialEncode, control.LevelLocalOnly,
+		control.LevelSerialEncode, control.LevelWideInterval, control.LevelNormal,
+	}
+	if len(res.ShedArc) != len(wantArc) {
+		res.violate("shed arc %v, want %v", res.ShedArc, wantArc)
+	} else {
+		for i := range wantArc {
+			if res.ShedArc[i] != wantArc[i] {
+				res.violate("shed arc %v, want %v", res.ShedArc, wantArc)
+				break
+			}
+		}
+	}
+
+	if v, ok := reg.Value("aic_ckptdir_append_shed_total"); ok {
+		res.ShedSkips = v
+	}
+	res.MetricsText = reg.Text()
+	for _, want := range []string{
+		"aic_control_sheds_total 3",
+		"aic_control_restores_total 3",
+		"aic_control_shed_level 0",
+		"aic_ckptdir_append_shed_total 2",
+	} {
+		if !strings.Contains(res.MetricsText, want) {
+			res.violate("/metrics missing %q", want)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package control
+
+import (
+	"sync"
+
+	"aic/internal/metrics"
+)
+
+// Canonical series the registry collector samples. These are part of the
+// stable metric surface (DESIGN.md §14); the storage layer registers them
+// when instrumented with a registry.
+const (
+	fsyncHistName  = "aic_fsstore_sync_duration_seconds"
+	queueGaugeName = "aic_fsstore_queue_depth"
+)
+
+// RegistryCollector samples Signals from a metrics.Registry: the fsync p99
+// comes from the windowed delta of the fsync-duration histogram between
+// consecutive Collect calls, and the queue depth reads the group-commit
+// queue gauge directly. A series that does not exist yet (store not
+// instrumented, no traffic) reads as zero — below every threshold.
+type RegistryCollector struct {
+	reg *metrics.Registry
+
+	mu   sync.Mutex
+	prev metrics.HistogramSnapshot
+}
+
+// NewRegistryCollector builds a collector over reg.
+func NewRegistryCollector(reg *metrics.Registry) *RegistryCollector {
+	return &RegistryCollector{reg: reg}
+}
+
+// Collect returns one sample. An empty window (no fsyncs since the last
+// sample) reports FsyncP99 0: an idle tier is not a saturated tier.
+func (c *RegistryCollector) Collect() Signals {
+	var sig Signals
+	if depth, ok := c.reg.Value(queueGaugeName); ok {
+		sig.QueueDepth = depth
+	}
+	cur, ok := c.reg.HistogramSnapshot(fsyncHistName)
+	if !ok {
+		return sig
+	}
+	c.mu.Lock()
+	win := cur.Sub(c.prev)
+	c.prev = cur
+	c.mu.Unlock()
+	if win.Count > 0 {
+		sig.FsyncP99 = win.Quantile(0.99)
+	}
+	return sig
+}
+
+// StaticCollector replays a fixed sequence of samples, then repeats the
+// last one — the table-test and chaos-scenario collector.
+type StaticCollector struct {
+	mu      sync.Mutex
+	samples []Signals
+	i       int
+}
+
+// NewStaticCollector builds a collector over the given samples; at least
+// one is required.
+func NewStaticCollector(samples ...Signals) *StaticCollector {
+	return &StaticCollector{samples: samples}
+}
+
+// Push appends further samples.
+func (c *StaticCollector) Push(samples ...Signals) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.samples = append(c.samples, samples...)
+}
+
+// Collect returns the next sample, repeating the final one once exhausted.
+func (c *StaticCollector) Collect() Signals {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.samples) == 0 {
+		return Signals{}
+	}
+	s := c.samples[c.i]
+	if c.i < len(c.samples)-1 {
+		c.i++
+	}
+	return s
+}
+
+// NopActuator records the last applied settings and otherwise does
+// nothing — the observe-only actuator cmd/aicd uses, and a test double.
+type NopActuator struct {
+	mu          sync.Mutex
+	Scale       float64
+	Parallelism int
+	Replication bool
+}
+
+// SetIntervalScale implements Actuator.
+func (a *NopActuator) SetIntervalScale(s float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.Scale = s
+}
+
+// SetParallelism implements Actuator.
+func (a *NopActuator) SetParallelism(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.Parallelism = n
+}
+
+// SetReplication implements Actuator.
+func (a *NopActuator) SetReplication(on bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.Replication = on
+}
+
+// Snapshot returns the last applied settings.
+func (a *NopActuator) Snapshot() (scale float64, parallelism int, replication bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.Scale, a.Parallelism, a.Replication
+}

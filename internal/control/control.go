@@ -1,0 +1,321 @@
+// Package control closes the observe→decide→actuate loop over the metrics
+// the storage stack exports. The paper's per-process interval decider
+// (sampler.Tuner) adapts one process to its own dirty-page rate; this
+// package adapts the fleet to the storage tier as a whole: when fsync
+// latency or the group-commit queue saturate for long enough, the
+// controller widens the checkpoint interval, then lowers encode
+// parallelism, then sheds the replication factor — and walks each step
+// back with hysteresis once headroom returns.
+//
+// The pipeline is three small pieces so each is testable alone:
+//
+//	Collector  — samples Signals (fsync p99, queue depth) from a
+//	             metrics.Registry using windowed histogram deltas
+//	Controller — the saturation analyzer: classifies each sample into
+//	             saturated / healthy / neutral bands and runs the
+//	             shed-ladder state machine with streak-based hysteresis
+//	Actuator   — applies a shed Level to the running system (the aic
+//	             facade's CheckpointDir implements this)
+//
+// The Controller core is Step(), a pure state transition on one sample —
+// deterministic by construction, so the chaos harness and the table tests
+// drive it tick by tick with no wall clock. Run() wraps Step in a ticker
+// for daemon use (cmd/aicd).
+package control
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"aic/internal/metrics"
+)
+
+// Signals is one sample of the saturation inputs.
+type Signals struct {
+	// FsyncP99 is the windowed 99th-percentile fsync latency in seconds
+	// (bucket upper-bound estimate) since the previous sample.
+	FsyncP99 float64 `json:"fsync_p99_seconds"`
+	// QueueDepth is the group-commit queue depth (waiters parked behind
+	// the per-proc commit leaders) at sample time.
+	QueueDepth float64 `json:"queue_depth"`
+}
+
+// Collector produces one Signals sample per call.
+type Collector interface {
+	Collect() Signals
+}
+
+// Actuator applies a shed level's knob settings to the running system.
+// Implementations must tolerate repeated application of the same values.
+type Actuator interface {
+	// SetIntervalScale widens (>1) or restores (1) the checkpoint
+	// interval multiplier schedulers consult.
+	SetIntervalScale(scale float64)
+	// SetParallelism caps the encode worker count; 0 restores the
+	// configured default.
+	SetParallelism(n int)
+	// SetReplication enables or sheds the peer fan-out.
+	SetReplication(enabled bool)
+}
+
+// Level is a rung on the shed ladder.
+type Level int
+
+// The shed ladder. Each rung keeps the cheaper sheds of the rungs below
+// it: widening the interval is nearly free (more work lost on a crash),
+// capping parallelism returns cores to the application, and dropping
+// replication is last because it spends durability.
+const (
+	LevelNormal       Level = iota // all knobs at configured defaults
+	LevelWideInterval              // checkpoint interval ×IntervalScale
+	LevelSerialEncode              // + encode parallelism capped at 1
+	LevelLocalOnly                 // + replication fan-out shed
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelNormal:
+		return "normal"
+	case LevelWideInterval:
+		return "wide-interval"
+	case LevelSerialEncode:
+		return "serial-encode"
+	case LevelLocalOnly:
+		return "local-only"
+	}
+	return "unknown"
+}
+
+// Config tunes the saturation analyzer. The zero value selects the
+// documented defaults (DESIGN.md §14).
+type Config struct {
+	// FsyncP99Threshold saturates the fsync signal at or above this many
+	// seconds. Default 0.05 (50ms — an order above a healthy local disk).
+	FsyncP99Threshold float64 `json:"fsync_p99_threshold_seconds"`
+	// QueueDepthThreshold saturates the queue signal at or above this
+	// many parked writers. Default 8.
+	QueueDepthThreshold float64 `json:"queue_depth_threshold"`
+	// SaturateAfter escalates one rung after this many consecutive
+	// saturated samples. Default 3.
+	SaturateAfter int `json:"saturate_after"`
+	// RecoverAfter de-escalates one rung after this many consecutive
+	// healthy samples. Default 6 — recovery is deliberately slower than
+	// shedding.
+	RecoverAfter int `json:"recover_after"`
+	// RecoverFactor defines the healthy band: a sample is healthy only
+	// when every signal is strictly below RecoverFactor×its threshold.
+	// Samples between the bands hold the current level and reset both
+	// streaks, which is what prevents oscillation. Default 0.5.
+	RecoverFactor float64 `json:"recover_factor"`
+	// IntervalScale is the widened checkpoint-interval multiplier applied
+	// from LevelWideInterval up. Default 2.
+	IntervalScale float64 `json:"interval_scale"`
+	// MaxLevel caps the ladder (e.g. LevelSerialEncode to never shed
+	// replication). Default LevelLocalOnly.
+	MaxLevel Level `json:"max_level"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.FsyncP99Threshold <= 0 {
+		c.FsyncP99Threshold = 0.05
+	}
+	if c.QueueDepthThreshold <= 0 {
+		c.QueueDepthThreshold = 8
+	}
+	if c.SaturateAfter <= 0 {
+		c.SaturateAfter = 3
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 6
+	}
+	if c.RecoverFactor <= 0 || c.RecoverFactor >= 1 {
+		c.RecoverFactor = 0.5
+	}
+	if c.IntervalScale <= 1 {
+		c.IntervalScale = 2
+	}
+	if c.MaxLevel <= 0 || c.MaxLevel > LevelLocalOnly {
+		c.MaxLevel = LevelLocalOnly
+	}
+	return c
+}
+
+// Decision reports what one Step concluded.
+type Decision struct {
+	Signals   Signals `json:"signals"`
+	Saturated bool    `json:"saturated"` // sample was in the saturated band
+	Healthy   bool    `json:"healthy"`   // sample was in the healthy band
+	Level     Level   `json:"level"`     // ladder position after the step
+	Changed   bool    `json:"changed"`   // this step moved the ladder
+}
+
+// Controller is the saturation analyzer and ladder state machine. Create
+// with New; drive with Step (deterministic) or Run (ticker).
+type Controller struct {
+	cfg Config
+	col Collector
+	act Actuator
+
+	mu        sync.Mutex
+	level     Level
+	satStreak int
+	okStreak  int
+	last      Decision
+
+	gLevel    *metrics.Gauge
+	gScale    *metrics.Gauge
+	gSat      *metrics.Gauge
+	cSheds    *metrics.Counter
+	cRestores *metrics.Counter
+}
+
+// New builds a controller. reg may be nil (the controller then exports no
+// metrics about itself); col and act must be non-nil.
+func New(cfg Config, col Collector, act Actuator, reg *metrics.Registry) *Controller {
+	c := &Controller{
+		cfg:       cfg.withDefaults(),
+		col:       col,
+		act:       act,
+		gLevel:    reg.Gauge("aic_control_shed_level", "Current shed-ladder level (0=normal..3=local-only)."),
+		gScale:    reg.Gauge("aic_control_interval_scale", "Checkpoint-interval multiplier the controller currently applies."),
+		gSat:      reg.Gauge("aic_control_saturated_state", "1 while the last sample was in the saturated band, else 0."),
+		cSheds:    reg.Counter("aic_control_sheds_total", "Shed-ladder escalations."),
+		cRestores: reg.Counter("aic_control_restores_total", "Shed-ladder de-escalations."),
+	}
+	c.gScale.Set(1)
+	c.apply(LevelNormal)
+	return c
+}
+
+// Step takes one sample, classifies it and advances the ladder at most one
+// rung. It is the deterministic core: same prior state + same sample →
+// same decision.
+func (c *Controller) Step() Decision {
+	sig := c.col.Collect()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	saturated := sig.FsyncP99 >= c.cfg.FsyncP99Threshold ||
+		sig.QueueDepth >= c.cfg.QueueDepthThreshold
+	healthy := sig.FsyncP99 < c.cfg.RecoverFactor*c.cfg.FsyncP99Threshold &&
+		sig.QueueDepth < c.cfg.RecoverFactor*c.cfg.QueueDepthThreshold
+
+	d := Decision{Signals: sig, Saturated: saturated, Healthy: healthy}
+	switch {
+	case saturated:
+		c.okStreak = 0
+		c.satStreak++
+		if c.satStreak >= c.cfg.SaturateAfter && c.level < c.cfg.MaxLevel {
+			c.level++
+			c.satStreak = 0
+			c.cSheds.Inc()
+			c.apply(c.level)
+			d.Changed = true
+		}
+	case healthy:
+		c.satStreak = 0
+		c.okStreak++
+		if c.okStreak >= c.cfg.RecoverAfter && c.level > LevelNormal {
+			c.level--
+			c.okStreak = 0
+			c.cRestores.Inc()
+			c.apply(c.level)
+			d.Changed = true
+		}
+	default:
+		// The dead band between healthy and saturated: hold position and
+		// require fresh consecutive evidence in either direction.
+		c.satStreak = 0
+		c.okStreak = 0
+	}
+	d.Level = c.level
+	if saturated {
+		c.gSat.Set(1)
+	} else {
+		c.gSat.Set(0)
+	}
+	c.last = d
+	return d
+}
+
+// apply pushes a level's knob settings through the actuator and mirrors
+// them in the controller's own gauges. Callers hold c.mu (or are the
+// constructor, before the controller is shared).
+func (c *Controller) apply(l Level) {
+	scale := 1.0
+	if l >= LevelWideInterval {
+		scale = c.cfg.IntervalScale
+	}
+	par := 0
+	if l >= LevelSerialEncode {
+		par = 1
+	}
+	c.act.SetIntervalScale(scale)
+	c.act.SetParallelism(par)
+	c.act.SetReplication(l < LevelLocalOnly)
+	c.gLevel.Set(float64(l))
+	c.gScale.Set(scale)
+}
+
+// Level returns the current ladder position.
+func (c *Controller) Level() Level {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.level
+}
+
+// Last returns the most recent decision (zero before the first Step).
+func (c *Controller) Last() Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// State is the JSON shape the /control endpoint serves.
+type State struct {
+	Level     Level    `json:"level"`
+	LevelName string   `json:"level_name"`
+	Last      Decision `json:"last_decision"`
+	Config    Config   `json:"config"`
+}
+
+// State snapshots the controller for inspection endpoints.
+func (c *Controller) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return State{Level: c.level, LevelName: c.level.String(), Last: c.last, Config: c.cfg}
+}
+
+// Handler serves the controller state as JSON — the body cmd/aicd mounts
+// at /control.
+func (c *Controller) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.State())
+	})
+}
+
+// Run steps the controller every interval until ctx is cancelled
+// (interval ≤ 0 selects 1s). Daemon use only; tests and the chaos harness
+// call Step directly to stay deterministic.
+func (c *Controller) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.Step()
+		}
+	}
+}

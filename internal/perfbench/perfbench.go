@@ -121,12 +121,16 @@ func RunSuite(ctx context.Context, cfg Config, label string) (Run, error) {
 	return run, nil
 }
 
+// CurrentBench is the trajectory id stamped into new reports — the PR
+// number whose BENCH_<id>.json the suite currently maintains.
+const CurrentBench = 7
+
 // NewReport wraps a run (and optional baseline) into a schema-complete
 // report with the environment pinned and deltas computed.
 func NewReport(cfg Config, baseline *Run, current Run) *Report {
 	rep := &Report{
 		Schema: Schema,
-		Bench:  6,
+		Bench:  CurrentBench,
 		Env: Env{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,

@@ -54,7 +54,7 @@ func TestComputeDeltas(t *testing.T) {
 		{Name: "lat", Unit: "ms", Value: 12, Better: BetterLower},
 		{Name: "new", Unit: "ms", Value: 5, Better: BetterLower},
 	}}
-	rep := &Report{Schema: Schema, Bench: 6, Baseline: &base, Current: cur}
+	rep := &Report{Schema: Schema, Bench: CurrentBench, Baseline: &base, Current: cur}
 	rep.ComputeDeltas()
 	if len(rep.Deltas) != 2 {
 		t.Fatalf("deltas = %+v, want 2 entries", rep.Deltas)
@@ -71,6 +71,40 @@ func TestComputeDeltas(t *testing.T) {
 	}
 	if got := rep.Improved(); len(got) != 1 || got[0] != "tput" {
 		t.Errorf("Improved() = %v, want [tput]", got)
+	}
+}
+
+// TestRegressions covers the within-noise gate: only deltas that moved in
+// the worse direction beyond the tolerance count, in either Better
+// direction, and a zero baseline is skipped.
+func TestRegressions(t *testing.T) {
+	base := Run{Label: "base", Metrics: []Metric{
+		{Name: "tput", Unit: "MiB/s", Value: 100, Better: BetterHigher},
+		{Name: "lat", Unit: "ms", Value: 10, Better: BetterLower},
+		{Name: "noise", Unit: "ms", Value: 10, Better: BetterLower},
+		{Name: "allocs", Unit: "allocs/op", Value: 0, Better: BetterLower},
+	}}
+	cur := Run{Label: "cur", Metrics: []Metric{
+		{Name: "tput", Unit: "MiB/s", Value: 60, Better: BetterHigher}, // -40%: regression
+		{Name: "lat", Unit: "ms", Value: 15, Better: BetterLower},      // +50%: regression
+		{Name: "noise", Unit: "ms", Value: 11, Better: BetterLower},    // +10%: within noise
+		{Name: "allocs", Unit: "allocs/op", Value: 2, Better: BetterLower},
+	}}
+	rep := &Report{Schema: Schema, Bench: CurrentBench, Baseline: &base, Current: cur}
+	rep.ComputeDeltas()
+	regs := rep.Regressions(25)
+	if len(regs) != 2 {
+		t.Fatalf("Regressions(25) = %+v, want [lat tput]", regs)
+	}
+	names := map[string]bool{}
+	for _, d := range regs {
+		names[d.Name] = true
+	}
+	if !names["tput"] || !names["lat"] {
+		t.Fatalf("Regressions(25) named %v, want tput and lat", names)
+	}
+	if got := rep.Regressions(60); len(got) != 0 {
+		t.Fatalf("Regressions(60) = %+v, want none", got)
 	}
 }
 

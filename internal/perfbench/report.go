@@ -107,6 +107,27 @@ func (r *Report) ComputeDeltas() {
 	sort.Slice(r.Deltas, func(i, j int) bool { return r.Deltas[i].Name < r.Deltas[j].Name })
 }
 
+// Regressions returns the deltas that moved in the worse direction by more
+// than tolerancePct — the within-noise gate instrumented hot paths must
+// pass against the previous trajectory report. Metrics whose baseline is 0
+// are skipped (no meaningful percentage exists).
+func (r *Report) Regressions(tolerancePct float64) []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Improved || d.Baseline == 0 {
+			continue
+		}
+		worsePct := d.ChangePct
+		if worsePct < 0 {
+			worsePct = -worsePct
+		}
+		if worsePct > tolerancePct {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // Improved returns the names of metrics that improved versus the baseline.
 func (r *Report) Improved() []string {
 	var names []string

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"aic/internal/metrics"
 	"aic/internal/storage"
 )
 
@@ -54,6 +55,10 @@ type Config struct {
 	// schedules (the chaos harness's reproducibility hook); 0 seeds from
 	// the wall clock as before.
 	JitterSeed int64
+	// Metrics, when set, instruments the client against this registry with
+	// per-peer series (RTT, retries, window stalls, bytes in flight); see
+	// DESIGN.md §14.
+	Metrics *metrics.Registry
 	// rng drives backoff jitter; tests may pin it. Guarded by mu.
 	rng *rand.Rand
 }
@@ -108,6 +113,9 @@ func (e *remoteError) Unwrap() error {
 	if e.Code == codeStaleSeq {
 		return storage.ErrStaleSeq
 	}
+	if e.Code == codeBadProc {
+		return storage.ErrBadProcName
+	}
 	return nil
 }
 
@@ -122,6 +130,7 @@ func (e *remoteError) Unwrap() error {
 type RemoteStore struct {
 	addr string
 	cfg  Config
+	met  *clientMetrics // nil unless Config.Metrics was set
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -146,7 +155,7 @@ func NewStore(addr string, cfg Config) *RemoteStore {
 		}
 		cfg.rng = rand.New(rand.NewSource(seed))
 	}
-	return &RemoteStore{addr: addr, cfg: cfg}
+	return &RemoteStore{addr: addr, cfg: cfg, met: newClientMetrics(cfg.Metrics, addr)}
 }
 
 // Addr returns the peer address the store replicates to.
@@ -229,6 +238,9 @@ func (r *RemoteStore) do(ctx context.Context, op func(conn net.Conn, br *bufio.R
 	var lastErr error
 	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
 		if attempt > 0 {
+			if r.met != nil {
+				r.met.retries.Inc()
+			}
 			if err := r.sleepLocked(ctx, r.backoff(attempt-1)); err != nil {
 				return err
 			}
@@ -316,7 +328,7 @@ func expect(br *bufio.Reader, maxFrame int, want byte) ([]byte, error) {
 // re-negotiates the offset, so bytes staged before a cut are not resent.
 func (r *RemoteStore) Put(ctx context.Context, proc string, seq int, data []byte) error {
 	crc := crc32.Checksum(data, crcTable)
-	return r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+	return r.timedDo(ctx, "put", func(conn net.Conn, br *bufio.Reader) error {
 		if err := writeJSON(conn, kindPutBegin, putBeginMsg{
 			Proc: proc, Seq: seq, Size: int64(len(data)), CRC: crc,
 		}); err != nil {
@@ -343,13 +355,24 @@ func (r *RemoteStore) Put(ctx context.Context, proc string, seq int, data []byte
 		// across each burst instead of accruing once per chunk, and the
 		// window invariant (at most Window unacked frames) is unchanged.
 		inflight := 0
+		acked := off.Offset
 		for pos := off.Offset; pos < int64(len(data)); {
 			if inflight >= r.cfg.Window {
+				if r.met != nil {
+					r.met.windowStalls.Inc()
+				}
 				for inflight > r.cfg.Window/2 {
-					if err := readPutAck(br, r.cfg.MaxFrame); err != nil {
+					ackOff, err := readPutAck(br, r.cfg.MaxFrame)
+					if err != nil {
 						return err
 					}
+					if ackOff > acked {
+						acked = ackOff
+					}
 					inflight--
+				}
+				if r.met != nil {
+					r.met.inflight.Set(float64(pos - acked))
 				}
 			}
 			burst := r.putBuf[:0]
@@ -366,6 +389,13 @@ func (r *RemoteStore) Put(ctx context.Context, proc string, seq int, data []byte
 			if _, err := conn.Write(burst); err != nil {
 				return err
 			}
+			if r.met != nil {
+				r.met.inflight.Set(float64(pos - acked))
+			}
+		}
+		var tc time.Time
+		if r.met != nil {
+			tc = time.Now()
 		}
 		if err := writeFrame(conn, kindPutCommit, nil); err != nil {
 			return err
@@ -380,6 +410,10 @@ func (r *RemoteStore) Put(ctx context.Context, proc string, seq int, data []byte
 			case kindPutAck:
 				continue
 			case kindPutDone:
+				if r.met != nil {
+					r.met.commitRTT.Observe(time.Since(tc).Seconds())
+					r.met.inflight.Set(0)
+				}
 				return nil
 			case kindErr:
 				return asRemoteErr(payload)
@@ -390,18 +424,35 @@ func (r *RemoteStore) Put(ctx context.Context, proc string, seq int, data []byte
 	})
 }
 
-func readPutAck(br *bufio.Reader, maxFrame int) error {
+// timedDo is do plus the per-op duration observation (including retries
+// and backoff — the caller-visible latency).
+func (r *RemoteStore) timedDo(ctx context.Context, op string, fn func(conn net.Conn, br *bufio.Reader) error) error {
+	var t0 time.Time
+	if r.met != nil {
+		t0 = time.Now()
+	}
+	err := r.do(ctx, fn)
+	if r.met != nil {
+		r.met.observeOp(r.addr, op, time.Since(t0).Seconds())
+	}
+	return err
+}
+
+func readPutAck(br *bufio.Reader, maxFrame int) (int64, error) {
 	payload, err := expect(br, maxFrame, kindPutAck)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var ack putAckMsg
-	return decodeJSON(payload, &ack)
+	if err := decodeJSON(payload, &ack); err != nil {
+		return 0, err
+	}
+	return ack.Offset, nil
 }
 
 // Get implements storage.Store.
 func (r *RemoteStore) Get(ctx context.Context, proc string) (chain []storage.Stored, missing []int, err error) {
-	err = r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+	err = r.timedDo(ctx, "get", func(conn net.Conn, br *bufio.Reader) error {
 		chain, missing = nil, nil
 		if err := writeJSON(conn, kindGet, procMsg{Proc: proc}); err != nil {
 			return err
@@ -436,7 +487,7 @@ func (r *RemoteStore) Get(ctx context.Context, proc string) (chain []storage.Sto
 
 // List implements storage.Store.
 func (r *RemoteStore) List(ctx context.Context) (procs []string, err error) {
-	err = r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+	err = r.timedDo(ctx, "list", func(conn net.Conn, br *bufio.Reader) error {
 		if err := writeFrame(conn, kindList, nil); err != nil {
 			return err
 		}
@@ -459,7 +510,7 @@ func (r *RemoteStore) List(ctx context.Context) (procs []string, err error) {
 
 // Delete implements storage.Store.
 func (r *RemoteStore) Delete(ctx context.Context, proc string) error {
-	return r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+	return r.timedDo(ctx, "delete", func(conn net.Conn, br *bufio.Reader) error {
 		if err := writeJSON(conn, kindDelete, procMsg{Proc: proc}); err != nil {
 			return err
 		}
@@ -470,7 +521,7 @@ func (r *RemoteStore) Delete(ctx context.Context, proc string) error {
 
 // Truncate implements storage.Store.
 func (r *RemoteStore) Truncate(ctx context.Context, proc string, fullSeq int) error {
-	return r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+	return r.timedDo(ctx, "truncate", func(conn net.Conn, br *bufio.Reader) error {
 		if err := writeJSON(conn, kindTruncate, truncateMsg{Proc: proc, FullSeq: fullSeq}); err != nil {
 			return err
 		}
@@ -482,7 +533,7 @@ func (r *RemoteStore) Truncate(ctx context.Context, proc string, fullSeq int) er
 // Scrub implements storage.Store: the scrub runs on the peer, against its
 // own durable state.
 func (r *RemoteStore) Scrub(ctx context.Context, proc string, repair bool) (rep *storage.ScrubReport, err error) {
-	err = r.do(ctx, func(conn net.Conn, br *bufio.Reader) error {
+	err = r.timedDo(ctx, "scrub", func(conn net.Conn, br *bufio.Reader) error {
 		if err := writeJSON(conn, kindScrub, scrubMsg{Proc: proc, Repair: repair}); err != nil {
 			return err
 		}

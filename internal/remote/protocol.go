@@ -76,7 +76,8 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Error codes carried by kindErr frames.
 const (
-	codeStaleSeq = "stale-seq" // storage.ErrStaleSeq on the server
+	codeStaleSeq = "stale-seq"     // storage.ErrStaleSeq on the server
+	codeBadProc  = "bad-proc-name" // storage.ErrBadProcName on the server
 	codeBadFrame = "bad-request"
 	codeConflict = "conflict" // same (proc, seq) committed with different bytes
 	codeInternal = "internal"

@@ -50,6 +50,16 @@ type staging struct {
 	buf  []byte // len(buf) == staged bytes so far
 }
 
+// objKey identifies one checkpoint object in the staging and committed
+// maps. A typed struct key cannot be truncated, collided or misparsed the
+// way the old "proc\x00seq" string encoding could: a proc name containing
+// a NUL silently split the key, and a malformed key decoded to seq 0,
+// corrupting both maps.
+type objKey struct {
+	proc string
+	seq  int
+}
+
 // Server accepts replication connections and applies their operations to a
 // backing store. One Server fronts one storage.Store; the store's own
 // locking serializes concurrent connections.
@@ -57,9 +67,11 @@ type Server struct {
 	store storage.Store
 	cfg   ServerConfig
 
+	met *serverMetrics // nil until SetMetrics; every observation is nil-safe
+
 	mu        sync.Mutex
-	staging   map[string]*staging // proc\x00seq → partial transfer
-	committed map[string]uint32   // proc\x00seq → object CRC, for idempotent retries
+	staging   map[objKey]*staging // partial transfers awaiting commit
+	committed map[objKey]uint32   // object CRCs, for idempotent retries
 
 	lnMu   sync.Mutex
 	ln     net.Listener
@@ -73,8 +85,8 @@ func NewServer(store storage.Store, cfg ServerConfig) *Server {
 	return &Server{
 		store:     store,
 		cfg:       cfg.withDefaults(),
-		staging:   make(map[string]*staging),
-		committed: make(map[string]uint32),
+		staging:   make(map[objKey]*staging),
+		committed: make(map[objKey]uint32),
 		conns:     make(map[net.Conn]struct{}),
 	}
 }
@@ -182,17 +194,14 @@ const (
 	sendRetainCap = 1 << 20
 )
 
-func stagingKey(proc string, seq int) string {
-	return fmt.Sprintf("%s\x00%d", proc, seq)
-}
-
 // serveConn runs the request loop for one connection. cur tracks the
 // transfer the connection's last PutBegin opened; ctx is the server's
 // lifetime context from Serve.
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 	var (
-		curKey string
-		cur    *staging
+		curKey  objKey
+		haveKey bool
+		cur     *staging
 		// sendBuf batches a Get reply's element frames into few large
 		// writes; reused across requests, released if a big chain grew it.
 		sendBuf []byte
@@ -229,13 +238,13 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 				if e := s.sendStoreErr(conn, err); e != nil {
 					return e
 				}
-				curKey, cur = "", nil
+				haveKey, cur = false, nil
 				continue
 			}
 			if reply.Committed {
-				curKey, cur = "", nil
+				haveKey, cur = false, nil
 			} else {
-				curKey = key
+				curKey, haveKey = key, true
 				s.mu.Lock()
 				cur = s.staging[key]
 				s.mu.Unlock()
@@ -273,6 +282,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 			}
 			cur.buf = append(cur.buf, chunk...)
 			staged := int64(len(cur.buf))
+			s.met.observeStaging(len(chunk))
 			s.mu.Unlock()
 			if err := writeJSON(conn, kindPutAck, putAckMsg{Offset: staged}); err != nil {
 				return err
@@ -282,7 +292,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 			if cur == nil {
 				// A retried commit after the ack was lost: if the object is
 				// already durable this is a success, not an error.
-				if curKey != "" && s.isCommitted(curKey) {
+				if haveKey && s.isCommitted(curKey) {
 					if err := writeFrame(conn, kindPutDone, nil); err != nil {
 						return err
 					}
@@ -409,19 +419,25 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 // client should send from. The store probe for a possibly-restarted server
 // runs outside s.mu — it does real I/O, and holding the mutex across it
 // would serialize every other transfer behind one disk read.
-func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key string, reply putOffsetMsg, err error) {
-	if m.Proc == "" || m.Seq < 0 || m.Size < 0 {
-		return "", reply, fmt.Errorf("remote: malformed put-begin %+v", m)
+func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key objKey, reply putOffsetMsg, err error) {
+	// The proc name becomes a map-key field here and a path component on
+	// the backing store; reject what the storage boundary rejects — NUL
+	// bytes in particular used to truncate the old string-encoded key.
+	if err := storage.ValidateProcName(m.Proc); err != nil {
+		return key, reply, err
+	}
+	if m.Seq < 0 || m.Size < 0 {
+		return key, reply, fmt.Errorf("remote: malformed put-begin %+v", m)
 	}
 	if m.Size > s.cfg.MaxObject {
-		return "", reply, fmt.Errorf("remote: object of %d bytes exceeds limit %d", m.Size, s.cfg.MaxObject)
+		return key, reply, fmt.Errorf("remote: object of %d bytes exceeds limit %d", m.Size, s.cfg.MaxObject)
 	}
-	key = stagingKey(m.Proc, m.Seq)
+	key = objKey{proc: m.Proc, seq: m.Seq}
 	s.mu.Lock()
 	if crc, ok := s.committed[key]; ok {
 		s.mu.Unlock()
 		if crc != m.CRC {
-			return "", reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
+			return key, reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
 		}
 		return key, putOffsetMsg{Offset: m.Size, Committed: true}, nil
 	}
@@ -439,7 +455,7 @@ func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key string, reply
 	// the store itself before treating this as a fresh transfer.
 	if crc, ok := s.storedCRC(ctx, m.Proc, m.Seq); ok {
 		if crc != m.CRC {
-			return "", reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
+			return key, reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
 		}
 		s.mu.Lock()
 		s.committed[key] = crc
@@ -451,12 +467,15 @@ func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key string, reply
 	if crc, ok := s.committed[key]; ok {
 		// Another connection committed the object while we probed the store.
 		if crc != m.CRC {
-			return "", reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
+			return key, reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
 		}
 		return key, putOffsetMsg{Offset: m.Size, Committed: true}, nil
 	}
 	st := s.staging[key]
 	if st == nil || st.size != m.Size || st.crc != m.CRC {
+		if st != nil {
+			s.met.observeStaging(-len(st.buf))
+		}
 		st = &staging{size: m.Size, crc: m.CRC, buf: make([]byte, 0, m.Size)}
 		s.staging[key] = st
 	}
@@ -494,19 +513,20 @@ func (s *Server) forget(proc string, drop func(seq int) bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for key := range s.committed {
-		if p, seq := splitKey(key); p == proc && drop(seq) {
+		if key.proc == proc && drop(key.seq) {
 			delete(s.committed, key)
 		}
 	}
-	for key := range s.staging {
-		if p, seq := splitKey(key); p == proc && drop(seq) {
+	for key, st := range s.staging {
+		if key.proc == proc && drop(key.seq) {
+			s.met.observeStaging(-len(st.buf))
 			delete(s.staging, key)
 		}
 	}
 }
 
 // commitPut verifies the staged object and makes it durable.
-func (s *Server) commitPut(ctx context.Context, key string, st *staging) error {
+func (s *Server) commitPut(ctx context.Context, key objKey, st *staging) error {
 	s.mu.Lock()
 	if int64(len(st.buf)) != st.size {
 		s.mu.Unlock()
@@ -514,42 +534,35 @@ func (s *Server) commitPut(ctx context.Context, key string, st *staging) error {
 	}
 	if got := crc32.Checksum(st.buf, crcTable); got != st.crc {
 		delete(s.staging, key) // poisoned; force a fresh transfer
+		s.met.observeStaging(-len(st.buf))
 		s.mu.Unlock()
 		return fmt.Errorf("remote: staged object CRC mismatch: %08x != %08x", got, st.crc)
 	}
 	buf := st.buf
 	s.mu.Unlock()
 
-	proc, seq := splitKey(key)
-	err := s.store.Put(ctx, proc, seq, buf)
+	err := s.store.Put(ctx, key.proc, key.seq, buf)
 	if err != nil && errors.Is(err, storage.ErrStaleSeq) {
 		// A duplicate of an object the store already holds (retry after a
 		// lost ack) commits idempotently as long as the bytes match.
-		if crc, ok := s.storedCRC(ctx, proc, seq); ok && crc == st.crc {
+		if crc, ok := s.storedCRC(ctx, key.proc, key.seq); ok && crc == st.crc {
 			err = nil
 		}
 	}
 	s.mu.Lock()
 	if err == nil {
 		s.committed[key] = st.crc
-		delete(s.staging, key)
+		if _, ok := s.staging[key]; ok {
+			s.met.observeStaging(-len(st.buf))
+			delete(s.staging, key)
+		}
+		s.met.observeCommit()
 	}
 	s.mu.Unlock()
 	return err
 }
 
-func splitKey(key string) (proc string, seq int) {
-	for i := 0; i < len(key); i++ {
-		if key[i] == 0 {
-			proc = key[:i]
-			fmt.Sscanf(key[i+1:], "%d", &seq)
-			return proc, seq
-		}
-	}
-	return key, 0
-}
-
-func (s *Server) isCommitted(key string) bool {
+func (s *Server) isCommitted(key objKey) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.committed[key]
@@ -571,6 +584,8 @@ func (s *Server) sendStoreErr(conn net.Conn, err error) error {
 	code := codeInternal
 	if errors.Is(err, storage.ErrStaleSeq) {
 		code = codeStaleSeq
+	} else if errors.Is(err, storage.ErrBadProcName) {
+		code = codeBadProc
 	} else if errors.Is(err, errConflict) {
 		code = codeConflict
 	}

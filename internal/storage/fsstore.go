@@ -8,8 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
+	"time"
 )
 
 // FSStore is a file-backed checkpoint store: each checkpoint becomes one
@@ -40,6 +40,10 @@ type FSStore struct {
 	root   string
 	target Target
 	fsys   FS
+
+	// met is nil until SetMetrics instruments the store; every observation
+	// is nil-safe, so the uninstrumented hot path pays one branch.
+	met *fsMetrics
 
 	mu    sync.Mutex // guards procs only; never held across I/O
 	procs map[string]*procState
@@ -135,16 +139,12 @@ func (st *procState) unlock() { <-st.tok }
 // Target returns the store's bandwidth model.
 func (fs *FSStore) Target() Target { return fs.target }
 
+// procDir maps proc to its chain directory. Proc names are used verbatim —
+// every proc-addressed entry point validates with ValidateProcName first,
+// which is what keeps "../evil" or "a/b" from escaping the root or two
+// distinct names from colliding on one directory.
 func (fs *FSStore) procDir(proc string) string {
-	// Flatten path separators out of process names.
-	safe := strings.Map(func(r rune) rune {
-		switch r {
-		case '/', '\\', ':', 0:
-			return '_'
-		}
-		return r
-	}, proc)
-	return filepath.Join(fs.root, safe)
+	return filepath.Join(fs.root, proc)
 }
 
 func (fs *FSStore) manifestPath(proc string) string {
@@ -184,8 +184,9 @@ func (fs *FSStore) saveManifest(st *procState, proc string, m *manifest) error {
 
 func ckptFile(seq int) string { return fmt.Sprintf("ckpt-%08d.aic", seq) }
 
-// List returns the process names with chains in the store (as sanitized on
-// disk), sorted.
+// List returns the process names with chains in the store, sorted. Names
+// round-trip exactly: valid proc names are used as directory names
+// verbatim.
 func (fs *FSStore) List(ctx context.Context) ([]string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -214,43 +215,81 @@ func (fs *FSStore) Put(ctx context.Context, proc string, seq int, data []byte) e
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if err := ValidateProcName(proc); err != nil {
+		return err
+	}
+	var t0 time.Time
+	if fs.met != nil {
+		t0 = time.Now()
+	}
 	st := fs.state(proc)
 	req := &putReq{proc: proc, seq: seq, data: data, done: make(chan error, 1)}
 	st.mu.Lock()
 	st.queue = append(st.queue, req)
 	st.mu.Unlock()
+	if fs.met != nil {
+		fs.met.queueDepth.Inc()
+	}
+	err := fs.awaitCommit(ctx, st, proc, req)
+	if fs.met != nil {
+		fs.met.putDur.Observe(time.Since(t0).Seconds())
+	}
+	return err
+}
+
+// awaitCommit drives a queued request to its result: the caller either
+// hears its outcome from a commit leader, volunteers as the leader itself,
+// or cancels. Cancellation semantics are exact — a cancelled Put is
+// withdrawn iff no leader has claimed its request yet; once a leader holds
+// it the commit is in flight and its real outcome (possibly a durable
+// success) is what the caller hears. The explicit ctx.Err probe at the top
+// of each spin keeps an already-cancelled Put from volunteering as leader
+// through the select's random case choice and committing work its caller
+// revoked.
+func (fs *FSStore) awaitCommit(ctx context.Context, st *procState, proc string, req *putReq) error {
 	for {
+		select {
+		case err := <-req.done:
+			return err
+		default:
+		}
+		if ctx.Err() != nil {
+			return fs.withdraw(st, req, ctx.Err())
+		}
 		select {
 		case err := <-req.done:
 			return err
 		case st.tok <- struct{}{}:
 			// We are the leader: commit everything queued for this chain
-			// (including, in the common case, our own request) and re-check.
+			// (including, in the common case, our own request) and re-check
+			// at the top of the loop.
 			fs.drainAndCommit(st, proc)
 			<-st.tok
-			select {
-			case err := <-req.done:
-				return err
-			default:
-				// Another leader claimed the queue out from under us and
-				// has not signalled yet; wait for it on the next spin.
-			}
 		case <-ctx.Done():
-			// Withdraw if no leader has claimed the request yet; if one
-			// has, the commit is in flight and its outcome — possibly a
-			// durable success — is what the caller must hear.
-			st.mu.Lock()
-			for i, q := range st.queue {
-				if q == req {
-					st.queue = append(st.queue[:i], st.queue[i+1:]...)
-					st.mu.Unlock()
-					return ctx.Err()
-				}
-			}
-			st.mu.Unlock()
-			return <-req.done
+			return fs.withdraw(st, req, ctx.Err())
 		}
 	}
+}
+
+// withdraw resolves a cancelled Put: if req is still in the unclaimed
+// queue no leader owns it, so it is removed and the cancellation cause
+// returned; if a leader has already claimed it the commit's genuine result
+// is awaited. The queue scan and a leader's claim (drainAndCommit) both
+// hold st.mu, so exactly one of the two sides wins.
+func (fs *FSStore) withdraw(st *procState, req *putReq, cause error) error {
+	st.mu.Lock()
+	for i, q := range st.queue {
+		if q == req {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			st.mu.Unlock()
+			if fs.met != nil {
+				fs.met.queueDepth.Dec()
+			}
+			return cause
+		}
+	}
+	st.mu.Unlock()
+	return <-req.done
 }
 
 // drainAndCommit claims proc's queued requests and commits them as one
@@ -266,6 +305,10 @@ func (fs *FSStore) drainAndCommit(st *procState, proc string) {
 	st.mu.Unlock()
 	if len(batch) == 0 {
 		return
+	}
+	if fs.met != nil {
+		fs.met.queueDepth.Add(-float64(len(batch)))
+		fs.met.batchSize.Observe(float64(len(batch)))
 	}
 	sort.SliceStable(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
 	fs.commitProc(st, proc, batch)
@@ -312,6 +355,9 @@ func (fs *FSStore) commitProc(st *procState, proc string, reqs []*putReq) {
 		m.Seqs = append(m.Seqs, req.seq)
 		m.Sizes[ckptFile(req.seq)] = len(req.data)
 		staged = append(staged, req)
+		if fs.met != nil {
+			fs.met.stagedBytes.Add(float64(len(req.data)))
+		}
 	}
 	if len(staged) == 0 {
 		return
@@ -347,6 +393,9 @@ func (fs *FSStore) Get(ctx context.Context, proc string) (chain []Stored, missin
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	if err := ValidateProcName(proc); err != nil {
+		return nil, nil, err
+	}
 	m, err := fs.loadManifest(proc)
 	if err != nil {
 		return nil, nil, err
@@ -372,6 +421,9 @@ func (fs *FSStore) GetElem(ctx context.Context, proc string, seq int) ([]byte, b
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
+	if err := ValidateProcName(proc); err != nil {
+		return nil, false, err
+	}
 	m, err := fs.loadManifest(proc)
 	if err != nil {
 		return nil, false, err
@@ -391,6 +443,9 @@ func (fs *FSStore) GetElem(ctx context.Context, proc string, seq int) ([]byte, b
 
 // Truncate drops checkpoints older than fullSeq, deleting their files.
 func (fs *FSStore) Truncate(ctx context.Context, proc string, fullSeq int) error {
+	if err := ValidateProcName(proc); err != nil {
+		return err
+	}
 	st, err := fs.lockProc(ctx, proc)
 	if err != nil {
 		return err
@@ -418,6 +473,9 @@ func (fs *FSStore) Truncate(ctx context.Context, proc string, fullSeq int) error
 
 // Delete removes one process's chain and manifest.
 func (fs *FSStore) Delete(ctx context.Context, proc string) error {
+	if err := ValidateProcName(proc); err != nil {
+		return err
+	}
 	st, err := fs.lockProc(ctx, proc)
 	if err != nil {
 		return err
@@ -431,6 +489,9 @@ func (fs *FSStore) Delete(ctx context.Context, proc string) error {
 
 // Bytes returns the total stored bytes for proc (from the manifest).
 func (fs *FSStore) Bytes(proc string) (int64, error) {
+	if err := ValidateProcName(proc); err != nil {
+		return 0, err
+	}
 	m, err := fs.loadManifest(proc)
 	if err != nil {
 		return 0, err

@@ -3,8 +3,11 @@ package storage
 import (
 	"bytes"
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -26,16 +29,16 @@ func TestFSStoreValidation(t *testing.T) {
 func TestFSStorePutChainRoundTrip(t *testing.T) {
 	ctx := context.Background()
 	fs := newFS(t)
-	if err := fs.Put(ctx, "job/1", 0, []byte("full")); err != nil {
+	if err := fs.Put(ctx, "job-1", 0, []byte("full")); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Put(ctx, "job/1", 1, []byte("delta-one")); err != nil {
+	if err := fs.Put(ctx, "job-1", 1, []byte("delta-one")); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Put(ctx, "job/1", 1, []byte("dup")); err == nil {
+	if err := fs.Put(ctx, "job-1", 1, []byte("dup")); err == nil {
 		t.Fatal("non-monotonic seq accepted")
 	}
-	chain, missing, err := fs.Get(ctx, "job/1")
+	chain, missing, err := fs.Get(ctx, "job-1")
 	if err != nil || len(missing) != 0 {
 		t.Fatalf("Get: %v missing=%v", err, missing)
 	}
@@ -43,7 +46,7 @@ func TestFSStorePutChainRoundTrip(t *testing.T) {
 		!bytes.Equal(chain[1].Data, []byte("delta-one")) {
 		t.Fatalf("chain: %+v", chain)
 	}
-	n, err := fs.Bytes("job/1")
+	n, err := fs.Bytes("job-1")
 	if err != nil || n != int64(len("full")+len("delta-one")) {
 		t.Fatalf("bytes = %d, %v", n, err)
 	}
@@ -135,19 +138,97 @@ func TestFSStoreCorruptManifestDetected(t *testing.T) {
 	}
 }
 
-func TestFSStoreProcNameSanitized(t *testing.T) {
+// TestProcNameRejected is the regression suite for the proc-name boundary:
+// every form that could traverse, collide or corrupt a key is rejected
+// with ErrBadProcName on every proc-addressed operation, and nothing
+// touches the disk. Before validation existed, "../x" was lossily
+// sanitized — so "a/b" and "a_b" silently collided on one directory.
+func TestProcNameRejected(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		proc string
+	}{
+		{"empty", ""},
+		{"dot", "."},
+		{"dotdot", ".."},
+		{"traversal", "../evil"},
+		{"slash", "a/b"},
+		{"backslash", `a\b`},
+		{"nul", "a\x00b"},
+		{"leading slash", "/abs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateProcName(tc.proc); !errors.Is(err, ErrBadProcName) {
+				t.Fatalf("ValidateProcName(%q) = %v, want ErrBadProcName", tc.proc, err)
+			}
+			fs := newFS(t)
+			if err := fs.Put(ctx, tc.proc, 0, []byte{1}); !errors.Is(err, ErrBadProcName) {
+				t.Fatalf("Put(%q) = %v, want ErrBadProcName", tc.proc, err)
+			}
+			if _, _, err := fs.Get(ctx, tc.proc); !errors.Is(err, ErrBadProcName) {
+				t.Fatalf("Get(%q) = %v, want ErrBadProcName", tc.proc, err)
+			}
+			if _, _, err := fs.GetElem(ctx, tc.proc, 0); !errors.Is(err, ErrBadProcName) {
+				t.Fatalf("GetElem(%q) = %v, want ErrBadProcName", tc.proc, err)
+			}
+			if err := fs.Truncate(ctx, tc.proc, 0); !errors.Is(err, ErrBadProcName) {
+				t.Fatalf("Truncate(%q) = %v, want ErrBadProcName", tc.proc, err)
+			}
+			if err := fs.Delete(ctx, tc.proc); !errors.Is(err, ErrBadProcName) {
+				t.Fatalf("Delete(%q) = %v, want ErrBadProcName", tc.proc, err)
+			}
+			if _, err := fs.Scrub(ctx, tc.proc, true); !errors.Is(err, ErrBadProcName) {
+				t.Fatalf("Scrub(%q) = %v, want ErrBadProcName", tc.proc, err)
+			}
+			if _, err := fs.Bytes(tc.proc); !errors.Is(err, ErrBadProcName) {
+				t.Fatalf("Bytes(%q) = %v, want ErrBadProcName", tc.proc, err)
+			}
+			ls := NewLevelStore(Target{})
+			if err := ls.Put(ctx, tc.proc, 0, []byte{1}); !errors.Is(err, ErrBadProcName) {
+				t.Fatalf("LevelStore.Put(%q) = %v, want ErrBadProcName", tc.proc, err)
+			}
+			// The store root stayed empty: the rejected name never touched disk.
+			entries, err := os.ReadDir(fs.root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 0 {
+				t.Fatalf("rejected Put left %d entries in the root", len(entries))
+			}
+			if _, err := os.Stat(filepath.Join(fs.root, "..", "evil")); !os.IsNotExist(err) {
+				t.Fatal("path escaped the store root")
+			}
+		})
+	}
+}
+
+// TestProcNamesRoundTripVerbatim pins the fix's flip side: valid names —
+// including ones the old sanitizer would have rewritten into collisions —
+// map to distinct directories and List round-trips them exactly.
+func TestProcNamesRoundTripVerbatim(t *testing.T) {
 	ctx := context.Background()
 	fs := newFS(t)
-	if err := fs.Put(ctx, "../evil", 0, []byte{1}); err != nil {
+	names := []string{"a_b", "a:b", "job-1", "träger"}
+	for i, proc := range names {
+		if err := fs.Put(ctx, proc, 0, []byte{byte(i)}); err != nil {
+			t.Fatalf("Put(%q): %v", proc, err)
+		}
+	}
+	got, err := fs.List(ctx)
+	if err != nil {
 		t.Fatal(err)
 	}
-	// The chain is reachable under the sanitized name and nothing escaped
-	// the root.
-	chain := mustChain(t, fs, "../evil")
-	if len(chain) != 1 {
-		t.Fatalf("sanitized chain: %v", chain)
+	want := append([]string(nil), names...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List = %v, want %v", got, want)
 	}
-	if _, err := os.Stat(filepath.Join(fs.root, "..", "evil")); !os.IsNotExist(err) {
-		t.Fatal("path escaped the store root")
+	for i, proc := range names {
+		chain := mustChain(t, fs, proc)
+		if len(chain) != 1 || !bytes.Equal(chain[0].Data, []byte{byte(i)}) {
+			t.Fatalf("chain for %q: %+v", proc, chain)
+		}
 	}
 }

@@ -1,0 +1,33 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBadProcName reports a process name the Store contract rejects. Proc
+// names become path components (FSStore maps a chain to root/<proc>/) and
+// wire-protocol identifiers, so the boundary rejects anything that could
+// escape the store root, collide with another chain, or corrupt a key:
+// empty names, path separators, the directory references "." and "..",
+// and NUL bytes. Every Store implementation enforces this on its write
+// path, and FSStore on every proc-addressed operation — rejecting reads
+// too keeps "../x" from ever touching a path outside the root.
+var ErrBadProcName = errors.New("invalid process name")
+
+// ValidateProcName reports whether proc is acceptable to every Store
+// implementation; the error wraps ErrBadProcName (match with errors.Is).
+func ValidateProcName(proc string) error {
+	switch {
+	case proc == "":
+		return fmt.Errorf("storage: %w: empty name", ErrBadProcName)
+	case proc == "." || proc == "..":
+		return fmt.Errorf("storage: %w: %q is a directory reference", ErrBadProcName, proc)
+	case strings.ContainsAny(proc, `/\`):
+		return fmt.Errorf("storage: %w: %q contains a path separator", ErrBadProcName, proc)
+	case strings.ContainsRune(proc, 0):
+		return fmt.Errorf("storage: %w: name contains a NUL byte", ErrBadProcName)
+	}
+	return nil
+}

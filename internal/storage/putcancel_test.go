@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The gateFS from groupcommit_test.go blocks the first SyncDir until
+// released — exactly the hook needed to hold a commit leader mid-batch at
+// a deterministic point: after it has claimed the queue, before any
+// request's done fires.
+
+func waitQueueLen(t *testing.T, st *procState, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st.mu.Lock()
+		l := len(st.queue)
+		st.mu.Unlock()
+		if l == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue length never reached %d (at %d)", n, l)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPutCancelBeforeClaim pins the withdraw side of the cancellation
+// contract: a Put cancelled while its request is still queued — no leader
+// has claimed it — returns ctx.Err() immediately (without waiting for the
+// token holder) and leaves no trace in the store.
+func TestPutCancelBeforeClaim(t *testing.T) {
+	fs := newFS(t)
+	st := fs.state("p")
+
+	// Hold the commit token so the Put cannot volunteer as its own leader:
+	// its request stays claimable but unclaimed.
+	st.tok <- struct{}{}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- fs.Put(ctx, "p", 0, []byte("doomed")) }()
+	waitQueueLen(t, st, 1)
+
+	cancel()
+	// The withdraw must complete while the token is still held — it only
+	// needs st.mu, never the token.
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled unclaimed Put = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("withdrawn Put did not return while the leader token was held")
+	}
+	waitQueueLen(t, st, 0) // the request was removed, not abandoned
+
+	<-st.tok
+	// The withdrawn seq was never stored: a fresh Put at the same seq
+	// succeeds, which the strictly-increasing check would refuse had the
+	// cancelled one committed.
+	if err := fs.Put(context.Background(), "p", 0, []byte("fresh")); err != nil {
+		t.Fatalf("seq 0 was stored despite withdrawal: %v", err)
+	}
+}
+
+// TestPutCancelAfterClaim pins the other side: once a leader has claimed
+// the request, cancellation is too late — the commit is in flight and the
+// caller hears its real outcome (here a durable success), never ctx.Err().
+func TestPutCancelAfterClaim(t *testing.T) {
+	gate := &gateFS{FS: OSFS{}, entered: make(chan struct{}), release: make(chan struct{})}
+	fs, err := NewFSStoreFS(t.TempDir(), Target{}, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fs.state("p")
+
+	// Act as the commit leader ourselves: hold the token, then drain once
+	// the Put is queued.
+	st.tok <- struct{}{}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- fs.Put(ctx, "p", 0, []byte("committed")) }()
+	waitQueueLen(t, st, 1)
+
+	leaderDone := make(chan struct{})
+	go func() {
+		fs.drainAndCommit(st, "p")
+		close(leaderDone)
+	}()
+	<-gate.entered         // the leader claimed the batch and is mid-commit
+	waitQueueLen(t, st, 0) // claim happened: the queue is empty
+
+	// Cancel strictly after the claim, strictly before the outcome.
+	cancel()
+	select {
+	case err := <-errCh:
+		t.Fatalf("claimed Put returned %v before its commit resolved", err)
+	case <-time.After(50 * time.Millisecond):
+		// Still waiting on the commit — the contract in action.
+	}
+
+	close(gate.release)
+	<-leaderDone
+	<-st.tok
+	if err := <-errCh; err != nil {
+		t.Fatalf("claimed Put must report the commit's real outcome (nil), got %v", err)
+	}
+	// And the data really is durable under the cancelled caller's seq.
+	data, ok, err := fs.GetElem(context.Background(), "p", 0)
+	if err != nil || !ok || string(data) != "committed" {
+		t.Fatalf("committed element missing: %q ok=%v err=%v", data, ok, err)
+	}
+}

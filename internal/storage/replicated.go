@@ -19,6 +19,7 @@ import (
 type ReplicatedStore struct {
 	peers  []Store
 	quorum int
+	met    *replMetrics // nil unless SetMetrics instrumented the store
 }
 
 // NewReplicatedStore builds a quorum store over the peers. quorum ≤ 0
@@ -93,6 +94,7 @@ func (r *ReplicatedStore) fanOut(ctx context.Context, name string, op func(ctx c
 			failed = append(failed, err)
 		}
 	}
+	r.met.observeFanOut(name, acked, len(r.peers), r.quorum)
 	if acked >= r.quorum {
 		return nil
 	}

@@ -1,0 +1,43 @@
+package storage
+
+import (
+	"aic/internal/metrics"
+)
+
+// replMetrics is the quorum store's instrument set; nil (metrics not
+// enabled) makes every observation a no-op branch.
+type replMetrics struct {
+	fanouts      *metrics.CounterVec // aic_replicated_fanout_total{op}
+	quorumMisses *metrics.CounterVec // aic_replicated_quorum_miss_total{op}
+	partialAcks  *metrics.CounterVec // aic_replicated_partial_ack_total{op}
+}
+
+// SetMetrics instruments the quorum store against reg (DESIGN.md §14
+// documents the surface). Call before sharing the store across goroutines.
+func (r *ReplicatedStore) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	r.met = &replMetrics{
+		fanouts: reg.CounterVec("aic_replicated_fanout_total",
+			"Mutations fanned out to the peer group.", "op"),
+		quorumMisses: reg.CounterVec("aic_replicated_quorum_miss_total",
+			"Fan-outs acknowledged by fewer than quorum peers.", "op"),
+		partialAcks: reg.CounterVec("aic_replicated_partial_ack_total",
+			"Fan-outs that met quorum but lost at least one peer.", "op"),
+	}
+}
+
+// observeFanOut records one completed fan-out: how many peers acked out of
+// total, against the quorum threshold.
+func (m *replMetrics) observeFanOut(op string, acked, total, quorum int) {
+	if m == nil {
+		return
+	}
+	m.fanouts.With(op).Inc()
+	if acked < quorum {
+		m.quorumMisses.With(op).Inc()
+	} else if acked < total {
+		m.partialAcks.With(op).Inc()
+	}
+}

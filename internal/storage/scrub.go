@@ -106,6 +106,9 @@ func parseCkptName(name string) (int, bool) {
 // itself destroyed. Scrub never repairs chain-level damage (gaps, lost
 // anchors) — that is RestoreLatestGood's job.
 func (fs *FSStore) Scrub(ctx context.Context, proc string, repair bool) (*ScrubReport, error) {
+	if err := ValidateProcName(proc); err != nil {
+		return nil, err
+	}
 	st, err := fs.lockProc(ctx, proc)
 	if err != nil {
 		return nil, err

@@ -162,9 +162,14 @@ func NewLevelStore(target Target) *LevelStore {
 func (ls *LevelStore) Target() Target { return ls.target }
 
 // Put appends a checkpoint for proc. Checkpoints must arrive in ascending
-// sequence order.
+// sequence order. Proc names are validated even though a map key cannot
+// traverse anywhere: the in-memory store models the durable ones, and a
+// name the FSStore would reject must not silently work here.
 func (ls *LevelStore) Put(ctx context.Context, proc string, seq int, data []byte) error {
 	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := ValidateProcName(proc); err != nil {
 		return err
 	}
 	ls.mu.Lock()

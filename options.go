@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"aic/internal/ckpt"
+	"aic/internal/control"
+	"aic/internal/metrics"
 	"aic/internal/remote"
 	"aic/internal/storage"
 )
@@ -32,6 +34,12 @@ type StoreScrubReport = storage.ScrubReport
 // its replication quorum: the system keeps running in degraded local-only
 // mode, and the caller decides whether that redundancy loss is tolerable.
 var ErrDegraded = errors.New("aic: replication degraded to local-only")
+
+// ErrBadProcName reports a process name every Store rejects at its
+// boundary: empty, containing a path separator or NUL byte, or a "." /
+// ".." directory reference. Rejection happens before any I/O, locally and
+// across the replication wire alike; match with errors.Is.
+var ErrBadProcName = storage.ErrBadProcName
 
 // DegradedError carries the quorum failure behind an ErrDegraded result.
 type DegradedError struct {
@@ -82,6 +90,8 @@ type config struct {
 	parallelism int
 	store       Store
 	repl        *Replication
+	metrics     *metrics.Registry
+	adaptive    *control.Config
 }
 
 // WithParallelism sets the number of workers a Process's delta encoder fans
@@ -106,6 +116,25 @@ func WithReplication(r Replication) Option {
 	return func(c *config) { c.repl = &r }
 }
 
+// WithMetrics instruments the CheckpointDir and every layer beneath it —
+// the directory store's group commit and fsyncs, the replication clients,
+// the quorum fan-out — against reg. DESIGN.md §14 documents the metric
+// surface; serve reg.Handler() at /metrics for Prometheus scraping.
+func WithMetrics(reg *MetricsRegistry) Option {
+	return func(c *config) { c.metrics = reg }
+}
+
+// WithAdaptiveControl installs a saturation controller over the directory:
+// it watches fsync latency and group-commit queue depth and walks the shed
+// ladder (wider interval → serial encode → local-only) with hysteresis.
+// The CheckpointDir itself is the actuator — see IntervalScale,
+// EncodeParallelism and the Append fan-out gate. Implies WithMetrics (a
+// private registry is created when none was supplied); the controller is
+// returned by CheckpointDir.Controller and must be driven via Step or Run.
+func WithAdaptiveControl(cfg AdaptiveControlConfig) Option {
+	return func(c *config) { cc := cfg; c.adaptive = &cc }
+}
+
 func buildConfig(opts []Option) config {
 	var c config
 	for _, opt := range opts {
@@ -127,8 +156,19 @@ func OpenCheckpointDir(dir string, opts ...Option) (*CheckpointDir, error) {
 		}
 		local = fs
 	}
+	if c.adaptive != nil && c.metrics == nil {
+		c.metrics = metrics.NewRegistry()
+	}
 	d := &CheckpointDir{local: local}
+	if c.metrics != nil {
+		if fs, ok := local.(*storage.FSStore); ok {
+			fs.SetMetrics(c.metrics)
+		}
+		d.reg = c.metrics
+		d.met = newDirMetrics(c.metrics)
+	}
 	if c.repl == nil {
+		finishAdaptive(d, c)
 		return d, nil
 	}
 	var (
@@ -145,6 +185,7 @@ func OpenCheckpointDir(dir string, opts ...Option) (*CheckpointDir, error) {
 			OpTimeout:   c.repl.OpTimeout,
 			Retries:     c.repl.Retries,
 			JitterSeed:  jitter,
+			Metrics:     c.metrics,
 		})
 		remotes = append(remotes, rs)
 		peers = append(peers, rs)
@@ -159,6 +200,7 @@ func OpenCheckpointDir(dir string, opts ...Option) (*CheckpointDir, error) {
 		}
 		return nil, fmt.Errorf("aic: replication: %w", err)
 	}
+	group.SetMetrics(c.metrics)
 	d.peers = group
 	d.closer = func() error {
 		var first error
@@ -169,7 +211,18 @@ func OpenCheckpointDir(dir string, opts ...Option) (*CheckpointDir, error) {
 		}
 		return first
 	}
+	finishAdaptive(d, c)
 	return d, nil
+}
+
+// finishAdaptive installs the saturation controller once the directory is
+// fully assembled (the CheckpointDir is the controller's actuator, so its
+// peers/metrics wiring must be complete first).
+func finishAdaptive(d *CheckpointDir, c config) {
+	if c.adaptive == nil {
+		return
+	}
+	d.ctrl = control.New(*c.adaptive, control.NewRegistryCollector(c.metrics), d, c.metrics)
 }
 
 // applyProcessOptions wires constructor options into a Process.
