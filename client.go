@@ -1,0 +1,731 @@
+package aic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aic/internal/ckpt"
+	"aic/internal/recovery"
+	"aic/internal/remote"
+	"aic/internal/ring"
+	"aic/internal/storage"
+)
+
+// ErrNoQuorum reports a checkpoint write that could not reach its write
+// quorum: fewer than the required number of replica peers acknowledged the
+// element, so it is NOT committed. Match with errors.Is.
+var ErrNoQuorum = errors.New("aic: write quorum not reached")
+
+// ClientConfig configures a ring-aware multi-tenant checkpoint client —
+// the service-shaped successor to OpenCheckpointDir. The client places
+// every (tenant, proc) chain on a consistent-hash ring of aicd peers,
+// fans each checkpoint out to the chain's replica set, and stripes large
+// checkpoints across distinct peers stdchk-style.
+type ClientConfig struct {
+	// Peers are aicd replication-server addresses (host:port) joined to
+	// the placement ring under their address as the ring name.
+	Peers []string
+	// Stores adds pre-built stores to the ring under explicit names —
+	// in-process stores in tests, or custom transports. Names must not
+	// collide with Peers addresses.
+	Stores map[string]Store
+	// Replicas is the replica-set size for every chain (default 2,
+	// clamped to the ring size).
+	Replicas int
+	// Vnodes is the virtual-node count per peer on the placement ring
+	// (default 128); more vnodes smooth the load split.
+	Vnodes int
+	// WriteQuorum is how many replica peers must acknowledge an element
+	// before Checkpoint reports it committed; 0 selects a majority of
+	// Replicas. Quorum met with some peers failed returns a DegradedError.
+	WriteQuorum int
+	// StripeThreshold stripes checkpoints larger than this many bytes
+	// across StripeCount peers (0 disables striping).
+	StripeThreshold int
+	// StripeCount is how many stripes a large checkpoint splits into
+	// (default = Replicas, minimum 2).
+	StripeCount int
+	// DialTimeout, OpTimeout and Retries tune each peer client's
+	// robustness envelope; zero values select the remote-package defaults.
+	DialTimeout time.Duration
+	OpTimeout   time.Duration
+	Retries     int
+	// JitterSeed pins the per-peer backoff-jitter RNG (peer i is seeded
+	// JitterSeed+i); 0 keeps wall-clock seeding.
+	JitterSeed int64
+	// Metrics instruments the peer clients and the rebalancer against
+	// this registry.
+	Metrics *MetricsRegistry
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.StripeCount <= 0 {
+		c.StripeCount = c.Replicas
+	}
+	if c.StripeCount < 2 {
+		c.StripeCount = 2
+	}
+	return c
+}
+
+// Client is a handle on the sharded checkpoint service. It is safe for
+// concurrent use; ring membership changes (AddPeer, RemovePeer, Rebalance)
+// serialize against in-flight operations only for the ring lookup itself.
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.RWMutex
+	ring    *ring.Ring
+	settled *ring.Ring // membership as of the last completed rebalance
+	stores  map[string]storage.Store
+	remotes map[string]*remote.RemoteStore
+	rebal   *ring.Rebalancer
+	closed  bool
+}
+
+// NewClient connects a ring-aware client to the given peer set. At least
+// one peer (or named store) is required; no connection is made until the
+// first operation.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		cfg:     cfg,
+		stores:  make(map[string]storage.Store),
+		remotes: make(map[string]*remote.RemoteStore),
+	}
+	var names []string
+	for i, addr := range cfg.Peers {
+		if _, dup := c.stores[addr]; dup {
+			return nil, fmt.Errorf("aic: duplicate ring peer %q", addr)
+		}
+		jitter := cfg.JitterSeed
+		if jitter != 0 {
+			jitter += int64(i)
+		}
+		rs := remote.NewStore(addr, remote.Config{
+			DialTimeout: cfg.DialTimeout,
+			OpTimeout:   cfg.OpTimeout,
+			Retries:     cfg.Retries,
+			JitterSeed:  jitter,
+			Metrics:     cfg.Metrics,
+		})
+		c.remotes[addr] = rs
+		c.stores[addr] = rs
+		names = append(names, addr)
+	}
+	for name, st := range cfg.Stores {
+		if _, dup := c.stores[name]; dup {
+			for _, rs := range c.remotes {
+				rs.Close()
+			}
+			return nil, fmt.Errorf("aic: ring name %q used by both a peer and a store", name)
+		}
+		c.stores[name] = st
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("aic: a ring needs at least one peer or store")
+	}
+	c.ring = ring.New(names, cfg.Vnodes)
+	c.settled = c.ring
+	c.rebal = &ring.Rebalancer{Replicas: cfg.Replicas, Store: c.lookupStore}
+	c.rebal.SetMetrics(cfg.Metrics)
+	return c, nil
+}
+
+// lookupStore resolves a ring peer name to its store (nil = unreachable),
+// the hook the rebalancer moves chains through.
+func (c *Client) lookupStore(peer string) storage.Store {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stores[peer]
+}
+
+// Peers returns the current ring membership, sorted.
+func (c *Client) Peers() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Peers()
+}
+
+// AddPeer joins an aicd peer to the placement ring. New chains place onto
+// it immediately; existing chains move only when Rebalance runs.
+func (c *Client) AddPeer(addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.stores[addr]; dup {
+		return fmt.Errorf("aic: ring already contains %q", addr)
+	}
+	rs := remote.NewStore(addr, remote.Config{
+		DialTimeout: c.cfg.DialTimeout,
+		OpTimeout:   c.cfg.OpTimeout,
+		Retries:     c.cfg.Retries,
+		Metrics:     c.cfg.Metrics,
+	})
+	c.remotes[addr] = rs
+	c.stores[addr] = rs
+	c.ring = c.ring.Add(addr)
+	return nil
+}
+
+// AddStore joins a pre-built store to the ring under name (tests, custom
+// transports).
+func (c *Client) AddStore(name string, st Store) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.stores[name]; dup {
+		return fmt.Errorf("aic: ring already contains %q", name)
+	}
+	c.stores[name] = st
+	c.ring = c.ring.Add(name)
+	return nil
+}
+
+// RemovePeer removes a peer from the placement ring. Its chains remain
+// readable on the surviving replicas immediately; run Rebalance to restore
+// full replication on the new membership before dropping the peer's data.
+func (c *Client) RemovePeer(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	found := false
+	for _, p := range c.ring.Peers() {
+		if p == name {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("aic: ring does not contain %q", name)
+	}
+	c.ring = c.ring.Remove(name)
+	if rs, ok := c.remotes[name]; ok {
+		rs.Close()
+		delete(c.remotes, name)
+	}
+	delete(c.stores, name)
+	return nil
+}
+
+// RebalanceReport summarizes one Rebalance round.
+type RebalanceReport struct {
+	Keys        int      // chains discovered across the ring
+	Moves       int      // chains whose replica set changed
+	Released    int      // replica copies deleted from losing peers
+	CopiedBytes int64    // bytes copied to gaining peers
+	Deferred    []string // chains left over-replicated for the next round
+}
+
+// Rebalance migrates chains from the membership of the last completed
+// rebalance to the current one: copy to gaining peers, verify the whole
+// new replica set byte-identical, then release losing peers. A chain that
+// cannot complete safely is deferred — left over-replicated, never
+// under-replicated — and retried by the next round. No committed
+// (tenant, proc, seq) is ever dropped.
+func (c *Client) Rebalance(ctx context.Context) (*RebalanceReport, error) {
+	c.mu.RLock()
+	old, next := c.settled, c.ring
+	c.mu.RUnlock()
+	rep, err := c.rebal.Rebalance(ctx, old, next)
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.Deferred) == 0 {
+		c.mu.Lock()
+		// Only settle onto next if membership did not change again mid-round.
+		if c.ring == next {
+			c.settled = next
+		}
+		c.mu.Unlock()
+	}
+	return &RebalanceReport{
+		Keys:        rep.Keys,
+		Moves:       rep.Moves,
+		Released:    rep.Released,
+		CopiedBytes: rep.CopiedBytes,
+		Deferred:    rep.Deferred,
+	}, nil
+}
+
+// Close releases every peer connection. Further operations fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	var first error
+	for _, rs := range c.remotes {
+		if err := rs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Namespace returns the tenant's view of the service. An invalid tenant
+// name is reported by the first operation on the handle (the chained
+// client.Namespace(t).Checkpoint(...) form stays ergonomic).
+func (c *Client) Namespace(tenant string) *Namespace {
+	ns := &Namespace{c: c, tenant: tenant}
+	ns.err = storage.ValidateTenantName(tenant)
+	return ns
+}
+
+// Namespace is a tenant-scoped handle on the sharded checkpoint service.
+// All operations address chains by the user-facing proc name; tenancy,
+// placement and striping are invisible to the caller.
+type Namespace struct {
+	c      *Client
+	tenant string
+	err    error // deferred ValidateTenantName result
+}
+
+// Tenant returns the namespace this handle is scoped to.
+func (ns *Namespace) Tenant() string { return ns.tenant }
+
+// key validates proc and composes the tenant-qualified flat key.
+func (ns *Namespace) key(proc string) (string, error) {
+	if ns.err != nil {
+		return "", ns.err
+	}
+	if err := storage.ValidateUserProcName(proc); err != nil {
+		return "", err
+	}
+	return storage.Qualify(ns.tenant, proc), nil
+}
+
+// placement snapshots the ring view an operation runs against.
+func (c *Client) placement(key string) ([]string, map[string]storage.Store, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, nil, fmt.Errorf("aic: client is closed")
+	}
+	peers := c.ring.Place(key, c.cfg.Replicas)
+	stores := make(map[string]storage.Store, len(peers))
+	for _, p := range peers {
+		stores[p] = c.stores[p]
+	}
+	return peers, stores, nil
+}
+
+// quorum returns the ack count a write needs.
+func (c *Client) quorum(replicas int) int {
+	q := c.cfg.WriteQuorum
+	if q <= 0 {
+		q = replicas/2 + 1
+	}
+	if q > replicas {
+		q = replicas
+	}
+	return q
+}
+
+// putElement fans one chain element out to key's replica set, requiring
+// the write quorum. Quorum met with stragglers failed is a DegradedError;
+// quorum missed wraps ErrNoQuorum (the element is not committed).
+func (c *Client) putElement(ctx context.Context, key string, seq int, data []byte) error {
+	peers, stores, err := c.placement(key)
+	if err != nil {
+		return err
+	}
+	var (
+		acks    int
+		lastErr error
+	)
+	for _, p := range peers {
+		st := stores[p]
+		if st == nil {
+			lastErr = fmt.Errorf("aic: no store for ring peer %q", p)
+			continue
+		}
+		if err := st.Put(ctx, key, seq, data); err != nil {
+			// An already-stored duplicate (retry, or rebalance raced us)
+			// counts as an ack: the bytes are on the peer.
+			if errors.Is(err, storage.ErrStaleSeq) {
+				acks++
+				continue
+			}
+			lastErr = err
+			continue
+		}
+		acks++
+	}
+	if q := c.quorum(len(peers)); acks < q {
+		if lastErr != nil {
+			// Wrap the peer failure too, so terminal causes stay matchable:
+			// a quota rejection is errors.Is ErrQuotaExceeded through here.
+			return fmt.Errorf("%w: %d of %d acks (need %d) for %s seq %d: %w",
+				ErrNoQuorum, acks, len(peers), q, key, seq, lastErr)
+		}
+		return fmt.Errorf("%w: %d of %d acks (need %d) for %s seq %d",
+			ErrNoQuorum, acks, len(peers), q, key, seq)
+	}
+	if lastErr != nil {
+		return &DegradedError{Op: "checkpoint", Err: lastErr}
+	}
+	return nil
+}
+
+// Checkpoint stores an encoded checkpoint under the tenant's proc chain,
+// fanned out to the chain's replica set on the ring. Checkpoints larger
+// than the stripe threshold are split across distinct peers and committed
+// by a manifest written after every stripe holds quorum — a restorable
+// manifest therefore implies restorable stripes. Like
+// CheckpointDir.Append, a label that disagrees with the frame's own
+// sequence number is rejected. Quota rejections surface as
+// ErrQuotaExceeded (match with errors.Is).
+func (ns *Namespace) Checkpoint(ctx context.Context, proc string, seq int, encoded []byte) error {
+	key, err := ns.key(proc)
+	if err != nil {
+		return err
+	}
+	if emb, err := ckpt.PeekSeq(encoded); err == nil && emb != seq {
+		return fmt.Errorf("aic: checkpoint %s: label seq %d but the frame itself is seq %d", proc, seq, emb)
+	}
+	thr := ns.c.cfg.StripeThreshold
+	if thr <= 0 || len(encoded) <= thr {
+		return ns.c.putElement(ctx, key, seq, encoded)
+	}
+	manifest, parts, err := ckpt.SplitStripes(seq, encoded, ns.c.cfg.StripeCount)
+	if err != nil {
+		return err
+	}
+	var degraded error
+	for i, part := range parts {
+		label := storage.StripeLabel(i, len(parts))
+		err := ns.c.putElement(ctx, key+storage.StripeSep+label, seq, part)
+		if err != nil {
+			var de *DegradedError
+			if errors.As(err, &de) {
+				degraded = err
+				continue
+			}
+			return fmt.Errorf("aic: stripe %s of %s: %w", label, proc, err)
+		}
+	}
+	if err := ns.c.putElement(ctx, key, seq, manifest); err != nil {
+		return err
+	}
+	return degraded
+}
+
+// Chain returns the proc's chain in sequence order, ready for
+// RestoreImage, reading each element from the first replica that holds it
+// intact and reassembling striped checkpoints transparently. It fails when
+// elements are unreadable on every replica; use Restore to salvage.
+func (ns *Namespace) Chain(ctx context.Context, proc string) ([][]byte, error) {
+	key, err := ns.key(proc)
+	if err != nil {
+		return nil, err
+	}
+	stored, damaged, err := ns.c.bestChain(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	if len(damaged) > 0 {
+		return nil, fmt.Errorf("aic: chain for %s is damaged: seqs %v unreadable", proc, damaged)
+	}
+	out := make([][]byte, len(stored))
+	for i, s := range stored {
+		out[i] = s.Data
+	}
+	return out, nil
+}
+
+// Restore restores proc from the best surviving replica set: every
+// replica's readable chain is reassembled (striped elements fetched from
+// their own replica sets) and replayed with the last-good-prefix rules,
+// and the prefix reaching the highest sequence wins. This is the disaster
+// path — it succeeds as long as any replica still holds a restorable
+// prefix of every needed element.
+func (ns *Namespace) Restore(ctx context.Context, proc string) (*Image, *RestoreReport, error) {
+	key, err := ns.key(proc)
+	if err != nil {
+		return nil, nil, err
+	}
+	stored, damaged, err := ns.c.bestChain(ctx, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(stored) == 0 {
+		return nil, nil, fmt.Errorf("aic: no readable checkpoints for %s", proc)
+	}
+	as, rep, err := recovery.RestoreLatestGood(stored)
+	if err != nil {
+		return nil, nil, fmt.Errorf("aic: %w", err)
+	}
+	out := goodReportToRestore(rep)
+	out.Discarded = append(out.Discarded, damaged...)
+	sort.Ints(out.Discarded)
+	return &Image{as: as}, out, nil
+}
+
+// bestChain assembles the most complete per-seq view of key's chain across
+// its replica set: for every sequence number any replica holds, the first
+// intact copy wins, and striped elements are reassembled from their stripe
+// chains. damaged lists seqs seen somewhere but readable nowhere.
+func (c *Client) bestChain(ctx context.Context, key string) (chain []storage.Stored, damaged []int, err error) {
+	peers, stores, err := c.placement(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	elems := make(map[int][]byte)
+	seen := make(map[int]bool)
+	reachable := 0
+	for _, p := range peers {
+		st := stores[p]
+		if st == nil {
+			continue
+		}
+		stored, missing, err := st.Get(ctx, key)
+		if err != nil {
+			continue
+		}
+		reachable++
+		for _, m := range missing {
+			seen[m] = true
+		}
+		for _, el := range stored {
+			seen[el.Seq] = true
+			if _, have := elems[el.Seq]; have {
+				continue
+			}
+			data, ok := c.materialize(ctx, key, el)
+			if ok {
+				elems[el.Seq] = data
+			}
+		}
+	}
+	if reachable == 0 {
+		return nil, nil, fmt.Errorf("aic: no replica of %s reachable", key)
+	}
+	seqs := make([]int, 0, len(elems))
+	for seq := range elems {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		chain = append(chain, storage.Stored{Seq: seq, Data: elems[seq]})
+	}
+	for seq := range seen {
+		if _, have := elems[seq]; !have {
+			damaged = append(damaged, seq)
+		}
+	}
+	sort.Ints(damaged)
+	return chain, damaged, nil
+}
+
+// materialize turns one stored element into restorable checkpoint bytes:
+// plain elements pass through, stripe manifests trigger reassembly from
+// the stripe chains (each fetched from its own replica set).
+func (c *Client) materialize(ctx context.Context, key string, el storage.Stored) ([]byte, bool) {
+	if !ckpt.IsStripe(el.Data) {
+		return el.Data, true
+	}
+	man, err := ckpt.DecodeStripe(el.Data)
+	if err != nil || !man.Manifest {
+		// A bare stripe part at the base key is junk; a broken manifest is
+		// unreadable. Either way the element cannot restore.
+		return nil, false
+	}
+	parts := make([]*ckpt.StripeFrame, 0, man.Count)
+	for i := 0; i < man.Count; i++ {
+		sf, ok := c.fetchStripe(ctx, key, man, i)
+		if !ok {
+			return nil, false
+		}
+		parts = append(parts, sf)
+	}
+	obj, err := ckpt.ReassembleStripes(man, parts)
+	if err != nil {
+		return nil, false
+	}
+	return obj, true
+}
+
+// fetchStripe reads stripe i of the manifest's object from the first
+// replica of the stripe chain that holds it intact.
+func (c *Client) fetchStripe(ctx context.Context, key string, man *ckpt.StripeFrame, i int) (*ckpt.StripeFrame, bool) {
+	stripeKey := key + storage.StripeSep + storage.StripeLabel(i, man.Count)
+	peers, stores, err := c.placement(stripeKey)
+	if err != nil {
+		return nil, false
+	}
+	for _, p := range peers {
+		st := stores[p]
+		if st == nil {
+			continue
+		}
+		stored, _, err := st.Get(ctx, stripeKey)
+		if err != nil {
+			continue
+		}
+		for _, el := range stored {
+			if el.Seq != man.Seq {
+				continue
+			}
+			sf, err := ckpt.DecodeStripe(el.Data)
+			if err == nil && !sf.Manifest && sf.Index == i {
+				return sf, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// forEachHolding visits every (peer, chainKey) pair across the whole ring
+// whose chain belongs to the proc key — the base chain and any stripe
+// chains — by listing each peer. Ring placement is deliberately not
+// consulted: mid-churn, a chain can sit on peers its current placement no
+// longer names, and maintenance must find it there too.
+func (c *Client) forEachHolding(ctx context.Context, key string, visit func(st storage.Store, chainKey string) error) error {
+	c.mu.RLock()
+	stores := make(map[string]storage.Store, len(c.stores))
+	for name, st := range c.stores {
+		stores[name] = st
+	}
+	closed := c.closed
+	c.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("aic: client is closed")
+	}
+	var lastErr error
+	for _, st := range stores {
+		if st == nil {
+			continue
+		}
+		names, err := st.List(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		for _, name := range names {
+			if name != key && !strings.HasPrefix(name, key+storage.StripeSep) {
+				continue
+			}
+			if err := visit(st, name); err != nil {
+				lastErr = err
+			}
+		}
+	}
+	return lastErr
+}
+
+// Truncate drops checkpoints before fullSeq on every replica, stripe
+// chains included (housekeeping after a periodic full checkpoint).
+func (ns *Namespace) Truncate(ctx context.Context, proc string, fullSeq int) error {
+	key, err := ns.key(proc)
+	if err != nil {
+		return err
+	}
+	return ns.c.forEachHolding(ctx, key, func(st storage.Store, chainKey string) error {
+		return st.Truncate(ctx, chainKey, fullSeq)
+	})
+}
+
+// Remove deletes the proc's chain — and its stripe chains — from every
+// peer holding any of it.
+func (ns *Namespace) Remove(ctx context.Context, proc string) error {
+	key, err := ns.key(proc)
+	if err != nil {
+		return err
+	}
+	return ns.c.forEachHolding(ctx, key, func(st storage.Store, chainKey string) error {
+		return st.Delete(ctx, chainKey)
+	})
+}
+
+// Procs lists the tenant's proc names with chains anywhere on the ring
+// (stripe chains are library bookkeeping and stay hidden), sorted.
+func (ns *Namespace) Procs(ctx context.Context) ([]string, error) {
+	if ns.err != nil {
+		return nil, ns.err
+	}
+	c := ns.c
+	c.mu.RLock()
+	stores := make([]storage.Store, 0, len(c.stores))
+	for _, st := range c.stores {
+		stores = append(stores, st)
+	}
+	closed := c.closed
+	c.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("aic: client is closed")
+	}
+	set := make(map[string]bool)
+	reachable := 0
+	for _, st := range stores {
+		if st == nil {
+			continue
+		}
+		names, err := st.List(ctx)
+		if err != nil {
+			continue
+		}
+		reachable++
+		for _, name := range names {
+			tenant, proc, stripe := storage.ParseKey(name)
+			if tenant == ns.tenant && stripe == "" {
+				set[proc] = true
+			}
+		}
+	}
+	if reachable == 0 && len(stores) > 0 {
+		return nil, fmt.Errorf("aic: no ring peer reachable")
+	}
+	procs := make([]string, 0, len(set))
+	for p := range set {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	return procs, nil
+}
+
+// Scrub runs an integrity scrub of the proc's chain on every replica peer
+// currently placed for it, returning one report per peer. With repair set
+// each peer restores its own manifest/directory agreement.
+func (ns *Namespace) Scrub(ctx context.Context, proc string, repair bool) (map[string]*ScrubReport, error) {
+	key, err := ns.key(proc)
+	if err != nil {
+		return nil, err
+	}
+	peers, stores, err := ns.c.placement(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*ScrubReport)
+	var lastErr error
+	for _, p := range peers {
+		st := stores[p]
+		if st == nil {
+			continue
+		}
+		rep, err := st.Scrub(ctx, key, repair)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out[p] = &ScrubReport{
+			Proc:            proc,
+			ManifestRebuilt: rep.ManifestRebuilt,
+			Missing:         rep.Missing,
+			Corrupt:         rep.Corrupt,
+			Orphaned:        rep.Orphaned,
+			Adopted:         rep.Adopted,
+			SizeFixed:       rep.SizeFixed,
+			StrayRemoved:    rep.StrayRemoved,
+			Repaired:        rep.Repaired,
+		}
+	}
+	if len(out) == 0 && lastErr != nil {
+		return nil, lastErr
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+package aic
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aic/internal/storage"
+)
+
+// ringStores builds n named in-process stores for a test ring.
+func ringStores(n int) map[string]Store {
+	out := make(map[string]Store, n)
+	for i := 0; i < n; i++ {
+		name := string(rune('a'+i)) + "-peer"
+		out[name] = storage.NewLevelStore(storage.Target{Name: name})
+	}
+	return out
+}
+
+func newTestClient(t *testing.T, cfg ClientConfig) *Client {
+	t.Helper()
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientNamespaceIsolation(t *testing.T) {
+	ctx := context.Background()
+	c := newTestClient(t, ClientConfig{Stores: ringStores(3), Replicas: 2})
+	p, chain := buildProcessChain(t)
+
+	for _, tenant := range []string{"acme", "globex"} {
+		ns := c.Namespace(tenant)
+		for seq, enc := range chain {
+			if err := ns.Checkpoint(ctx, "web", seq, enc); err != nil {
+				t.Fatalf("%s checkpoint %d: %v", tenant, seq, err)
+			}
+		}
+	}
+	// Same proc name, isolated chains: each tenant restores its own.
+	for _, tenant := range []string{"acme", "globex"} {
+		im, rep, err := c.Namespace(tenant).Restore(ctx, "web")
+		if err != nil {
+			t.Fatalf("%s restore: %v", tenant, err)
+		}
+		if !im.Matches(p) {
+			t.Fatalf("%s restored image differs", tenant)
+		}
+		if rep.LastSeq != len(chain)-1 {
+			t.Fatalf("%s restored through seq %d, want %d", tenant, rep.LastSeq, len(chain)-1)
+		}
+	}
+	// Removing one tenant's chain leaves the other's intact.
+	if err := c.Namespace("acme").Remove(ctx, "web"); err != nil {
+		t.Fatal(err)
+	}
+	if procs, _ := c.Namespace("acme").Procs(ctx); len(procs) != 0 {
+		t.Fatalf("acme still lists %v", procs)
+	}
+	if procs, _ := c.Namespace("globex").Procs(ctx); len(procs) != 1 || procs[0] != "web" {
+		t.Fatalf("globex lists %v", procs)
+	}
+}
+
+func TestClientRejectsReservedNames(t *testing.T) {
+	ctx := context.Background()
+	c := newTestClient(t, ClientConfig{Stores: ringStores(2), Replicas: 1})
+	for _, proc := range []string{"a@b", "a#s0of2", ""} {
+		err := c.Namespace("acme").Checkpoint(ctx, proc, 0, []byte("x"))
+		if !errors.Is(err, ErrBadProcName) {
+			t.Fatalf("proc %q: %v, want ErrBadProcName", proc, err)
+		}
+	}
+	if err := c.Namespace("bad tenant").Checkpoint(ctx, "web", 0, []byte("x")); !errors.Is(err, ErrBadProcName) {
+		t.Fatalf("bad tenant: %v, want ErrBadProcName", err)
+	}
+}
+
+func TestClientStripedCheckpointRestore(t *testing.T) {
+	ctx := context.Background()
+	stores := ringStores(4)
+	c := newTestClient(t, ClientConfig{
+		Stores: stores, Replicas: 2,
+		StripeThreshold: 64, StripeCount: 3,
+	})
+	p, chain := buildProcessChain(t)
+	ns := c.Namespace("acme")
+	for seq, enc := range chain {
+		if err := ns.Checkpoint(ctx, "big", seq, enc); err != nil {
+			t.Fatalf("checkpoint %d: %v", seq, err)
+		}
+	}
+	// The full checkpoint exceeded the threshold, so stripe chains exist on
+	// the flat stores while the namespace hides them.
+	stripes := 0
+	for _, st := range stores {
+		names, err := st.(*storage.LevelStore).List(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			if _, _, stripe := storage.ParseKey(name); stripe != "" {
+				stripes++
+			}
+		}
+	}
+	if stripes == 0 {
+		t.Fatal("no stripe chains were written")
+	}
+	if procs, err := ns.Procs(ctx); err != nil || len(procs) != 1 || procs[0] != "big" {
+		t.Fatalf("Procs = (%v, %v), want [big]", procs, err)
+	}
+	// Chain reassembles transparently; restore is byte-identical.
+	raw, err := ns.Chain(ctx, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != len(chain) {
+		t.Fatalf("chain length %d, want %d", len(raw), len(chain))
+	}
+	for i := range raw {
+		if string(raw[i]) != string(chain[i]) {
+			t.Fatalf("chain element %d differs after reassembly", i)
+		}
+	}
+	im, _, err := ns.Restore(ctx, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Matches(p) {
+		t.Fatal("restored image differs")
+	}
+	// Truncate and Remove reach the stripe chains too.
+	if err := ns.Remove(ctx, "big"); err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range stores {
+		names, _ := st.(*storage.LevelStore).List(ctx)
+		if len(names) != 0 {
+			t.Fatalf("peer %s still holds %v after Remove", name, names)
+		}
+	}
+}
+
+func TestClientRestoreSurvivesPeerLoss(t *testing.T) {
+	ctx := context.Background()
+	stores := ringStores(3)
+	c := newTestClient(t, ClientConfig{Stores: stores, Replicas: 2})
+	p, chain := buildProcessChain(t)
+	ns := c.Namespace("acme")
+	for seq, enc := range chain {
+		if err := ns.Checkpoint(ctx, "web", seq, enc); err != nil {
+			t.Fatalf("checkpoint %d: %v", seq, err)
+		}
+	}
+	// Kill the chain's primary: with Replicas=2 the surviving replica still
+	// restores the full chain.
+	peers, _, err := c.placement(storage.Qualify("acme", "web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemovePeer(peers[0]); err != nil {
+		t.Fatal(err)
+	}
+	im, rep, err := ns.Restore(ctx, "web")
+	if err != nil {
+		t.Fatalf("restore after peer loss: %v", err)
+	}
+	if !im.Matches(p) || rep.LastSeq != len(chain)-1 {
+		t.Fatalf("degraded restore incomplete: lastSeq %d", rep.LastSeq)
+	}
+}
+
+func TestClientRebalanceAfterJoin(t *testing.T) {
+	ctx := context.Background()
+	stores := ringStores(3)
+	reg := NewMetricsRegistry()
+	c := newTestClient(t, ClientConfig{Stores: stores, Replicas: 2, Metrics: reg})
+	_, chain := buildProcessChain(t)
+	for _, tenant := range []string{"acme", "globex"} {
+		ns := c.Namespace(tenant)
+		for i := 0; i < 8; i++ {
+			proc := "proc" + string(rune('0'+i))
+			for seq, enc := range chain {
+				if err := ns.Checkpoint(ctx, proc, seq, enc); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	joiner := storage.NewLevelStore(storage.Target{Name: "joiner"})
+	if err := c.AddStore("z-joiner", joiner); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Rebalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deferred) != 0 {
+		t.Fatalf("deferred: %v", rep.Deferred)
+	}
+	if rep.Moves == 0 {
+		t.Fatal("join moved no chains")
+	}
+	if v, ok := reg.Value("aic_ring_rebalance_total"); !ok || v != 1 {
+		t.Fatalf("aic_ring_rebalance_total = (%v, %v)", v, ok)
+	}
+	// Every chain restores byte-identically on the new membership, and every
+	// current replica holds its full chain.
+	for _, tenant := range []string{"acme", "globex"} {
+		ns := c.Namespace(tenant)
+		for i := 0; i < 8; i++ {
+			proc := "proc" + string(rune('0'+i))
+			raw, err := ns.Chain(ctx, proc)
+			if err != nil {
+				t.Fatalf("%s/%s after rebalance: %v", tenant, proc, err)
+			}
+			for j := range raw {
+				if string(raw[j]) != string(chain[j]) {
+					t.Fatalf("%s/%s element %d differs after rebalance", tenant, proc, j)
+				}
+			}
+		}
+	}
+	// A second round over settled membership is a no-op.
+	rep2, err := c.Rebalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Moves != 0 {
+		t.Fatalf("settled ring still moved %d chains", rep2.Moves)
+	}
+}
+
+func TestClientQuorumFailure(t *testing.T) {
+	ctx := context.Background()
+	// Single unreachable peer: no element can reach quorum.
+	c := newTestClient(t, ClientConfig{
+		Stores: map[string]Store{"dark": brokenStore{}}, Replicas: 1,
+	})
+	err := c.Namespace("acme").Checkpoint(ctx, "web", 0, []byte("x"))
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("checkpoint against dark ring: %v, want ErrNoQuorum", err)
+	}
+}
+
+// brokenStore fails every operation — an unreachable ring peer.
+type brokenStore struct{}
+
+var errDark = errors.New("peer dark")
+
+func (brokenStore) Put(context.Context, string, int, []byte) error { return errDark }
+func (brokenStore) Get(context.Context, string) ([]Stored, []int, error) {
+	return nil, nil, errDark
+}
+func (brokenStore) List(context.Context) ([]string, error)      { return nil, errDark }
+func (brokenStore) Delete(context.Context, string) error        { return errDark }
+func (brokenStore) Truncate(context.Context, string, int) error { return errDark }
+func (brokenStore) Target() StoreTarget                         { return StoreTarget{} }
+func (brokenStore) Scrub(context.Context, string, bool) (*StoreScrubReport, error) {
+	return nil, errDark
+}

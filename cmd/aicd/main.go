@@ -10,6 +10,14 @@
 //
 //	aicd -listen :9337 -dir /var/lib/aic/peer
 //	aicd -listen :9337 -dir /var/lib/aic/peer -metrics :9338
+//	aicd -listen :9337 -dir /var/lib/aic/peer -quota-bytes 1073741824 -quota-chains 64
+//
+// A peer is multi-tenant: protocol-v2 clients address chains as
+// (tenant, proc), each tenant isolated in its own namespace of the one
+// backing store. -quota-bytes / -quota-chains cap every tenant's stored
+// bytes and chain count (rejections are terminal quota errors at the
+// client), and -staging-max bounds the staging pool partial transfers may
+// pin (excess writers get transient backpressure and retry with backoff).
 //
 // With -metrics, the daemon exposes its live instrumentation (DESIGN.md
 // §14) as Prometheus text at /metrics, plus an observe-only saturation
@@ -46,6 +54,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-connection diagnostics")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and controller /control on this address (e.g. :9338; empty disables)")
 	controlEvery := flag.Duration("control-interval", time.Second, "saturation-controller sampling interval (with -metrics)")
+	quotaBytes := flag.Int64("quota-bytes", 0, "per-tenant stored-byte quota; writes past it are rejected with a quota error (0 = unlimited)")
+	quotaChains := flag.Int("quota-chains", 0, "per-tenant chain-count quota (stripe chains excluded; 0 = unlimited)")
+	stagingMax := flag.Int64("staging-max", 0, "bound on in-flight transfer staging bytes; clients past it back off and retry (0 = default 256 MiB)")
 	flag.Parse()
 
 	var (
@@ -65,7 +76,17 @@ func main() {
 		}
 	}
 
-	cfg := remote.ServerConfig{IdleTimeout: *idle}
+	// Quota admission wraps the raw store: every tenant namespace gets the
+	// same default limits, enforced before any replication byte lands.
+	raw := store
+	var quota *storage.QuotaStore
+	if *quotaBytes > 0 || *quotaChains > 0 {
+		quota = storage.NewQuotaStore(store, storage.Quota{MaxBytes: *quotaBytes, MaxChains: *quotaChains})
+		store = quota
+		log.Printf("aicd: per-tenant quota: %d bytes, %d chains (0 = unlimited)", *quotaBytes, *quotaChains)
+	}
+
+	cfg := remote.ServerConfig{IdleTimeout: *idle, MaxStagingBytes: *stagingMax}
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
@@ -83,8 +104,11 @@ func main() {
 	if *metricsAddr != "" {
 		reg := metrics.NewRegistry()
 		srv.SetMetrics(reg)
-		if fs, ok := store.(*storage.FSStore); ok {
+		if fs, ok := raw.(*storage.FSStore); ok {
 			fs.SetMetrics(reg)
+		}
+		if quota != nil {
+			quota.SetMetrics(reg)
 		}
 		// The daemon's controller observes only: it classifies this peer's
 		// saturation for operators (and the /control endpoint) without

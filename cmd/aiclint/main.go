@@ -1,6 +1,6 @@
 // Command aiclint runs the project-invariant analyzer suite over the given
 // package patterns (./... by default) and exits non-zero when any
-// invariant is violated. The five analyzers prove, per build, the rules
+// invariant is violated. The analyzers prove, per build, the rules
 // the rest of the repo can only test probabilistically:
 //
 //	durablefs    storage does filesystem I/O through the FS shim, and
@@ -11,6 +11,8 @@
 //	detrand      simulation packages stay seed-deterministic
 //	metricnames  metric registrations keep the stable, unit-suffixed
 //	             snake_case surface DESIGN.md §14 documents
+//	facadedoc    the facade package documents every exported symbol,
+//	             leading with the symbol's name
 //
 // A deliberate exception is suppressed in place with a reasoned directive:
 //
@@ -28,6 +30,7 @@ import (
 	"aic/internal/analysis/ctxflow"
 	"aic/internal/analysis/detrand"
 	"aic/internal/analysis/durablefs"
+	"aic/internal/analysis/facadedoc"
 	"aic/internal/analysis/lockio"
 	"aic/internal/analysis/metricnames"
 	"aic/internal/analysis/sentinelerr"
@@ -37,6 +40,7 @@ var suite = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	detrand.Analyzer,
 	durablefs.Analyzer,
+	facadedoc.Analyzer,
 	lockio.Analyzer,
 	metricnames.Analyzer,
 	sentinelerr.Analyzer,

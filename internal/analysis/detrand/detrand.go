@@ -16,7 +16,7 @@ import (
 // deterministic. Tests override this to point at fixtures.
 var TargetSuffixes = []string{
 	"internal/chaos", "internal/sim", "internal/markov",
-	"internal/memsim", "internal/workload",
+	"internal/memsim", "internal/workload", "internal/ring",
 }
 
 // wallClockFuncs are the time functions that read the wall clock.

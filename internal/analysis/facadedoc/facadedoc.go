@@ -1,0 +1,146 @@
+// Package facadedoc enforces that the facade package — import path "aic",
+// the repo's public API — documents every exported symbol in godoc form:
+// each exported top-level func, type, const, var, and each exported method
+// on an exported type carries a doc comment whose first sentence starts
+// with the symbol's name (optionally after "A", "An" or "The"). The facade
+// is the contract users program against; an undocumented export there is a
+// hole in the contract, and a doc that does not lead with the name renders
+// badly in godoc and go doc output.
+//
+// Grouped const/var declarations may be covered by one doc comment on the
+// group; the leading-name rule then applies only to single-symbol
+// declarations. Test files and internal packages are exempt: the rule
+// protects the public surface, not scaffolding.
+package facadedoc
+
+import (
+	"go/ast"
+	"strings"
+
+	"aic/internal/analysis"
+)
+
+// TargetPaths are the import-path suffixes of the packages whose exports
+// must be documented. Tests override this to point at fixtures.
+var TargetPaths = []string{"aic"}
+
+// articles may precede the symbol name in a doc's first sentence.
+var articles = map[string]bool{"A": true, "An": true, "The": true}
+
+// Analyzer is the facadedoc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "facadedoc",
+	Doc:  "facade exports carry doc comments that lead with the symbol name",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasSuffix(pass.Path, TargetPaths) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			case *ast.GenDecl:
+				checkGen(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc checks one top-level function or method declaration.
+func checkFunc(pass *analysis.Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() {
+		return
+	}
+	if recv, ok := receiverName(d); ok && !ast.IsExported(recv) {
+		return // method on an unexported type: not part of the surface
+	} else if d.Recv != nil && !ok {
+		return
+	}
+	checkDoc(pass, d.Doc, d.Name)
+}
+
+// receiverName extracts the receiver's base type name.
+func receiverName(d *ast.FuncDecl) (string, bool) {
+	if d.Recv == nil || len(d.Recv.List) != 1 {
+		return "", false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// checkGen checks a type/const/var declaration. A doc comment on the group
+// covers every spec in it; otherwise each exported spec needs its own.
+func checkGen(pass *analysis.Pass, d *ast.GenDecl) {
+	groupDoc := d.Doc
+	single := len(d.Specs) == 1
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil {
+				doc = groupDoc
+			}
+			if single {
+				checkDoc(pass, doc, s.Name)
+			} else if doc == nil {
+				pass.Reportf(s.Pos(), "exported facade type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				doc := s.Doc
+				if doc == nil {
+					doc = groupDoc
+				}
+				if single && len(s.Names) == 1 {
+					checkDoc(pass, doc, name)
+				} else if doc == nil {
+					pass.Reportf(name.Pos(), "exported facade symbol %s has no doc comment", name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkDoc enforces presence and the leading-name convention for one
+// symbol's doc comment.
+func checkDoc(pass *analysis.Pass, doc *ast.CommentGroup, name *ast.Ident) {
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		pass.Reportf(name.Pos(), "exported facade symbol %s has no doc comment", name.Name)
+		return
+	}
+	words := strings.Fields(doc.Text())
+	if len(words) > 0 && words[0] == "Deprecated:" {
+		return // a pure deprecation notice names its replacement instead
+	}
+	if len(words) > 0 && words[0] == name.Name {
+		return
+	}
+	if len(words) > 1 && articles[words[0]] && words[1] == name.Name {
+		return
+	}
+	pass.Reportf(name.Pos(), "doc comment for facade symbol %s should start with %q", name.Name, name.Name)
+}

@@ -1,0 +1,19 @@
+package facadedoc
+
+import (
+	"testing"
+
+	"aic/internal/analysis/analyzertest"
+)
+
+func TestFacadeDoc(t *testing.T) {
+	defer func(old []string) { TargetPaths = old }(TargetPaths)
+	TargetPaths = []string{"testdata/src/facadebad", "testdata/src/facadeok"}
+	analyzertest.Run(t, Analyzer, "facadebad", "facadeok")
+}
+
+// TestOutsideTargets proves the analyzer ignores packages that are not the
+// facade even when their exports are undocumented.
+func TestOutsideTargets(t *testing.T) {
+	analyzertest.RunExpectClean(t, Analyzer, "facadebad")
+}

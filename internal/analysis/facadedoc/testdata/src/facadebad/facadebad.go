@@ -1,0 +1,44 @@
+// Package facadebad is a facadedoc fixture violating each documentation rule.
+package facadebad
+
+import "errors"
+
+type Client struct{} // want `exported facade symbol Client has no doc comment`
+
+// Opens a client. Wrong: the sentence does not lead with the name.
+func NewClient() *Client { return nil } // want `doc comment for facade symbol NewClient should start with "NewClient"`
+
+func (c *Client) Close() error { return nil } // want `exported facade symbol Close has no doc comment`
+
+// Checkpoint has a proper doc comment and is fine.
+func (c *Client) Checkpoint() error { return nil }
+
+// close documents an unexported method; exported-only rule ignores it.
+func (c *Client) lower() {} //nolint:unused
+
+type helper struct{}
+
+// Reach is a method on an unexported type: not part of the surface.
+func (helper) Reach() {}
+
+var ErrGone = errors.New("gone") // want `exported facade symbol ErrGone has no doc comment`
+
+var ( // undocumented group: each exported spec needs its own doc
+	// ErrBusy is documented per-spec inside the group.
+	ErrBusy = errors.New("busy")
+	ErrSlow = errors.New("slow") // want `exported facade symbol ErrSlow has no doc comment`
+)
+
+const (
+	// DefaultTenant is documented.
+	DefaultTenant = "default"
+	MaxTenants    = 8 // want `exported facade symbol MaxTenants has no doc comment`
+)
+
+type ( // grouped types need per-spec docs
+	// Option is documented.
+	Option  func(*Client)
+	Decoder struct{} // want `exported facade type Decoder has no doc comment`
+)
+
+func keep() { _ = Client{}; _ = helper{}; (&Client{}).lower() }

@@ -1,0 +1,35 @@
+// Package facadeok is a facadedoc fixture satisfying every documentation rule.
+package facadeok
+
+import "errors"
+
+// Client is the facade handle.
+type Client struct{}
+
+// A Namespace scopes a client to one tenant; the article prefix is allowed.
+type Namespace struct{}
+
+// NewClient opens a client.
+func NewClient() *Client { return nil }
+
+// Close releases the client.
+func (c *Client) Close() error { return nil }
+
+// Deprecated: use NewClient instead.
+func Open() *Client { return NewClient() }
+
+// Sentinel errors returned by the fixture facade; one group doc covers all.
+var (
+	ErrBusy = errors.New("busy")
+	ErrSlow = errors.New("slow")
+)
+
+// DefaultTenant is the namespace unqualified keys belong to.
+const DefaultTenant = "default"
+
+// internals are exempt regardless of documentation.
+type inner struct{}
+
+func (inner) poke() {}
+
+func keep() { _ = inner{}; inner{}.poke() }

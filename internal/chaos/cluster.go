@@ -103,7 +103,7 @@ func (p *peer) restart() error {
 // ckptPath is the on-disk location of one stored checkpoint — the bit-flip
 // events corrupt files directly, beneath every integrity layer.
 func (p *peer) ckptPath(proc string, seq int) string {
-	return filepath.Join(p.root, proc, ckptFileName(seq))
+	return filepath.Join(p.root, storage.ProcDirName(proc), ckptFileName(seq))
 }
 
 // ckptFileName mirrors the FSStore layout (ckpt-%08d.aic under the proc

@@ -346,7 +346,7 @@ func (h *harness) flip(peerIdx, n, bit int) {
 		root = p.root
 	}
 	for seq := h.lastSeq; seq >= 0; seq-- {
-		path := filepath.Join(root, h.proc, ckptFileName(seq))
+		path := filepath.Join(root, storage.ProcDirName(h.proc), ckptFileName(seq))
 		fi, err := os.Stat(path)
 		if err != nil || fi.Size() == 0 {
 			continue
@@ -376,7 +376,7 @@ func (h *harness) flipAll(n, bit int) {
 	}
 	hit := 0
 	for _, root := range roots {
-		path := filepath.Join(root, h.proc, ckptFileName(seq))
+		path := filepath.Join(root, storage.ProcDirName(h.proc), ckptFileName(seq))
 		fi, err := os.Stat(path)
 		if err != nil || fi.Size() == 0 {
 			continue

@@ -1,0 +1,524 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"aic"
+	"aic/internal/metrics"
+	"aic/internal/remote"
+	"aic/internal/storage"
+)
+
+// RingChurnConfig parameterizes one ring-churn soak: a sharded multi-tenant
+// client (aic.Client) driving real TCP peers while the ring membership
+// churns — a peer joins, another is killed mid-rebalance and restarted —
+// and one "hog" tenant deliberately writes through its quota. The zero
+// value of every field selects a default sized for a seconds-long run.
+type RingChurnConfig struct {
+	Seed       uint64
+	Peers      int       // initial ring peers (default 3)
+	Tenants    int       // well-behaved tenants (default 2)
+	Procs      int       // procs per tenant (default 3)
+	Rounds     int       // checkpoint rounds per proc (default 10)
+	QuotaBytes int64     // per-tenant per-peer byte quota (default 64 KiB)
+	Dir        string    // parent for the scratch directory ("" = os temp)
+	Log        io.Writer // optional live transcript sink
+}
+
+func (c RingChurnConfig) withDefaults() RingChurnConfig {
+	if c.Peers <= 0 {
+		c.Peers = 3
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 2
+	}
+	if c.Procs <= 0 {
+		c.Procs = 3
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.QuotaBytes <= 0 {
+		c.QuotaBytes = 64 << 10
+	}
+	return c
+}
+
+// RingChurnResult reports one churn soak. The invariants checked are the
+// service's multi-tenant durability contract:
+//
+//   - every committed (tenant, proc, seq) — acked clean or degraded —
+//     restores byte-identically after the churn settles;
+//   - per-tenant quotas reject the hog tenant with the typed
+//     ErrQuotaExceeded and never reject a well-behaved tenant;
+//   - placement re-converges: after the killed peer returns, rebalancing
+//     reaches a round with nothing deferred and a follow-up round that
+//     moves nothing;
+//   - the metric trail agrees (aic_ring_rebalance_total counts the rounds,
+//     aic_tenant_quota_rejects_total counts the hog's rejections).
+type RingChurnResult struct {
+	Seed         uint64
+	Transcript   []string
+	Violations   []Violation
+	Checkpoints  int // committed (tenant, proc, seq) elements
+	Degraded     int // commits that missed full replication
+	QuotaRejects int // typed terminal quota rejections observed
+	Rebalances   int // rebalance rounds run
+	Moves        int // chains moved across all rounds
+	DeferredMax  int // most chains deferred by any single round
+}
+
+// Failed reports whether any invariant was violated.
+func (r *RingChurnResult) Failed() bool { return len(r.Violations) > 0 }
+
+// FailureReport renders the violations with the seed that replays them.
+func (r *RingChurnResult) FailureReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ringchurn: %d invariant violation(s) at seed=%d\n", len(r.Violations), r.Seed)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}
+
+// churnPeer is one ring member: a durable FSStore wrapped in per-tenant
+// quota admission, served over the real TCP wire protocol. Killing a peer
+// stops the server but leaves the store on disk — a reboot, not a disk
+// loss — and restart rebinds the original address.
+type churnPeer struct {
+	ctx   context.Context
+	name  string // fixed ring name, decoupled from the ephemeral port
+	addr  string
+	fs    *storage.FSStore
+	quota *storage.QuotaStore
+	reg   *metrics.Registry
+	srv   *remote.Server
+	alive bool
+}
+
+func newChurnPeer(ctx context.Context, name, root string, def storage.Quota) (*churnPeer, error) {
+	fs, err := storage.NewFSStore(root, storage.Target{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	p := &churnPeer{ctx: ctx, name: name, fs: fs, reg: metrics.NewRegistry()}
+	p.quota = storage.NewQuotaStore(fs, def)
+	p.quota.SetMetrics(p.reg)
+	if err := p.start(""); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *churnPeer) start(addr string) error {
+	bind := addr
+	if bind == "" {
+		bind = "127.0.0.1:0"
+	}
+	var (
+		ln  net.Listener
+		err error
+	)
+	for i := 0; i < 200; i++ { // a just-closed listener's port can linger briefly
+		ln, err = net.Listen("tcp", bind)
+		if err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("chaos: %s listen: %w", p.name, err)
+	}
+	p.addr = ln.Addr().String()
+	p.srv = remote.NewServer(p.quota, remote.ServerConfig{})
+	go p.srv.Serve(p.ctx, ln)
+	p.alive = true
+	return nil
+}
+
+func (p *churnPeer) kill() {
+	if p.alive {
+		p.srv.Close()
+		p.alive = false
+	}
+}
+
+func (p *churnPeer) restart() error {
+	if p.alive {
+		return nil
+	}
+	return p.start(p.addr)
+}
+
+// churnProc is one workload process: a facade Process plus the shadow of
+// every frame the service committed for it.
+type churnProc struct {
+	tenant  string
+	name    string
+	p       *aic.Process
+	pages   int
+	frames  [][]byte // committed frames, contiguous from seq 0
+	stopped bool     // hog only: terminal quota rejection reached
+}
+
+// hogTenant is the misbehaving tenant the quota invariants watch.
+const hogTenant = "hog"
+
+// RunRingChurn soaks the sharded client through a ring-churn schedule
+// derived from cfg.Seed. The returned error covers only harness
+// infrastructure failures; invariant violations land in the result.
+func RunRingChurn(ctx context.Context, cfg RingChurnConfig) (*RingChurnResult, error) {
+	cfg = cfg.withDefaults()
+	res := &RingChurnResult{Seed: cfg.Seed}
+	scratch, err := os.MkdirTemp(cfg.Dir, "aic-ringchurn-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+
+	r := &churnRun{ctx: ctx, cfg: cfg, res: res, rng: rng, scratch: scratch}
+	defer r.teardown()
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
+	r.run()
+	r.verify()
+	return res, nil
+}
+
+// churnRun is the live run state. The soak is single-threaded above the
+// stack; the only concurrency is the production code's own.
+type churnRun struct {
+	ctx     context.Context
+	cfg     RingChurnConfig
+	res     *RingChurnResult
+	rng     *rand.Rand
+	scratch string
+
+	peers   []*churnPeer // initial members; peers[victim] is killed/restarted
+	joiner  *churnPeer
+	remotes []*remote.RemoteStore // owned by the run, not the client
+	client  *aic.Client
+	reg     *aic.MetricsRegistry
+	procs   []*churnProc
+	victim  int
+}
+
+func (r *churnRun) logf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	r.res.Transcript = append(r.res.Transcript, line)
+	if r.cfg.Log != nil {
+		fmt.Fprintln(r.cfg.Log, line)
+	}
+}
+
+func (r *churnRun) violate(step int, invariant, format string, args ...any) {
+	v := Violation{Step: step, Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
+	r.res.Violations = append(r.res.Violations, v)
+	r.logf("VIOLATION %s", v)
+}
+
+// remoteFor dials one peer under a pinned jitter seed; the tight backoff
+// keeps loopback retries fast so a run stays in the seconds.
+func (r *churnRun) remoteFor(addr string, idx int) *remote.RemoteStore {
+	rs := remote.NewStore(addr, remote.Config{
+		DialTimeout: 2 * time.Second,
+		OpTimeout:   20 * time.Second,
+		Retries:     3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  8 * time.Millisecond,
+		JitterSeed:  int64(r.cfg.Seed)*37 + int64(idx) + 1,
+	})
+	r.remotes = append(r.remotes, rs)
+	return rs
+}
+
+func (r *churnRun) setup() error {
+	quota := storage.Quota{MaxBytes: r.cfg.QuotaBytes}
+	stores := make(map[string]aic.Store, r.cfg.Peers)
+	for i := 0; i < r.cfg.Peers; i++ {
+		name := fmt.Sprintf("peer%d", i)
+		p, err := newChurnPeer(r.ctx, name, fmt.Sprintf("%s/%s", r.scratch, name), quota)
+		if err != nil {
+			return err
+		}
+		r.peers = append(r.peers, p)
+		// The ring name is the fixed peer name, not the ephemeral address:
+		// placement — and therefore the whole churn schedule — depends only
+		// on (Seed, config), never on which ports the OS handed out.
+		stores[name] = r.remoteFor(p.addr, i)
+	}
+	r.reg = aic.NewMetricsRegistry()
+	client, err := aic.NewClient(aic.ClientConfig{
+		Stores:          stores,
+		Replicas:        2,
+		Vnodes:          64,
+		WriteQuorum:     1, // stay writable (degraded) while the victim is down
+		StripeThreshold: 8 << 10,
+		StripeCount:     2,
+		Metrics:         r.reg,
+	})
+	if err != nil {
+		return err
+	}
+	r.client = client
+	r.victim = r.rng.Intn(r.cfg.Peers)
+
+	// Well-behaved tenants: modest footprints that stay far under quota.
+	for t := 0; t < r.cfg.Tenants; t++ {
+		tenant := fmt.Sprintf("tenant%d", t)
+		for i := 0; i < r.cfg.Procs; i++ {
+			r.procs = append(r.procs, &churnProc{
+				tenant: tenant,
+				name:   fmt.Sprintf("proc%d", i),
+				p:      aic.NewProcess(128),
+				pages:  24,
+			})
+		}
+	}
+	// The hog: large, incompressible, striped frames that grind through the
+	// per-peer quota within a few rounds.
+	r.procs = append(r.procs, &churnProc{
+		tenant: hogTenant,
+		name:   "vault",
+		p:      aic.NewProcess(512),
+		pages:  64,
+	})
+	return nil
+}
+
+func (r *churnRun) teardown() {
+	if r.client != nil {
+		r.client.Close()
+	}
+	for _, rs := range r.remotes {
+		rs.Close()
+	}
+	for _, p := range r.peers {
+		p.kill()
+	}
+	if r.joiner != nil {
+		r.joiner.kill()
+	}
+}
+
+// mutate dirties the process deterministically. The hog rewrites its whole
+// footprint with fresh random bytes every round (nothing delta-compresses
+// away); regular procs touch a few pages.
+func (r *churnRun) mutate(cp *churnProc, round int) {
+	if cp.tenant == hogTenant || round == 0 {
+		buf := make([]byte, cp.p.PageSize())
+		for pg := 0; pg < cp.pages; pg++ {
+			r.rng.Read(buf)
+			cp.p.Write(uint64(pg), 0, buf)
+		}
+		return
+	}
+	for k := 0; k < 4; k++ {
+		var word [8]byte
+		r.rng.Read(word[:])
+		cp.p.Write(uint64(r.rng.Intn(cp.pages)), r.rng.Intn(cp.p.PageSize()-8), word[:])
+	}
+}
+
+// checkpointOne drives one (proc, round) write and classifies the outcome.
+func (r *churnRun) checkpointOne(cp *churnProc, round int) (committed, degraded, rejected bool) {
+	r.mutate(cp, round)
+	var enc []byte
+	if round == 0 {
+		enc = cp.p.FullCheckpoint()
+	} else {
+		cp.p.Advance(1)
+		enc, _ = cp.p.DeltaCheckpoint()
+	}
+	err := r.client.Namespace(cp.tenant).Checkpoint(r.ctx, cp.name, round, enc)
+	switch {
+	case err == nil:
+		cp.frames = append(cp.frames, enc)
+		return true, false, false
+	case errors.Is(err, aic.ErrDegraded):
+		// Committed with reduced redundancy — still a commitment the final
+		// verification must find restorable.
+		cp.frames = append(cp.frames, enc)
+		return true, true, false
+	case errors.Is(err, aic.ErrQuotaExceeded):
+		if cp.tenant != hogTenant {
+			r.violate(round, "quota-crosstalk",
+				"tenant %s proc %s rejected by quota the hog consumed: %v", cp.tenant, cp.name, err)
+		}
+		return false, false, true
+	default:
+		r.violate(round, "commit-refused",
+			"%s/%s seq %d: %v (one dead peer must not block commits)", cp.tenant, cp.name, round, err)
+		return false, false, false
+	}
+}
+
+func (r *churnRun) rebalance(round int, label string) *aic.RebalanceReport {
+	rep, err := r.client.Rebalance(r.ctx)
+	if err != nil {
+		r.violate(round, "rebalance-error", "%s: %v", label, err)
+		return nil
+	}
+	r.res.Rebalances++
+	r.res.Moves += rep.Moves
+	if len(rep.Deferred) > r.res.DeferredMax {
+		r.res.DeferredMax = len(rep.Deferred)
+	}
+	r.logf("rebalance %s: keys=%d moves=%d released=%d deferred=%d",
+		label, rep.Keys, rep.Moves, rep.Released, len(rep.Deferred))
+	return rep
+}
+
+func (r *churnRun) run() {
+	killRound := r.cfg.Rounds / 3
+	restartRound := (2 * r.cfg.Rounds) / 3
+	for round := 0; round < r.cfg.Rounds; round++ {
+		if round == killRound {
+			// Membership churn and a peer failure at once: a fresh peer joins
+			// and the victim dies before the rebalance can finish — moves that
+			// need the victim defer, and the protocol must hold its
+			// never-drop-a-committed-seq guarantee in that half-migrated state.
+			j, err := newChurnPeer(r.ctx, "joiner", r.scratch+"/joiner", storage.Quota{MaxBytes: r.cfg.QuotaBytes})
+			if err != nil {
+				r.violate(round, "harness", "joiner: %v", err)
+				return
+			}
+			r.joiner = j
+			if err := r.client.AddStore(j.name, r.remoteFor(j.addr, r.cfg.Peers)); err != nil {
+				r.violate(round, "harness", "join: %v", err)
+				return
+			}
+			r.peers[r.victim].kill()
+			r.logf("churn: join=joiner kill=peer%d", r.victim)
+			r.rebalance(round, "mid-churn")
+		}
+		if round == restartRound {
+			if err := r.peers[r.victim].restart(); err != nil {
+				r.violate(round, "harness", "restart: %v", err)
+				return
+			}
+			r.logf("churn: restart=peer%d", r.victim)
+			// Heal: with every member back, rebalancing must drain the
+			// deferred backlog in bounded rounds.
+			healed := false
+			for i := 0; i < 4 && !healed; i++ {
+				rep := r.rebalance(round, "heal")
+				healed = rep != nil && len(rep.Deferred) == 0
+			}
+			if !healed {
+				r.violate(round, "rebalance-converge",
+					"deferred chains remain after 4 heal rounds with all peers alive")
+			}
+		}
+		committed, degraded, rejected := 0, 0, 0
+		for _, cp := range r.procs {
+			if cp.stopped {
+				continue
+			}
+			c, d, rej := r.checkpointOne(cp, round)
+			if c {
+				committed++
+				r.res.Checkpoints++
+			}
+			if d {
+				degraded++
+				r.res.Degraded++
+			}
+			if rej {
+				rejected++
+				r.res.QuotaRejects++
+				if cp.tenant == hogTenant {
+					cp.stopped = true // terminal: retrying cannot free quota
+				}
+			}
+		}
+		r.logf("round=%d committed=%d degraded=%d rejected=%d", round, committed, degraded, rejected)
+	}
+}
+
+// verify settles the ring and checks every invariant the soak exists for.
+func (r *churnRun) verify() {
+	// Placement convergence: one more round over the settled membership must
+	// find nothing to move and nothing deferred.
+	if rep := r.rebalance(r.cfg.Rounds, "settle"); rep != nil {
+		if rep.Moves != 0 || len(rep.Deferred) != 0 {
+			r.violate(r.cfg.Rounds, "placement-converge",
+				"settled ring still moved %d chains (deferred %d)", rep.Moves, len(rep.Deferred))
+		}
+	}
+
+	for _, cp := range r.procs {
+		ns := r.client.Namespace(cp.tenant)
+		chain, err := ns.Chain(r.ctx, cp.name)
+		if err != nil {
+			r.violate(r.cfg.Rounds, "chain-read", "%s/%s: %v", cp.tenant, cp.name, err)
+			continue
+		}
+		if len(chain) != len(cp.frames) {
+			r.violate(r.cfg.Rounds, "chain-lost",
+				"%s/%s: %d elements stored, %d committed", cp.tenant, cp.name, len(chain), len(cp.frames))
+			continue
+		}
+		for i := range chain {
+			if !bytes.Equal(chain[i], cp.frames[i]) {
+				r.violate(r.cfg.Rounds, "chain-bytes",
+					"%s/%s seq %d differs from the committed frame", cp.tenant, cp.name, i)
+			}
+		}
+		im, rep, err := ns.Restore(r.ctx, cp.name)
+		if err != nil {
+			r.violate(r.cfg.Rounds, "restore", "%s/%s: %v", cp.tenant, cp.name, err)
+			continue
+		}
+		if want := len(cp.frames) - 1; rep.LastSeq != want || len(rep.Discarded) != 0 {
+			r.violate(r.cfg.Rounds, "restore-seq",
+				"%s/%s restored through seq %d (want %d), discarded %v", cp.tenant, cp.name, rep.LastSeq, want, rep.Discarded)
+		}
+		// The hog's live image ran ahead of its last committed frame (its
+		// writes after the quota cut were never checkpointed), so the
+		// image-identity check applies to well-behaved tenants only.
+		if !cp.stopped && !im.Matches(cp.p) {
+			r.violate(r.cfg.Rounds, "restore-bytes", "%s/%s restored image differs", cp.tenant, cp.name)
+		}
+	}
+
+	// Quota invariants: the hog was cut off, typed, and the metric trail on
+	// the peers agrees; rebalancing was counted on the client registry.
+	hog := r.procs[len(r.procs)-1]
+	if !hog.stopped || r.res.QuotaRejects == 0 {
+		r.violate(r.cfg.Rounds, "quota-unenforced",
+			"hog tenant was never terminally rejected (rejects=%d)", r.res.QuotaRejects)
+	}
+	var metricRejects float64
+	peers := append(append([]*churnPeer{}, r.peers...), r.joiner)
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		if v, ok := p.reg.Value("aic_tenant_quota_rejects_total", hogTenant); ok {
+			metricRejects += v
+		}
+	}
+	if metricRejects == 0 {
+		r.violate(r.cfg.Rounds, "quota-metric", "aic_tenant_quota_rejects_total{tenant=hog} never advanced")
+	}
+	if v, ok := r.reg.Value("aic_ring_rebalance_total"); !ok || int(v) != r.res.Rebalances {
+		r.violate(r.cfg.Rounds, "rebalance-metric",
+			"aic_ring_rebalance_total = %v (ok=%v), ran %d rounds", v, ok, r.res.Rebalances)
+	}
+	sort.Slice(r.res.Violations, func(i, j int) bool {
+		return r.res.Violations[i].Step < r.res.Violations[j].Step
+	})
+}

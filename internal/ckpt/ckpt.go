@@ -20,6 +20,12 @@ const (
 	Full             Kind = 1 // every mapped page, raw
 	Incremental      Kind = 2 // dirty pages, raw
 	IncrementalDelta Kind = 3 // dirty pages, hot ones delta-compressed
+	// Stripe carries an opaque slice of a larger encoded checkpoint (or the
+	// manifest describing the split): large objects are striped across ring
+	// peers and reassembled before restore. Stripe frames pass Decode — so
+	// store scrubs see intact, CRC-guarded elements, not foreign bytes — but
+	// Restore rejects them: a stripe is not replayable until reassembled.
+	Stripe Kind = 4
 )
 
 // String names the kind.
@@ -31,6 +37,8 @@ func (k Kind) String() string {
 		return "incremental"
 	case IncrementalDelta:
 		return "incremental+delta"
+	case Stripe:
+		return "stripe"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -94,7 +102,7 @@ func Decode(data []byte) (*Checkpoint, error) {
 	}
 	data = body
 	c := &Checkpoint{Kind: Kind(data[8])}
-	if c.Kind != Full && c.Kind != Incremental && c.Kind != IncrementalDelta {
+	if c.Kind != Full && c.Kind != Incremental && c.Kind != IncrementalDelta && c.Kind != Stripe {
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadCheckpoint, data[8])
 	}
 	p := data[9:]
@@ -159,7 +167,7 @@ func PeekSeq(data []byte) (int, error) {
 	if len(data) < len(magic)+1+4 || string(data[:8]) != string(magic[:]) {
 		return 0, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
 	}
-	if k := Kind(data[8]); k != Full && k != Incremental && k != IncrementalDelta {
+	if k := Kind(data[8]); k != Full && k != Incremental && k != IncrementalDelta && k != Stripe {
 		return 0, fmt.Errorf("%w: unknown kind %d", ErrBadCheckpoint, data[8])
 	}
 	seq, n := binary.Uvarint(data[9:])

@@ -1,0 +1,180 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// StripeFrame is the decoded form of a Stripe-kind checkpoint element.
+// Large checkpoints are split stdchk-style: each of Count slices lives in
+// its own stripe chain placed independently on the ring, and a manifest at
+// the base key records how to reassemble them. Both travel as ordinary
+// checkpoint frames (magic, CRC trailer), so every storage layer — scrub
+// included — handles them like any other element.
+type StripeFrame struct {
+	Seq      int
+	Manifest bool   // true: reassembly descriptor at the base key
+	Index    int    // stripe position (parts only)
+	Count    int    // total stripes of the object
+	Total    int64  // reassembled object size in bytes
+	Sum      uint32 // CRC-32C of the reassembled object
+	Part     []byte // this stripe's slice (parts only)
+}
+
+// stripe header records, stored in the frame's CPUState field.
+const (
+	stripeRecManifest = 0
+	stripeRecPart     = 1
+)
+
+// EncodeStripeManifest builds the base-key manifest frame for a striped
+// object: count stripes reassembling to total bytes with CRC-32C sum.
+func EncodeStripeManifest(seq, count int, total int64, sum uint32) []byte {
+	return encodeStripe(seq, stripeRecManifest, 0, count, total, sum, nil)
+}
+
+// EncodeStripePart wraps stripe index of count (slice part of an object of
+// total bytes, whole-object CRC sum) as a storable frame.
+func EncodeStripePart(seq, index, count int, total int64, sum uint32, part []byte) []byte {
+	return encodeStripe(seq, stripeRecPart, index, count, total, sum, part)
+}
+
+func encodeStripe(seq, rec, index, count int, total int64, sum uint32, part []byte) []byte {
+	hdr := make([]byte, 0, 24)
+	hdr = append(hdr, byte(rec))
+	hdr = binary.AppendUvarint(hdr, uint64(index))
+	hdr = binary.AppendUvarint(hdr, uint64(count))
+	hdr = binary.AppendUvarint(hdr, uint64(total))
+	hdr = binary.AppendUvarint(hdr, uint64(sum))
+	c := &Checkpoint{Seq: seq, Kind: Stripe, CPUState: hdr, Payload: part}
+	return c.Encode()
+}
+
+// IsStripe cheaply reports whether an encoded frame is Stripe-kind, without
+// a full decode (one magic comparison and a kind byte).
+func IsStripe(data []byte) bool {
+	return len(data) > len(magic) && string(data[:8]) == string(magic[:]) && Kind(data[8]) == Stripe
+}
+
+// DecodeStripe parses a Stripe-kind frame (CRC-verified like any element).
+func DecodeStripe(data []byte) (*StripeFrame, error) {
+	c, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != Stripe {
+		return nil, fmt.Errorf("%w: kind %v is not a stripe", ErrBadCheckpoint, c.Kind)
+	}
+	p := c.CPUState
+	if len(p) < 1 {
+		return nil, fmt.Errorf("%w: empty stripe header", ErrBadCheckpoint)
+	}
+	rec := p[0]
+	p = p[1:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated stripe header", ErrBadCheckpoint)
+		}
+		p = p[n:]
+		return v, nil
+	}
+	index, err := next()
+	if err != nil {
+		return nil, err
+	}
+	count, err := next()
+	if err != nil {
+		return nil, err
+	}
+	total, err := next()
+	if err != nil {
+		return nil, err
+	}
+	sum, err := next()
+	if err != nil {
+		return nil, err
+	}
+	sf := &StripeFrame{
+		Seq:   c.Seq,
+		Index: int(index), Count: int(count),
+		Total: int64(total), Sum: uint32(sum),
+		Part: c.Payload,
+	}
+	switch rec {
+	case stripeRecManifest:
+		sf.Manifest = true
+		if len(sf.Part) != 0 {
+			return nil, fmt.Errorf("%w: stripe manifest carries a payload", ErrBadCheckpoint)
+		}
+	case stripeRecPart:
+		if sf.Index < 0 || sf.Count <= 0 || sf.Index >= sf.Count {
+			return nil, fmt.Errorf("%w: stripe %d of %d", ErrBadCheckpoint, sf.Index, sf.Count)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown stripe record %d", ErrBadCheckpoint, rec)
+	}
+	if sf.Count <= 0 || sf.Total < 0 {
+		return nil, fmt.Errorf("%w: stripe header (count %d, total %d)", ErrBadCheckpoint, sf.Count, sf.Total)
+	}
+	return sf, nil
+}
+
+// ReassembleStripes concatenates the parts of one seq's stripe set (given
+// in any order) and verifies the result against the manifest. Every part
+// must be present exactly once and agree on the geometry.
+func ReassembleStripes(man *StripeFrame, parts []*StripeFrame) ([]byte, error) {
+	if !man.Manifest {
+		return nil, fmt.Errorf("%w: reassembly needs a manifest frame", ErrBadCheckpoint)
+	}
+	if len(parts) != man.Count {
+		return nil, fmt.Errorf("%w: have %d of %d stripes", ErrBadCheckpoint, len(parts), man.Count)
+	}
+	ordered := make([]*StripeFrame, man.Count)
+	for _, p := range parts {
+		if p.Manifest || p.Count != man.Count || p.Seq != man.Seq || p.Total != man.Total || p.Sum != man.Sum {
+			return nil, fmt.Errorf("%w: stripe disagrees with manifest", ErrBadCheckpoint)
+		}
+		if p.Index < 0 || p.Index >= man.Count || ordered[p.Index] != nil {
+			return nil, fmt.Errorf("%w: duplicate or out-of-range stripe %d", ErrBadCheckpoint, p.Index)
+		}
+		ordered[p.Index] = p
+	}
+	out := make([]byte, 0, man.Total)
+	for _, p := range ordered {
+		out = append(out, p.Part...)
+	}
+	if int64(len(out)) != man.Total {
+		return nil, fmt.Errorf("%w: reassembled %d bytes, manifest says %d", ErrBadCheckpoint, len(out), man.Total)
+	}
+	if got := crc32.Checksum(out, crcTable); got != man.Sum {
+		return nil, fmt.Errorf("%w: reassembled object CRC %08x, manifest says %08x", ErrChecksum, got, man.Sum)
+	}
+	return out, nil
+}
+
+// SplitStripes slices an encoded object into count near-equal parts, each
+// wrapped as a storable stripe frame, plus the manifest frame. count must
+// be ≥ 2 (one stripe is just the object).
+func SplitStripes(seq int, encoded []byte, count int) (manifest []byte, parts [][]byte, err error) {
+	if count < 2 {
+		return nil, nil, fmt.Errorf("ckpt: stripe count %d (want ≥ 2)", count)
+	}
+	if len(encoded) < count {
+		return nil, nil, fmt.Errorf("ckpt: %d bytes cannot split into %d stripes", len(encoded), count)
+	}
+	total := int64(len(encoded))
+	sum := crc32.Checksum(encoded, crcTable)
+	parts = make([][]byte, count)
+	per := (len(encoded) + count - 1) / count
+	for i := 0; i < count; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > len(encoded) {
+			hi = len(encoded)
+		}
+		parts[i] = EncodeStripePart(seq, i, count, total, sum, encoded[lo:hi])
+	}
+	return EncodeStripeManifest(seq, count, total, sum), parts, nil
+}

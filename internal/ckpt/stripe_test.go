@@ -1,0 +1,90 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestStripeRoundTrip(t *testing.T) {
+	obj := bytes.Repeat([]byte("checkpoint bytes "), 100)
+	man, parts, err := SplitStripes(7, obj, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts: %d", len(parts))
+	}
+	// Every frame passes the ordinary decoder (scrub compatibility) and
+	// reports the labelled seq.
+	for _, frame := range append([][]byte{man}, parts...) {
+		if !IsStripe(frame) {
+			t.Fatal("IsStripe false for a stripe frame")
+		}
+		if seq, err := PeekSeq(frame); err != nil || seq != 7 {
+			t.Fatalf("PeekSeq = (%d, %v)", seq, err)
+		}
+		if _, err := Decode(frame); err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+	}
+	mf, err := DecodeStripe(man)
+	if err != nil || !mf.Manifest || mf.Count != 3 {
+		t.Fatalf("manifest: %+v, %v", mf, err)
+	}
+	// Reassembly accepts parts in any order.
+	var sfs []*StripeFrame
+	for _, i := range []int{2, 0, 1} {
+		sf, err := DecodeStripe(parts[i])
+		if err != nil || sf.Manifest || sf.Index != i {
+			t.Fatalf("part %d: %+v, %v", i, sf, err)
+		}
+		sfs = append(sfs, sf)
+	}
+	got, err := ReassembleStripes(mf, sfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, obj) {
+		t.Fatal("reassembled object differs")
+	}
+}
+
+func TestStripeReassemblyRejectsDamage(t *testing.T) {
+	obj := bytes.Repeat([]byte{0xAB}, 1000)
+	man, parts, err := SplitStripes(1, obj, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, _ := DecodeStripe(man)
+	p0, _ := DecodeStripe(parts[0])
+	p1, _ := DecodeStripe(parts[1])
+	if _, err := ReassembleStripes(mf, []*StripeFrame{p0}); err == nil {
+		t.Fatal("missing stripe accepted")
+	}
+	if _, err := ReassembleStripes(mf, []*StripeFrame{p0, p0}); err == nil {
+		t.Fatal("duplicate stripe accepted")
+	}
+	p1.Part = append([]byte{0xFF}, p1.Part[1:]...)
+	if _, err := ReassembleStripes(mf, []*StripeFrame{p0, p1}); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("tampered stripe: %v, want ErrChecksum", err)
+	}
+}
+
+// TestStripeNotReplayable pins the Restore boundary: stripe frames decode
+// (scrub sees intact elements) but never replay as process state.
+func TestStripeNotReplayable(t *testing.T) {
+	man, parts, err := SplitStripes(0, bytes.Repeat([]byte{1}, 64), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frame := range append([][]byte{man}, parts...) {
+		c, err := Decode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Restore([]*Checkpoint{c}); err == nil {
+			t.Fatal("stripe frame replayed as a checkpoint")
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -110,14 +111,22 @@ func (e *remoteError) Error() string { return fmt.Sprintf("remote: peer: %s (%s)
 // Unwrap maps wire error codes back onto the store sentinels so callers'
 // errors.Is checks work across the network boundary.
 func (e *remoteError) Unwrap() error {
-	if e.Code == codeStaleSeq {
+	switch e.Code {
+	case codeStaleSeq:
 		return storage.ErrStaleSeq
-	}
-	if e.Code == codeBadProc {
+	case codeBadProc:
 		return storage.ErrBadProcName
+	case codeQuota:
+		return storage.ErrQuotaExceeded
 	}
 	return nil
 }
+
+// transient reports whether the peer's answer could change on retry.
+// Backpressure is the one transient application error: the server's
+// staging pool drains as other transfers commit, so backing off and
+// retrying is exactly what the protocol asks for.
+func (e *remoteError) transient() bool { return e.Code == codeBackpressure }
 
 // RemoteStore is a storage.Store whose backing store lives behind a
 // replication server. Operations dial lazily, carry per-attempt deadlines,
@@ -136,6 +145,13 @@ type RemoteStore struct {
 	conn   net.Conn
 	br     *bufio.Reader
 	closed bool
+	// negotiated is the protocol version of the live connection; proto is
+	// the version to offer on the next dial. Both guarded by mu. A server
+	// that refuses version 2 flips proto to v1 permanently — composed keys
+	// then travel verbatim as flat proc names, the old server mapping them
+	// onto its default (only) namespace.
+	negotiated int
+	proto      int
 
 	// putBuf is the reused frame-encode scratch for Put's pipelined window
 	// bursts. Guarded by mu (held for the whole operation by do).
@@ -155,7 +171,18 @@ func NewStore(addr string, cfg Config) *RemoteStore {
 		}
 		cfg.rng = rand.New(rand.NewSource(seed))
 	}
-	return &RemoteStore{addr: addr, cfg: cfg, met: newClientMetrics(cfg.Metrics, addr)}
+	return &RemoteStore{addr: addr, cfg: cfg, proto: protocolVersion, met: newClientMetrics(cfg.Metrics, addr)}
+}
+
+// ProtocolVersion returns the version of the live connection, or 0 when
+// not connected.
+func (r *RemoteStore) ProtocolVersion() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return 0
+	}
+	return r.negotiated
 }
 
 // Addr returns the peer address the store replicates to.
@@ -181,7 +208,10 @@ func (r *RemoteStore) dropLocked() error {
 	return err
 }
 
-// ensureConnLocked dials (with the hello exchange) if no connection is up.
+// ensureConnLocked dials (with the hello exchange) if no connection is
+// up. A peer that refuses the offered version 2 triggers one immediate
+// redial speaking version 1 — capability downgrade instead of failing the
+// operation — and the downgrade sticks for the client's lifetime.
 func (r *RemoteStore) ensureConnLocked(ctx context.Context) error {
 	if r.closed {
 		return fmt.Errorf("remote: store for %s is closed", r.addr)
@@ -189,6 +219,25 @@ func (r *RemoteStore) ensureConnLocked(ctx context.Context) error {
 	if r.conn != nil {
 		return nil
 	}
+	err := r.dialHelloLocked(ctx, r.proto)
+	if err != nil && r.proto > protocolVersionV1 && isVersionRefusal(err) {
+		r.proto = protocolVersionV1
+		err = r.dialHelloLocked(ctx, r.proto)
+	}
+	return err
+}
+
+// isVersionRefusal recognizes a server's version rejection — the one
+// application error the hello exchange downgrades on instead of
+// surfacing.
+func isVersionRefusal(err error) bool {
+	var re *remoteError
+	return errors.As(err, &re) && re.Code == codeBadFrame && strings.Contains(re.Msg, "protocol version")
+}
+
+// dialHelloLocked dials and runs the hello exchange at the given version,
+// installing the connection on success.
+func (r *RemoteStore) dialHelloLocked(ctx context.Context, ver int) error {
 	dctx, cancel := context.WithTimeout(ctx, r.cfg.DialTimeout)
 	defer cancel()
 	conn, err := r.cfg.Dialer.DialContext(dctx, "tcp", r.addr)
@@ -197,7 +246,11 @@ func (r *RemoteStore) ensureConnLocked(ctx context.Context) error {
 	}
 	br := bufio.NewReader(conn)
 	conn.SetDeadline(time.Now().Add(r.cfg.DialTimeout))
-	if err := writeJSON(conn, kindHello, helloMsg{Version: protocolVersion}); err != nil {
+	hello := helloMsg{Version: ver}
+	if ver >= protocolVersion {
+		hello.Caps = clientCaps
+	}
+	if err := writeJSON(conn, kindHello, hello); err != nil {
 		conn.Close()
 		return err
 	}
@@ -213,9 +266,35 @@ func (r *RemoteStore) ensureConnLocked(ctx context.Context) error {
 		}
 		return fmt.Errorf("remote: unexpected hello reply 0x%02x", kind)
 	}
+	var ok helloMsg
+	if err := decodeJSON(payload, &ok); err != nil {
+		conn.Close()
+		return err
+	}
+	negotiated := ok.Version
+	if negotiated <= 0 || negotiated > ver {
+		negotiated = ver
+	}
 	conn.SetDeadline(time.Time{})
-	r.conn, r.br = conn, br
+	r.conn, r.br, r.negotiated = conn, br, negotiated
 	return nil
+}
+
+// splitWireLocked decomposes a flat store key into the addressing fields
+// for the live connection's version. A v2 connection ships (tenant, proc,
+// stripe) separately so the server can validate each part; a v1 connection
+// sends the composed key verbatim, which the old server stores as a plain
+// proc name in its only namespace. Callers hold r.mu (the op closures run
+// under do).
+func (r *RemoteStore) splitWireLocked(name string) (proc, tenant, stripe string) {
+	if r.negotiated < protocolVersion {
+		return name, "", ""
+	}
+	tenant, proc, stripe = storage.ParseKey(name)
+	if tenant == storage.DefaultTenant {
+		tenant = "" // omitted on the wire; the server defaults it
+	}
+	return proc, tenant, stripe
 }
 
 func asRemoteErr(payload []byte) error {
@@ -250,7 +329,7 @@ func (r *RemoteStore) do(ctx context.Context, op func(conn net.Conn, br *bufio.R
 		}
 		if err := r.ensureConnLocked(ctx); err != nil {
 			var re *remoteError
-			if errors.As(err, &re) {
+			if errors.As(err, &re) && !re.transient() {
 				return err // the peer answered; its answer won't change
 			}
 			lastErr = err
@@ -274,10 +353,11 @@ func (r *RemoteStore) do(ctx context.Context, op func(conn net.Conn, br *bufio.R
 		// still in flight), leaving replies buffered that the next operation
 		// would misread as its own. Reconnecting is cheap; a desynchronized
 		// session is not. The error itself stays terminal — the peer's
-		// answer will not change on retry.
+		// answer will not change on retry — except for backpressure, which
+		// by contract drains as the server's staging pool empties.
 		r.dropLocked()
 		var re *remoteError
-		if errors.As(err, &re) {
+		if errors.As(err, &re) && !re.transient() {
 			return err
 		}
 		lastErr = err
@@ -329,8 +409,11 @@ func expect(br *bufio.Reader, maxFrame int, want byte) ([]byte, error) {
 func (r *RemoteStore) Put(ctx context.Context, proc string, seq int, data []byte) error {
 	crc := crc32.Checksum(data, crcTable)
 	return r.timedDo(ctx, "put", func(conn net.Conn, br *bufio.Reader) error {
+		p, tenant, stripe := r.splitWireLocked(proc)
 		if err := writeJSON(conn, kindPutBegin, putBeginMsg{
-			Proc: proc, Seq: seq, Size: int64(len(data)), CRC: crc,
+			Proc: p, Tenant: tenant, Stripe: stripe,
+			Seq: seq, Size: int64(len(data)), CRC: crc,
+			Migrate: storage.IsMigration(ctx),
 		}); err != nil {
 			return err
 		}
@@ -454,7 +537,8 @@ func readPutAck(br *bufio.Reader, maxFrame int) (int64, error) {
 func (r *RemoteStore) Get(ctx context.Context, proc string) (chain []storage.Stored, missing []int, err error) {
 	err = r.timedDo(ctx, "get", func(conn net.Conn, br *bufio.Reader) error {
 		chain, missing = nil, nil
-		if err := writeJSON(conn, kindGet, procMsg{Proc: proc}); err != nil {
+		p, tenant, stripe := r.splitWireLocked(proc)
+		if err := writeJSON(conn, kindGet, procMsg{Proc: p, Tenant: tenant, Stripe: stripe}); err != nil {
 			return err
 		}
 		payload, err := expect(br, r.cfg.MaxFrame, kindChain)
@@ -511,7 +595,8 @@ func (r *RemoteStore) List(ctx context.Context) (procs []string, err error) {
 // Delete implements storage.Store.
 func (r *RemoteStore) Delete(ctx context.Context, proc string) error {
 	return r.timedDo(ctx, "delete", func(conn net.Conn, br *bufio.Reader) error {
-		if err := writeJSON(conn, kindDelete, procMsg{Proc: proc}); err != nil {
+		p, tenant, stripe := r.splitWireLocked(proc)
+		if err := writeJSON(conn, kindDelete, procMsg{Proc: p, Tenant: tenant, Stripe: stripe}); err != nil {
 			return err
 		}
 		_, err := expect(br, r.cfg.MaxFrame, kindOK)
@@ -522,7 +607,8 @@ func (r *RemoteStore) Delete(ctx context.Context, proc string) error {
 // Truncate implements storage.Store.
 func (r *RemoteStore) Truncate(ctx context.Context, proc string, fullSeq int) error {
 	return r.timedDo(ctx, "truncate", func(conn net.Conn, br *bufio.Reader) error {
-		if err := writeJSON(conn, kindTruncate, truncateMsg{Proc: proc, FullSeq: fullSeq}); err != nil {
+		p, tenant, stripe := r.splitWireLocked(proc)
+		if err := writeJSON(conn, kindTruncate, truncateMsg{Proc: p, Tenant: tenant, Stripe: stripe, FullSeq: fullSeq}); err != nil {
 			return err
 		}
 		_, err := expect(br, r.cfg.MaxFrame, kindOK)
@@ -534,7 +620,8 @@ func (r *RemoteStore) Truncate(ctx context.Context, proc string, fullSeq int) er
 // own durable state.
 func (r *RemoteStore) Scrub(ctx context.Context, proc string, repair bool) (rep *storage.ScrubReport, err error) {
 	err = r.timedDo(ctx, "scrub", func(conn net.Conn, br *bufio.Reader) error {
-		if err := writeJSON(conn, kindScrub, scrubMsg{Proc: proc, Repair: repair}); err != nil {
+		p, tenant, stripe := r.splitWireLocked(proc)
+		if err := writeJSON(conn, kindScrub, scrubMsg{Proc: p, Tenant: tenant, Stripe: stripe, Repair: repair}); err != nil {
 			return err
 		}
 		payload, err := expect(br, r.cfg.MaxFrame, kindScrubRep)

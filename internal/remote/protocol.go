@@ -58,9 +58,23 @@ const (
 	kindErr       byte = 0x7f // JSON errMsg
 )
 
-// protocolVersion is negotiated by the hello exchange; a server refuses
-// clients it cannot serve rather than mis-parsing their frames.
-const protocolVersion = 1
+// Protocol versions negotiated by the hello exchange. Version 2 added
+// tenant namespacing: request messages carry (tenant, proc, stripe)
+// fields the server composes into flat store keys, plus the quota and
+// backpressure error codes. A v2 server still serves v1 clients (their
+// proc names map onto the default namespace), and a v2 client told
+// "version 2 unsupported" redials speaking v1 — sending its composed
+// keys verbatim, which a v1 server stores as plain default-namespace
+// proc names. Either direction degrades instead of failing mid-Put.
+const (
+	protocolVersion   = 2
+	protocolVersionV1 = 1
+)
+
+// clientCaps are the capability strings a v2 client advertises in its
+// hello. The version number is what gates behavior today; the capability
+// list lets future revisions add features without another version bump.
+var clientCaps = []string{"tenancy", "stripes", "quota", "backpressure"}
 
 // DefaultMaxFrame bounds a single frame (and therefore a single stored
 // checkpoint element, which Get returns in one kindElem frame).
@@ -81,21 +95,44 @@ const (
 	codeBadFrame = "bad-request"
 	codeConflict = "conflict" // same (proc, seq) committed with different bytes
 	codeInternal = "internal"
+	// codeQuota reports storage.ErrQuotaExceeded: the tenant is over its
+	// admission limits. Terminal — retrying cannot free quota.
+	codeQuota = "quota-exceeded"
+	// codeBackpressure reports that the server's staging pool is full.
+	// Transient by design: clients retry with backoff, which is the
+	// bounded-staging replacement for accepting unlimited partial objects.
+	codeBackpressure = "backpressure"
 )
 
 type helloMsg struct {
 	Version int `json:"v"`
+	// Caps advertises optional capabilities (v2+). Unknown strings are
+	// ignored by both sides; v1 peers never see the field.
+	Caps []string `json:"caps,omitempty"`
 }
 
+// procMsg names one chain. V2 splits the namespace out of the proc name:
+// Tenant "" means the default namespace, Stripe names a stripe chain of
+// the proc. V1 connections leave both empty and Proc is the flat store
+// key itself.
 type procMsg struct {
-	Proc string `json:"proc"`
+	Proc   string `json:"proc"`
+	Tenant string `json:"tenant,omitempty"`
+	Stripe string `json:"stripe,omitempty"`
 }
 
 type putBeginMsg struct {
-	Proc string `json:"proc"`
-	Seq  int    `json:"seq"`
-	Size int64  `json:"size"`
-	CRC  uint32 `json:"crc"` // CRC-32C of the whole object
+	Proc   string `json:"proc"`
+	Tenant string `json:"tenant,omitempty"`
+	Stripe string `json:"stripe,omitempty"`
+	Seq    int    `json:"seq"`
+	Size   int64  `json:"size"`
+	CRC    uint32 `json:"crc"` // CRC-32C of the whole object
+	// Migrate marks a rebalance-migration copy of an already-committed
+	// element: the server exempts it from tenant quota admission (it was
+	// admitted when first written). V1 servers ignore the field — they
+	// have no quota layer to exempt it from.
+	Migrate bool `json:"migrate,omitempty"`
 }
 
 type putOffsetMsg struct {
@@ -109,11 +146,15 @@ type putAckMsg struct {
 
 type truncateMsg struct {
 	Proc    string `json:"proc"`
+	Tenant  string `json:"tenant,omitempty"`
+	Stripe  string `json:"stripe,omitempty"`
 	FullSeq int    `json:"fullSeq"`
 }
 
 type scrubMsg struct {
 	Proc   string `json:"proc"`
+	Tenant string `json:"tenant,omitempty"`
+	Stripe string `json:"stripe,omitempty"`
 	Repair bool   `json:"repair"`
 }
 

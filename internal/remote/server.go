@@ -24,8 +24,19 @@ type ServerConfig struct {
 	MaxFrame int
 	// MaxObject bounds a single staged checkpoint object (0 selects 1 GiB).
 	MaxObject int64
+	// MaxStagingBytes bounds the sum of declared sizes across all partial
+	// transfers (0 selects 256 MiB). A PutBegin that would take the pool
+	// past the bound is refused with a backpressure error the client
+	// retries with backoff — bounded staging instead of letting slow or
+	// crashed writers pin unlimited server memory. Objects larger than the
+	// bound itself are rejected terminally (they could never stage).
+	MaxStagingBytes int64
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
+
+	// maxVersion caps the protocol version the server will negotiate;
+	// tests pin it to protocolVersionV1 to stand in for a legacy peer.
+	maxVersion int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -38,6 +49,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.MaxObject <= 0 {
 		c.MaxObject = 1 << 30
 	}
+	if c.MaxStagingBytes <= 0 {
+		c.MaxStagingBytes = 256 << 20
+	}
+	if c.maxVersion <= 0 {
+		c.maxVersion = protocolVersion
+	}
 	return c
 }
 
@@ -45,9 +62,10 @@ func (c ServerConfig) withDefaults() ServerConfig {
 // the connection that started it so a reconnecting client can resume at the
 // staged offset instead of resending from zero.
 type staging struct {
-	size int64
-	crc  uint32
-	buf  []byte // len(buf) == staged bytes so far
+	size    int64
+	crc     uint32
+	buf     []byte // len(buf) == staged bytes so far
+	migrate bool   // rebalance copy: exempt from quota admission at commit
 }
 
 // objKey identifies one checkpoint object in the staging and committed
@@ -72,6 +90,10 @@ type Server struct {
 	mu        sync.Mutex
 	staging   map[objKey]*staging // partial transfers awaiting commit
 	committed map[objKey]uint32   // object CRCs, for idempotent retries
+	// stagingDeclared is the sum of declared sizes over s.staging — the
+	// reservation MaxStagingBytes bounds. Declared size, not staged bytes:
+	// admission happens at PutBegin, before any data arrives.
+	stagingDeclared int64
 
 	lnMu   sync.Mutex
 	ln     net.Listener
@@ -202,6 +224,9 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 		curKey  objKey
 		haveKey bool
 		cur     *staging
+		// connVer is the protocol version the hello exchange negotiated
+		// for this connection; until a hello arrives, v1 is assumed.
+		connVer = protocolVersionV1
 		// sendBuf batches a Get reply's element frames into few large
 		// writes; reused across requests, released if a big chain grew it.
 		sendBuf []byte
@@ -220,11 +245,16 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 			if err := decodeJSON(payload, &h); err != nil {
 				return err
 			}
-			if h.Version != protocolVersion {
+			if h.Version < protocolVersionV1 || h.Version > s.cfg.maxVersion {
 				s.sendErr(conn, codeBadFrame, fmt.Sprintf("protocol version %d unsupported", h.Version))
 				return fmt.Errorf("remote: client speaks version %d", h.Version)
 			}
-			if err := writeJSON(conn, kindHelloOK, helloMsg{Version: protocolVersion}); err != nil {
+			// Serve the client's version: a v1 peer keeps its flat proc
+			// names (the default namespace), a v2 peer gets tenancy. The
+			// reply echoes the negotiated version plus this server's
+			// capabilities; v1 clients ignore the extra field.
+			connVer = h.Version
+			if err := writeJSON(conn, kindHelloOK, helloMsg{Version: connVer, Caps: clientCaps}); err != nil {
 				return err
 			}
 
@@ -233,7 +263,15 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 			if err := decodeJSON(payload, &m); err != nil {
 				return err
 			}
-			key, reply, err := s.beginPut(ctx, m)
+			name, err := wireKey(connVer, m.Proc, m.Tenant, m.Stripe)
+			if err != nil {
+				if e := s.sendStoreErr(conn, err); e != nil {
+					return e
+				}
+				haveKey, cur = false, nil
+				continue
+			}
+			key, reply, err := s.beginPut(ctx, name, m)
 			if err != nil {
 				if e := s.sendStoreErr(conn, err); e != nil {
 					return e
@@ -320,7 +358,14 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 			if err := decodeJSON(payload, &m); err != nil {
 				return err
 			}
-			chain, missing, err := s.store.Get(ctx, m.Proc)
+			name, err := wireKey(connVer, m.Proc, m.Tenant, m.Stripe)
+			if err != nil {
+				if e := s.sendStoreErr(conn, err); e != nil {
+					return e
+				}
+				continue
+			}
+			chain, missing, err := s.store.Get(ctx, name)
 			if err != nil {
 				if e := s.sendStoreErr(conn, err); e != nil {
 					return e
@@ -369,12 +414,19 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 			if err := decodeJSON(payload, &m); err != nil {
 				return err
 			}
-			delErr := s.store.Delete(ctx, m.Proc)
+			name, err := wireKey(connVer, m.Proc, m.Tenant, m.Stripe)
+			if err != nil {
+				if e := s.sendStoreErr(conn, err); e != nil {
+					return e
+				}
+				continue
+			}
+			delErr := s.store.Delete(ctx, name)
 			if delErr == nil {
 				// The store no longer holds the chain: stale committed and
 				// staging entries would otherwise ack a re-Put of a deleted
 				// checkpoint without writing anything.
-				s.forget(m.Proc, func(int) bool { return true })
+				s.forget(name, func(int) bool { return true })
 			}
 			if err := s.reply(conn, delErr); err != nil {
 				return err
@@ -385,9 +437,16 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 			if err := decodeJSON(payload, &m); err != nil {
 				return err
 			}
-			truncErr := s.store.Truncate(ctx, m.Proc, m.FullSeq)
+			name, err := wireKey(connVer, m.Proc, m.Tenant, m.Stripe)
+			if err != nil {
+				if e := s.sendStoreErr(conn, err); e != nil {
+					return e
+				}
+				continue
+			}
+			truncErr := s.store.Truncate(ctx, name, m.FullSeq)
 			if truncErr == nil {
-				s.forget(m.Proc, func(seq int) bool { return seq < m.FullSeq })
+				s.forget(name, func(seq int) bool { return seq < m.FullSeq })
 			}
 			if err := s.reply(conn, truncErr); err != nil {
 				return err
@@ -398,7 +457,14 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 			if err := decodeJSON(payload, &m); err != nil {
 				return err
 			}
-			rep, err := s.store.Scrub(ctx, m.Proc, m.Repair)
+			name, err := wireKey(connVer, m.Proc, m.Tenant, m.Stripe)
+			if err != nil {
+				if e := s.sendStoreErr(conn, err); e != nil {
+					return e
+				}
+				continue
+			}
+			rep, err := s.store.Scrub(ctx, name, m.Repair)
 			if err != nil {
 				if e := s.sendStoreErr(conn, err); e != nil {
 					return e
@@ -415,29 +481,66 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 	}
 }
 
-// beginPut opens (or resumes) a transfer, answering with the offset the
-// client should send from. The store probe for a possibly-restarted server
-// runs outside s.mu — it does real I/O, and holding the mutex across it
-// would serialize every other transfer behind one disk read.
-func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key objKey, reply putOffsetMsg, err error) {
-	// The proc name becomes a map-key field here and a path component on
-	// the backing store; reject what the storage boundary rejects — NUL
-	// bytes in particular used to truncate the old string-encoded key.
-	if err := storage.ValidateProcName(m.Proc); err != nil {
-		return key, reply, err
+// wireKey validates a request's addressing fields against the protocol
+// version its connection negotiated and composes the flat store key. V1
+// connections address flat keys directly under the raw store rule (the
+// proc name becomes a map-key field and a path component on the backing
+// store; NUL bytes in particular used to truncate the old string-encoded
+// staging key). V2 connections must pass the stricter user rule for the
+// proc part — the separators belong to the server — plus tenant and
+// stripe validation, so one tenant cannot smuggle a name that addresses
+// another tenant's chain.
+func wireKey(ver int, proc, tenant, stripe string) (string, error) {
+	if ver < protocolVersion {
+		if err := storage.ValidateProcName(proc); err != nil {
+			return "", err
+		}
+		return proc, nil
 	}
+	if err := storage.ValidateUserProcName(proc); err != nil {
+		return "", err
+	}
+	if tenant == "" {
+		tenant = storage.DefaultTenant
+	}
+	if err := storage.ValidateTenantName(tenant); err != nil {
+		return "", err
+	}
+	if stripe != "" {
+		if _, _, ok := storage.ParseStripeLabel(stripe); !ok {
+			return "", fmt.Errorf("remote: %w: malformed stripe label %q", storage.ErrBadProcName, stripe)
+		}
+	}
+	return storage.ComposeKey(tenant, proc, stripe), nil
+}
+
+// errBackpressure reports a full staging pool; the client retries with
+// backoff rather than the server buffering without bound.
+var errBackpressure = errors.New("remote: staging pool full")
+
+// beginPut opens (or resumes) a transfer for the composed store key name,
+// answering with the offset the client should send from. The store probe
+// for a possibly-restarted server runs outside s.mu — it does real I/O,
+// and holding the mutex across it would serialize every other transfer
+// behind one disk read.
+func (s *Server) beginPut(ctx context.Context, name string, m putBeginMsg) (key objKey, reply putOffsetMsg, err error) {
 	if m.Seq < 0 || m.Size < 0 {
 		return key, reply, fmt.Errorf("remote: malformed put-begin %+v", m)
 	}
 	if m.Size > s.cfg.MaxObject {
 		return key, reply, fmt.Errorf("remote: object of %d bytes exceeds limit %d", m.Size, s.cfg.MaxObject)
 	}
-	key = objKey{proc: m.Proc, seq: m.Seq}
+	if m.Size > s.cfg.MaxStagingBytes {
+		// Terminal, not backpressure: an object larger than the whole pool
+		// could never stage no matter how long the client waits.
+		return key, reply, fmt.Errorf("remote: object of %d bytes exceeds staging pool %d", m.Size, s.cfg.MaxStagingBytes)
+	}
+	key = objKey{proc: name, seq: m.Seq}
 	s.mu.Lock()
 	if crc, ok := s.committed[key]; ok {
 		s.mu.Unlock()
 		if crc != m.CRC {
-			return key, reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
+			return key, reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, name, m.Seq)
 		}
 		return key, putOffsetMsg{Offset: m.Size, Committed: true}, nil
 	}
@@ -445,6 +548,7 @@ func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key objKey, reply
 	// removes the entry under the same lock), so a resume needs no store
 	// probe.
 	if st := s.staging[key]; st != nil && st.size == m.Size && st.crc == m.CRC {
+		st.migrate = st.migrate || m.Migrate
 		reply = putOffsetMsg{Offset: int64(len(st.buf))}
 		s.mu.Unlock()
 		return key, reply, nil
@@ -453,9 +557,9 @@ func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key objKey, reply
 
 	// The server may have restarted since the object was committed: consult
 	// the store itself before treating this as a fresh transfer.
-	if crc, ok := s.storedCRC(ctx, m.Proc, m.Seq); ok {
+	if crc, ok := s.storedCRC(ctx, name, m.Seq); ok {
 		if crc != m.CRC {
-			return key, reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
+			return key, reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, name, m.Seq)
 		}
 		s.mu.Lock()
 		s.committed[key] = crc
@@ -467,18 +571,29 @@ func (s *Server) beginPut(ctx context.Context, m putBeginMsg) (key objKey, reply
 	if crc, ok := s.committed[key]; ok {
 		// Another connection committed the object while we probed the store.
 		if crc != m.CRC {
-			return key, reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, m.Proc, m.Seq)
+			return key, reply, fmt.Errorf("%w: %s seq %d already committed with different content", errConflict, name, m.Seq)
 		}
 		return key, putOffsetMsg{Offset: m.Size, Committed: true}, nil
 	}
 	st := s.staging[key]
 	if st == nil || st.size != m.Size || st.crc != m.CRC {
+		prior := int64(0)
+		if st != nil {
+			prior = st.size
+		}
+		// Admit against the bounded staging pool before allocating: the
+		// entry this transfer replaces returns its own reservation first.
+		if s.stagingDeclared-prior+m.Size > s.cfg.MaxStagingBytes {
+			return key, reply, fmt.Errorf("%w: %d of %d bytes reserved", errBackpressure, s.stagingDeclared, s.cfg.MaxStagingBytes)
+		}
 		if st != nil {
 			s.met.observeStaging(-len(st.buf))
 		}
+		s.stagingDeclared += m.Size - prior
 		st = &staging{size: m.Size, crc: m.CRC, buf: make([]byte, 0, m.Size)}
 		s.staging[key] = st
 	}
+	st.migrate = st.migrate || m.Migrate
 	return key, putOffsetMsg{Offset: int64(len(st.buf))}, nil
 }
 
@@ -520,6 +635,7 @@ func (s *Server) forget(proc string, drop func(seq int) bool) {
 	for key, st := range s.staging {
 		if key.proc == proc && drop(key.seq) {
 			s.met.observeStaging(-len(st.buf))
+			s.stagingDeclared -= st.size
 			delete(s.staging, key)
 		}
 	}
@@ -533,14 +649,21 @@ func (s *Server) commitPut(ctx context.Context, key objKey, st *staging) error {
 		return fmt.Errorf("remote: commit of incomplete transfer: %d of %d bytes", len(st.buf), st.size)
 	}
 	if got := crc32.Checksum(st.buf, crcTable); got != st.crc {
+		if _, ok := s.staging[key]; ok {
+			s.stagingDeclared -= st.size
+		}
 		delete(s.staging, key) // poisoned; force a fresh transfer
 		s.met.observeStaging(-len(st.buf))
 		s.mu.Unlock()
 		return fmt.Errorf("remote: staged object CRC mismatch: %08x != %08x", got, st.crc)
 	}
 	buf := st.buf
+	migrate := st.migrate
 	s.mu.Unlock()
 
+	if migrate {
+		ctx = storage.WithMigration(ctx)
+	}
 	err := s.store.Put(ctx, key.proc, key.seq, buf)
 	if err != nil && errors.Is(err, storage.ErrStaleSeq) {
 		// A duplicate of an object the store already holds (retry after a
@@ -554,6 +677,7 @@ func (s *Server) commitPut(ctx context.Context, key objKey, st *staging) error {
 		s.committed[key] = st.crc
 		if _, ok := s.staging[key]; ok {
 			s.met.observeStaging(-len(st.buf))
+			s.stagingDeclared -= st.size
 			delete(s.staging, key)
 		}
 		s.met.observeCommit()
@@ -588,6 +712,10 @@ func (s *Server) sendStoreErr(conn net.Conn, err error) error {
 		code = codeBadProc
 	} else if errors.Is(err, errConflict) {
 		code = codeConflict
+	} else if errors.Is(err, storage.ErrQuotaExceeded) {
+		code = codeQuota
+	} else if errors.Is(err, errBackpressure) {
+		code = codeBackpressure
 	}
 	return s.sendErr(conn, code, err.Error())
 }

@@ -1,0 +1,283 @@
+package ring
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"aic/internal/metrics"
+	"aic/internal/storage"
+)
+
+// Rebalancer migrates chains between peers after a ring membership
+// change. The protocol per chain is merge → copy → verify → release: the
+// chain's elements are merged across every replica holding any of them,
+// each new-set peer is healed with what it is missing, and only when every
+// merged element is verified byte-identical somewhere on the new set do
+// the peers that lost ownership delete their copies. A committed (tenant,
+// proc, seq) is therefore never dropped — a crash mid-rebalance leaves at
+// worst an extra replica, never a missing one.
+type Rebalancer struct {
+	// Replicas is the replication factor placements are computed at.
+	Replicas int
+	// Store resolves a peer name to its store; nil marks the peer
+	// unreachable (its copies are neither read nor released this round).
+	Store func(peer string) storage.Store
+	// Logf, when set, narrates chain migrations.
+	Logf func(format string, args ...any)
+
+	runs   *metrics.Counter // nil-safe when SetMetrics was not called
+	moves  *metrics.Counter
+	copied *metrics.Counter
+}
+
+// Report summarizes one rebalance round.
+type Report struct {
+	Keys        int      // chains examined
+	Moves       int      // chains whose replica set changed
+	CopiedBytes int64    // bytes streamed to gaining peers
+	Released    int      // copies deleted from losing peers
+	Deferred    []string // keys left over-replicated (verify or release failed)
+}
+
+// SetMetrics instruments the rebalancer against reg.
+func (rb *Rebalancer) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	rb.runs = reg.Counter("aic_ring_rebalance_total",
+		"Completed ring rebalance rounds.")
+	rb.moves = reg.Counter("aic_ring_chain_moves_total",
+		"Chains copied to a gaining peer during rebalances.")
+	rb.copied = reg.Counter("aic_ring_copy_bytes_total",
+		"Checkpoint bytes streamed to gaining peers during rebalances.")
+}
+
+func (rb *Rebalancer) logf(format string, args ...any) {
+	if rb.Logf != nil {
+		rb.Logf(format, args...)
+	}
+}
+
+// Rebalance migrates every chain whose replica set differs between old
+// and next. Chains it cannot fully establish on the new set are left
+// over-replicated and reported in Deferred — the next round retries them;
+// under-replication is never introduced. The error is non-nil only when
+// chain discovery itself failed.
+func (rb *Rebalancer) Rebalance(ctx context.Context, old, next *Ring) (*Report, error) {
+	keys, err := rb.discover(ctx, old, next)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Keys: len(keys)}
+	for _, m := range Diff(old, next, keys, rb.Replicas) {
+		rep.Moves++
+		if err := rb.moveChain(ctx, next, m, rep); err != nil {
+			rb.logf("ring: rebalance %s deferred: %v", m.Key, err)
+			rep.Deferred = append(rep.Deferred, m.Key)
+		}
+	}
+	rb.runs.Inc()
+	return rep, nil
+}
+
+// discover lists every chain on every reachable peer of both rings.
+func (rb *Rebalancer) discover(ctx context.Context, old, next *Ring) ([]string, error) {
+	seen := map[string]bool{}
+	peers := map[string]bool{}
+	for _, p := range old.Peers() {
+		peers[p] = true
+	}
+	for _, p := range next.Peers() {
+		peers[p] = true
+	}
+	reachable := 0
+	var firstErr error
+	for p := range peers {
+		st := rb.Store(p)
+		if st == nil {
+			continue
+		}
+		names, err := st.List(ctx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("ring: list %s: %w", p, err)
+			}
+			continue
+		}
+		reachable++
+		for _, n := range names {
+			seen[n] = true
+		}
+	}
+	if reachable == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, errors.New("ring: no reachable peers to rebalance")
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// moveChain executes one Move: merge the chain's committed elements across
+// every replica that holds any of them, copy what each new-set peer is
+// missing, verify every element is covered by the new set, then release
+// the losing peers' copies.
+func (rb *Rebalancer) moveChain(ctx context.Context, next *Ring, m Move, rep *Report) error {
+	// Copies of committed chains are migration traffic: quota admission on
+	// the gaining peer must not refuse them, or a tenant near its quota
+	// could never re-converge after a membership change (the data was
+	// admitted when first written; the loser's release returns the bytes).
+	ctx = storage.WithMigration(ctx)
+	chain, err := rb.mergedChain(ctx, next, m)
+	if err != nil {
+		return err
+	}
+	if len(chain) == 0 {
+		// Nothing committed under this key survives anywhere reachable;
+		// there is nothing to move, and nothing to release safely.
+		return fmt.Errorf("no readable replica of %s", m.Key)
+	}
+	gained := make(map[string]bool, len(m.Gained))
+	for _, p := range m.Gained {
+		gained[p] = true
+	}
+	newSet := next.Place(m.Key, rb.Replicas)
+	// Copy to every new-set peer missing elements, not just the gaining
+	// ones: a peer that kept its placement across an outage lacks the
+	// committed tail written while it was down, and releasing the losers
+	// without healing that hole could leave elements under-replicated.
+	// Stores append chains in sequence order, so a peer whose copy has an
+	// interior hole cannot be back-filled (the Put is stale to it) — such
+	// elements survive on the rest of the set, which verify checks below.
+	for _, peer := range newSet {
+		st := rb.Store(peer)
+		if st == nil {
+			return fmt.Errorf("new-set peer %s unreachable", peer)
+		}
+		var copied int64
+		for _, el := range chain {
+			err := st.Put(ctx, m.Key, el.Seq, el.Data)
+			if errors.Is(err, storage.ErrStaleSeq) {
+				continue // already holds this prefix (or cannot back-fill it)
+			}
+			if err != nil {
+				return fmt.Errorf("copy %s to %s: %w", m.Key, peer, err)
+			}
+			copied += int64(len(el.Data))
+		}
+		if copied == 0 && !gained[peer] {
+			continue
+		}
+		if gained[peer] {
+			rb.moves.Inc()
+		}
+		rb.copied.Add(float64(copied))
+		rep.CopiedBytes += copied
+		rb.logf("ring: copied %s →%s (%d bytes)", m.Key, peer, copied)
+	}
+	// Verify before releasing anything: every merged element must be held
+	// byte-identically by at least one new-set peer, and no new-set peer may
+	// hold a conflicting copy.
+	held := make(map[int]int, len(chain))
+	want := make(map[int][]byte, len(chain))
+	for _, el := range chain {
+		want[el.Seq] = el.Data
+	}
+	for _, peer := range newSet {
+		st := rb.Store(peer)
+		if st == nil {
+			return fmt.Errorf("new-set peer %s unreachable at verify", peer)
+		}
+		have, _, err := st.Get(ctx, m.Key)
+		if err != nil {
+			return fmt.Errorf("verify %s on %s: %w", m.Key, peer, err)
+		}
+		for _, el := range have {
+			data, ok := want[el.Seq]
+			if !ok {
+				continue
+			}
+			if !bytes.Equal(data, el.Data) {
+				return fmt.Errorf("verify %s on %s: seq %d differs", m.Key, peer, el.Seq)
+			}
+			held[el.Seq]++
+		}
+	}
+	for _, el := range chain {
+		if held[el.Seq] == 0 {
+			return fmt.Errorf("verify %s: seq %d not placed on the new set", m.Key, el.Seq)
+		}
+	}
+	for _, peer := range m.Lost {
+		st := rb.Store(peer)
+		if st == nil {
+			continue // unreachable loser keeps a stale extra copy; harmless
+		}
+		if err := st.Delete(ctx, m.Key); err != nil {
+			return fmt.Errorf("release %s from %s: %w", m.Key, peer, err)
+		}
+		rep.Released++
+		rb.logf("ring: released %s from %s", m.Key, peer)
+	}
+	return nil
+}
+
+// mergedChain unions the chain's elements across every reachable peer that
+// may hold any of them — the new replica set and the losers — taking the
+// first intact copy of each sequence. Merging, rather than electing one
+// source replica, is what preserves elements a partial outage or partial
+// admission left on only some replicas: a single replica's copy can have
+// holes another replica fills. Conflicting bytes for the same sequence
+// defer the move (no safe choice exists).
+func (rb *Rebalancer) mergedChain(ctx context.Context, next *Ring, m Move) ([]storage.Stored, error) {
+	candidates := map[string]bool{}
+	for _, p := range next.Place(m.Key, rb.Replicas) {
+		candidates[p] = true
+	}
+	for _, p := range m.Lost {
+		candidates[p] = true
+	}
+	order := make([]string, 0, len(candidates))
+	for p := range candidates {
+		order = append(order, p)
+	}
+	sort.Strings(order)
+	elems := map[int][]byte{}
+	for _, p := range order {
+		st := rb.Store(p)
+		if st == nil {
+			continue
+		}
+		chain, _, err := st.Get(ctx, m.Key)
+		if err != nil {
+			continue
+		}
+		for _, el := range chain {
+			if prior, ok := elems[el.Seq]; ok {
+				if !bytes.Equal(prior, el.Data) {
+					return nil, fmt.Errorf("replicas of %s disagree at seq %d", m.Key, el.Seq)
+				}
+				continue
+			}
+			elems[el.Seq] = el.Data
+		}
+	}
+	seqs := make([]int, 0, len(elems))
+	for seq := range elems {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	merged := make([]storage.Stored, 0, len(seqs))
+	for _, seq := range seqs {
+		merged = append(merged, storage.Stored{Seq: seq, Data: elems[seq]})
+	}
+	return merged, nil
+}

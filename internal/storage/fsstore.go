@@ -139,12 +139,91 @@ func (st *procState) unlock() { <-st.tok }
 // Target returns the store's bandwidth model.
 func (fs *FSStore) Target() Target { return fs.target }
 
-// procDir maps proc to its chain directory. Proc names are used verbatim —
-// every proc-addressed entry point validates with ValidateProcName first,
-// which is what keeps "../evil" or "a/b" from escaping the root or two
-// distinct names from colliding on one directory.
+// ProcDirName maps a proc name to its on-disk directory name, case-fold
+// escaped: uppercase letters become "!"+lowercase and a literal "!"
+// doubles, the Go module cache's encoding. ValidateProcName accepts names
+// differing only by letter case ("Web" vs "web"), and on a
+// case-insensitive filesystem (macOS, Windows) verbatim directories would
+// silently merge those two chains — interleaved manifests, cross-chain
+// stale-seq failures, data loss on Delete. Escaping is deterministic and
+// invertible, so distinct names get distinct directories everywhere and
+// List still round-trips the original spelling.
+func ProcDirName(proc string) string {
+	esc := proc
+	for i := 0; i < len(esc); i++ {
+		c := esc[i]
+		if c == '!' || ('A' <= c && c <= 'Z') {
+			return escapeSlow(proc)
+		}
+	}
+	return esc
+}
+
+// escapeSlow is ProcDirName's allocation path, taken only when the name
+// actually contains an uppercase letter or "!".
+func escapeSlow(proc string) string {
+	buf := make([]byte, 0, len(proc)+4)
+	for i := 0; i < len(proc); i++ {
+		switch c := proc[i]; {
+		case c == '!':
+			buf = append(buf, '!', '!')
+		case 'A' <= c && c <= 'Z':
+			buf = append(buf, '!', c+('a'-'A'))
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return string(buf)
+}
+
+// unescapeProcDir inverts ProcDirName. ok is false for directory names no
+// proc name escapes to (a bare trailing "!", "!" before anything but a
+// lowercase letter, or an unescaped uppercase letter), which List uses to
+// skip foreign directories instead of inventing names Get would reject.
+func unescapeProcDir(dir string) (string, bool) {
+	esc := false
+	for i := 0; i < len(dir); i++ {
+		if c := dir[i]; c == '!' || ('A' <= c && c <= 'Z') {
+			esc = true
+			break
+		}
+	}
+	if !esc {
+		return dir, true
+	}
+	buf := make([]byte, 0, len(dir))
+	for i := 0; i < len(dir); i++ {
+		c := dir[i]
+		if 'A' <= c && c <= 'Z' {
+			return "", false // escaped dirs are all-lowercase by construction
+		}
+		if c != '!' {
+			buf = append(buf, c)
+			continue
+		}
+		i++
+		if i == len(dir) {
+			return "", false
+		}
+		switch c = dir[i]; {
+		case c == '!':
+			buf = append(buf, '!')
+		case 'a' <= c && c <= 'z':
+			buf = append(buf, c-('a'-'A'))
+		default:
+			return "", false
+		}
+	}
+	return string(buf), true
+}
+
+// procDir maps proc to its chain directory. Every proc-addressed entry
+// point validates with ValidateProcName first, which is what keeps
+// "../evil" or "a/b" from escaping the root; ProcDirName's case-fold
+// escaping keeps two names that differ only by case from colliding on one
+// directory on case-insensitive filesystems.
 func (fs *FSStore) procDir(proc string) string {
-	return filepath.Join(fs.root, proc)
+	return filepath.Join(fs.root, ProcDirName(proc))
 }
 
 func (fs *FSStore) manifestPath(proc string) string {
@@ -185,8 +264,9 @@ func (fs *FSStore) saveManifest(st *procState, proc string, m *manifest) error {
 func ckptFile(seq int) string { return fmt.Sprintf("ckpt-%08d.aic", seq) }
 
 // List returns the process names with chains in the store, sorted. Names
-// round-trip exactly: valid proc names are used as directory names
-// verbatim.
+// round-trip exactly: directory names are ProcDirName escapings, inverted
+// here, so a stored name comes back with its original spelling. Foreign
+// directories that no proc name maps to are skipped.
 func (fs *FSStore) List(ctx context.Context) ([]string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -197,8 +277,11 @@ func (fs *FSStore) List(ctx context.Context) ([]string, error) {
 	}
 	var procs []string
 	for _, e := range entries {
-		if e.IsDir() {
-			procs = append(procs, e.Name())
+		if !e.IsDir() {
+			continue
+		}
+		if proc, ok := unescapeProcDir(e.Name()); ok {
+			procs = append(procs, proc)
 		}
 	}
 	sort.Strings(procs)

@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func TestProcDirNameRoundTrip(t *testing.T) {
+	cases := map[string]string{
+		"web":      "web",
+		"Web":      "!web",
+		"WEB":      "!w!e!b",
+		"a!b":      "a!!b",
+		"A!B":      "!a!!!b",
+		"Mixed-01": "!mixed-01",
+	}
+	for proc, want := range cases {
+		if got := ProcDirName(proc); got != want {
+			t.Errorf("ProcDirName(%q) = %q, want %q", proc, got, want)
+		}
+		back, ok := unescapeProcDir(ProcDirName(proc))
+		if !ok || back != proc {
+			t.Errorf("unescapeProcDir(ProcDirName(%q)) = (%q, %v)", proc, back, ok)
+		}
+	}
+	// Directory names no proc name escapes to are rejected, not guessed at.
+	for _, dir := range []string{"!", "a!", "!1", "!A", "Upper"} {
+		if back, ok := unescapeProcDir(dir); ok {
+			t.Errorf("unescapeProcDir(%q) = (%q, ok), want reject", dir, back)
+		}
+	}
+}
+
+// TestFSStoreCaseFoldCollision is the regression test for the
+// case-insensitive-filesystem bug: ValidateProcName accepts "Web" and
+// "web" as distinct procs, but verbatim directory names merged their
+// chains wherever the filesystem case-folds. The escaped layout must give
+// them distinct directories even when compared case-insensitively, and
+// both spellings must round-trip through List.
+func TestFSStoreCaseFoldCollision(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	fs, err := NewFSStore(dir, Target{Name: "dir"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fs.Put(ctx, "Web", 1, []byte("upper-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(ctx, "web", 1, []byte("lower-1")); err != nil {
+		t.Fatalf("Put(web) after Put(Web) = %v; chains case-folded together", err)
+	}
+
+	// The two directories must differ even under case folding.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for _, e := range entries {
+		folded := ProcDirName(e.Name()) // folding an escaped name lowercases nothing further
+		if prior, dup := seen[folded]; dup {
+			t.Fatalf("directories %q and %q collide case-insensitively", prior, e.Name())
+		}
+		seen[folded] = e.Name()
+	}
+
+	// Chains stay isolated and both spellings list back verbatim.
+	upper, _, err := fs.Get(ctx, "Web")
+	if err != nil || len(upper) != 1 || string(upper[0].Data) != "upper-1" {
+		t.Fatalf("Get(Web) = (%v, %v)", upper, err)
+	}
+	lower, _, err := fs.Get(ctx, "web")
+	if err != nil || len(lower) != 1 || string(lower[0].Data) != "lower-1" {
+		t.Fatalf("Get(web) = (%v, %v)", lower, err)
+	}
+	procs, err := fs.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(procs)
+	if len(procs) != 2 || procs[0] != "Web" || procs[1] != "web" {
+		t.Fatalf("List = %v, want [Web web]", procs)
+	}
+
+	// Delete removes only its own spelling's chain.
+	if err := fs.Delete(ctx, "Web"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "web")); err != nil {
+		t.Fatalf("lowercase chain directory gone after Delete(Web): %v", err)
+	}
+	if chain, _, _ := fs.Get(ctx, "web"); len(chain) != 1 {
+		t.Fatalf("web chain lost: %v", chain)
+	}
+}
+
+func TestFSStoreListSkipsForeignDirs(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	fs, err := NewFSStore(dir, Target{Name: "dir"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(ctx, "ok", 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A directory that no proc name escapes to (e.g. dropped there by an
+	// operator) must not surface as a listable proc.
+	if err := os.Mkdir(filepath.Join(dir, "Foreign!"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	procs, err := fs.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 1 || procs[0] != "ok" {
+		t.Fatalf("List = %v, want [ok]", procs)
+	}
+}

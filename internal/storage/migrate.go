@@ -1,0 +1,22 @@
+package storage
+
+import "context"
+
+type migrationCtxKey struct{}
+
+// WithMigration marks ctx as carrying rebalance-migration traffic: copies
+// of already-committed chain elements moving between peers after a ring
+// membership change. Quota admission does not apply to migration — the
+// bytes were admitted against the tenant's quota when first written, and
+// refusing the copy would strand a committed checkpoint on a peer that
+// lost its placement. Usage accounting still applies, so a gaining peer
+// may transiently read over quota until the losing peer releases its copy.
+func WithMigration(ctx context.Context) context.Context {
+	return context.WithValue(ctx, migrationCtxKey{}, true)
+}
+
+// IsMigration reports whether ctx was marked by WithMigration.
+func IsMigration(ctx context.Context) bool {
+	v, _ := ctx.Value(migrationCtxKey{}).(bool)
+	return v
+}

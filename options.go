@@ -38,8 +38,21 @@ var ErrDegraded = errors.New("aic: replication degraded to local-only")
 // ErrBadProcName reports a process name every Store rejects at its
 // boundary: empty, containing a path separator or NUL byte, or a "." /
 // ".." directory reference. Rejection happens before any I/O, locally and
-// across the replication wire alike; match with errors.Is.
+// across the replication wire alike; match with errors.Is. At the
+// multi-tenant client boundary the rule is stricter: "@" and "#" are
+// reserved for tenant namespacing and stripe chains.
 var ErrBadProcName = storage.ErrBadProcName
+
+// ErrQuotaExceeded reports a checkpoint rejected by its tenant's
+// admission quota (bytes or chain count). It is terminal — retrying
+// cannot free quota — and crosses the replication wire intact; match with
+// errors.Is.
+var ErrQuotaExceeded = storage.ErrQuotaExceeded
+
+// TenantQuota is the per-tenant admission limit enforced by a quota-
+// wrapped store (cmd/aicd's -quota-bytes / -quota-chains flags, or a
+// storage.QuotaStore in process). Zero fields are unlimited.
+type TenantQuota = storage.Quota
 
 // DegradedError carries the quorum failure behind an ErrDegraded result.
 type DegradedError struct {
@@ -47,6 +60,7 @@ type DegradedError struct {
 	Err error
 }
 
+// Error renders the degraded sentinel, the failed op, and the cause.
 func (e *DegradedError) Error() string {
 	return fmt.Sprintf("%v: %s: %v", ErrDegraded, e.Op, e.Err)
 }
@@ -146,6 +160,13 @@ func buildConfig(opts []Option) config {
 // OpenCheckpointDir opens (creating if needed) a checkpoint directory.
 // Options may replace the backing store (WithStore) and add peer
 // replication (WithReplication).
+//
+// Deprecated: OpenCheckpointDir remains fully supported for single-node,
+// single-namespace deployments, but new multi-peer code should use
+// NewClient, which adds consistent-hash placement, tenant namespaces,
+// per-tenant quotas and striped large checkpoints on the same wire
+// protocol. A CheckpointDir maps onto the default tenant: chains it wrote
+// are readable through NewClient's Namespace("default") unchanged.
 func OpenCheckpointDir(dir string, opts ...Option) (*CheckpointDir, error) {
 	c := buildConfig(opts)
 	local := c.store
