@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: help build lint test race fuzz-smoke cover bench bench-smoke
+.PHONY: help build lint test race fuzz-smoke chaos-smoke cover bench bench-smoke
 
 help: ## list targets
 	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
@@ -30,18 +30,22 @@ race: ## full suite under the race detector, shuffled, as CI runs it
 
 fuzz-smoke: ## short runs of every fuzz target, as CI runs them
 	$(GO) test -run=^$$ -fuzz=FuzzPageAlignedParallel -fuzztime=20s ./internal/delta
+	$(GO) test -run=^$$ -fuzz=FuzzChunker -fuzztime=20s ./internal/delta
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=20s ./internal/remote
 	$(GO) test -run=^$$ -fuzz=FuzzParseSchedule -fuzztime=20s ./internal/chaos
+
+chaos-smoke: ## compaction-racing-faults chaos scenario under the race detector
+	$(GO) test -race -short -run 'TestCompactionChaos' ./internal/chaos
 
 cover: ## coverage profile + per-function summary
 	$(GO) test -shuffle=on -coverprofile=coverage.out -coverpkg=./... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-bench: ## full pinned perf suite; writes BENCH_7.json against the BENCH_6.json baseline
-	$(GO) run ./cmd/aicbench -json -out BENCH_7.json -baseline-from BENCH_6.json
-	$(GO) run ./cmd/aicbench -check BENCH_7.json -max-regress 25
+bench: ## full pinned perf suite; writes BENCH_9.json against the BENCH_7.json baseline
+	$(GO) run ./cmd/aicbench -json -out BENCH_9.json -baseline-from BENCH_7.json
+	$(GO) run ./cmd/aicbench -check BENCH_9.json -max-regress 25
 
 bench-smoke: ## CI-sized perf suite + schema validation of the committed report
 	$(GO) run ./cmd/aicbench -json -short -out /tmp/bench-smoke.json
 	$(GO) run ./cmd/aicbench -check /tmp/bench-smoke.json
-	$(GO) run ./cmd/aicbench -check BENCH_7.json
+	$(GO) run ./cmd/aicbench -check BENCH_9.json

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"aic/internal/ckpt"
+	"aic/internal/compact"
 	"aic/internal/control"
 	"aic/internal/delta"
 	"aic/internal/memsim"
@@ -235,6 +237,9 @@ type CheckpointDir struct {
 	met  *dirMetrics         // nil unless instrumented
 	ctrl *control.Controller // nil unless opened WithAdaptiveControl
 
+	comp         *compact.Compactor // nil unless opened WithCompaction
+	compInterval time.Duration      // WithCompaction's Interval knob
+
 	// Adaptive-control knob positions (see adaptive.go). Atomics so the
 	// controller's actuator writes never contend with hot-path reads; the
 	// zero values mean "all knobs at defaults, replication on".
@@ -333,6 +338,43 @@ func (d *CheckpointDir) Remove(ctx context.Context, proc string) error {
 // Procs lists the process names with chains in the local store.
 func (d *CheckpointDir) Procs(ctx context.Context) ([]string, error) {
 	return d.local.List(ctx)
+}
+
+// Compact runs one compaction pass over every local chain: chains longer
+// than the configured MaxChain are folded into a fresh full anchor plus
+// the Keep newest elements, then (on a dedup-enabled directory) the chunk
+// store is garbage-collected. Writers are never paused — a flip that loses
+// to a concurrent append or truncate is reported in the Raced list and
+// retried next pass. Requires WithCompaction at open.
+func (d *CheckpointDir) Compact(ctx context.Context) (*CompactionReport, error) {
+	if d.comp == nil {
+		return nil, fmt.Errorf("aic: compaction not configured; open WithCompaction")
+	}
+	return d.comp.RunOnce(ctx)
+}
+
+// RunCompaction drives Compact on a timer until ctx is cancelled,
+// returning ctx.Err(). A non-positive interval selects the
+// CompactionConfig's Interval (default one minute). Pass errors are
+// absorbed; the next tick retries. Requires WithCompaction at open.
+func (d *CheckpointDir) RunCompaction(ctx context.Context, interval time.Duration) error {
+	if d.comp == nil {
+		return fmt.Errorf("aic: compaction not configured; open WithCompaction")
+	}
+	if interval <= 0 {
+		interval = d.compInterval
+	}
+	return d.comp.Run(ctx, interval)
+}
+
+// DedupStats reports the chunk store behind a WithDedup directory: live
+// chunks, logical bytes referenced, physical bytes on disk. On a directory
+// opened without WithDedup the snapshot's Enabled field is false.
+func (d *CheckpointDir) DedupStats(ctx context.Context) (DedupStats, error) {
+	if fs, ok := d.local.(*storage.FSStore); ok {
+		return fs.DedupStats(ctx)
+	}
+	return DedupStats{}, nil
 }
 
 // Close releases resources held by the backing store (network connections to

@@ -5,9 +5,9 @@
 //
 //	aicbench -experiment all            # every table and figure
 //	aicbench -experiment fig11 -seed 7  # one experiment, custom seed
-//	aicbench -json -out BENCH_7.json    # machine-readable perf suite
+//	aicbench -json -out BENCH_9.json    # machine-readable perf suite
 //	aicbench -json -short               # CI-smoke-sized perf suite
-//	aicbench -check BENCH_7.json        # schema-validate an existing report
+//	aicbench -check BENCH_9.json        # schema-validate an existing report
 //
 // Experiments: fig2, fig5, fig6, fig7, fig11, fig12, table1, table3,
 // ablations.
@@ -37,7 +37,7 @@ func main() {
 	format := flag.String("format", "text", "text | csv (csv supports the figure/table experiments)")
 	jsonMode := flag.Bool("json", false, "run the pinned perf suite and write a machine-readable report")
 	short := flag.Bool("short", false, "with -json: CI-smoke-sized suite")
-	out := flag.String("out", "BENCH_7.json", "with -json: report output path")
+	out := flag.String("out", "BENCH_9.json", "with -json: report output path")
 	baselineFrom := flag.String("baseline-from", "", "with -json: prior report whose current run becomes this report's baseline")
 	runLabel := flag.String("run-label", "", "with -json: label for the current run (default: timestamped)")
 	check := flag.String("check", "", "schema-validate an existing report and exit")

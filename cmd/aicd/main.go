@@ -11,6 +11,16 @@
 //	aicd -listen :9337 -dir /var/lib/aic/peer
 //	aicd -listen :9337 -dir /var/lib/aic/peer -metrics :9338
 //	aicd -listen :9337 -dir /var/lib/aic/peer -quota-bytes 1073741824 -quota-chains 64
+//	aicd -listen :9337 -dir /var/lib/aic/peer -dedup -compact-interval 1m
+//
+// -dedup turns on chunk-level content-addressed storage: checkpoints are
+// cut into content-defined chunks and identical content — across procs,
+// tenants and ring replicas landing on this peer — is stored once, with
+// durable refcounts. -compact-interval arms the online chain compactor:
+// chains longer than -compact-max-chain are folded into a fresh full
+// anchor plus the -compact-keep newest elements without pausing incoming
+// replication, and unreferenced chunks are garbage-collected after each
+// pass. See DESIGN.md §16.
 //
 // A peer is multi-tenant: protocol-v2 clients address chains as
 // (tenant, proc), each tenant isolated in its own namespace of the one
@@ -40,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"aic/internal/compact"
 	"aic/internal/control"
 	"aic/internal/metrics"
 	"aic/internal/remote"
@@ -57,6 +68,10 @@ func main() {
 	quotaBytes := flag.Int64("quota-bytes", 0, "per-tenant stored-byte quota; writes past it are rejected with a quota error (0 = unlimited)")
 	quotaChains := flag.Int("quota-chains", 0, "per-tenant chain-count quota (stripe chains excluded; 0 = unlimited)")
 	stagingMax := flag.Int64("staging-max", 0, "bound on in-flight transfer staging bytes; clients past it back off and retry (0 = default 256 MiB)")
+	dedup := flag.Bool("dedup", false, "store checkpoints as content-addressed chunks; identical content across procs/tenants is stored once (requires -dir)")
+	compactEvery := flag.Duration("compact-interval", 0, "run the online chain compactor this often (0 disables)")
+	compactMaxChain := flag.Int("compact-max-chain", compact.DefaultMaxChain, "chain length that triggers compaction")
+	compactKeep := flag.Int("compact-keep", compact.DefaultKeep, "newest chain elements a compaction keeps (the restore-rewind bound)")
 	flag.Parse()
 
 	var (
@@ -101,8 +116,9 @@ func main() {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
+	var reg *metrics.Registry
 	if *metricsAddr != "" {
-		reg := metrics.NewRegistry()
+		reg = metrics.NewRegistry()
 		srv.SetMetrics(reg)
 		if fs, ok := raw.(*storage.FSStore); ok {
 			fs.SetMetrics(reg)
@@ -133,6 +149,34 @@ func main() {
 		}()
 		defer msrv.Close()
 	}
+
+	if *dedup {
+		fs, ok := raw.(*storage.FSStore)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "aicd: -dedup requires a directory store (-dir)")
+			os.Exit(2)
+		}
+		if err := fs.EnableDedup(ctx, storage.DedupConfig{}); err != nil {
+			log.Fatalf("aicd: dedup: %v", err)
+		}
+		st, _ := fs.DedupStats(ctx)
+		log.Printf("aicd: content-addressed dedup on: %d chunks, ratio %.2f", st.Chunks, st.Ratio())
+	}
+	if *compactEvery > 0 {
+		cs, ok := raw.(compact.Store)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "aicd: -compact-interval requires a store with anchor replacement")
+			os.Exit(2)
+		}
+		comp := compact.New(cs, compact.Config{MaxChain: *compactMaxChain, Keep: *compactKeep, Metrics: reg})
+		go func() {
+			if err := comp.Run(ctx, *compactEvery); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("aicd: compactor: %v", err)
+			}
+		}()
+		log.Printf("aicd: compactor armed: every %v, max-chain %d, keep %d", *compactEvery, *compactMaxChain, *compactKeep)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {

@@ -1,0 +1,457 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"aic"
+	"aic/internal/ckpt"
+	"aic/internal/memsim"
+	"aic/internal/recovery"
+	"aic/internal/storage"
+)
+
+// CompactionChaosConfig parameterizes one compaction-racing-faults run:
+// the online compactor folding chains while writers append, a replication
+// peer dies and revives, bit flips land in committed files, and Scrub,
+// RestoreLatestGood and Truncate all run concurrently. The zero value of
+// every field selects defaults sized for a sub-second run.
+type CompactionChaosConfig struct {
+	Seed     uint64
+	Procs    int    // concurrent writer chains (default 3)
+	Steps    int    // checkpoints each writer commits (default 60)
+	FullEach int    // a full checkpoint every FullEach steps (default 12)
+	MaxChain int    // compactor trigger length (default 10)
+	Keep     int    // compactor keep-k retention (default 4)
+	Dir      string // parent for the scratch store ("" = os temp)
+}
+
+func (c CompactionChaosConfig) withDefaults() CompactionChaosConfig {
+	if c.Procs <= 0 {
+		c.Procs = 3
+	}
+	if c.Steps <= 0 {
+		c.Steps = 60
+	}
+	if c.FullEach <= 0 {
+		c.FullEach = 12
+	}
+	if c.MaxChain <= 0 {
+		c.MaxChain = 10
+	}
+	if c.Keep <= 0 {
+		c.Keep = 4
+	}
+	return c
+}
+
+// CompactionChaosResult reports one run. The invariants checked are the
+// compactor's whole contract under fire:
+//
+//   - a restore never returns wrong bytes: whatever seq it lands on, the
+//     image and CPU state are exactly what the writer committed there
+//     (bit-flipped elements may shorten the restore, never corrupt it);
+//   - compaction and chunk GC never eat live data: after the final
+//     compact+GC pass every chain still restores to its writer's image;
+//   - the store scrubs clean once repair has run.
+type CompactionChaosResult struct {
+	Transcript []string
+	Violations []string
+
+	Appends      int // checkpoints acknowledged (clean or degraded)
+	Degraded     int // appends acknowledged while the peer was dead
+	Compactions  int // chains folded by the background compactor
+	Raced        int // benign compactor flips lost to writers
+	FlipsLanded  int // bit flips injected into committed files
+	Restores     int // concurrent restore probes that ran
+	ElemsDropped int // chain elements folded away in total
+}
+
+// Failed reports whether the run missed any expectation.
+func (r *CompactionChaosResult) Failed() bool { return len(r.Violations) > 0 }
+
+// flakyPeer is a replication peer that can be killed and revived: while
+// dead every operation fails, the way a crashed aicd looks to the client.
+type flakyPeer struct {
+	*storage.LevelStore
+	down atomic.Bool
+}
+
+var errPeerDown = errors.New("chaos: peer is down")
+
+func (f *flakyPeer) Put(ctx context.Context, proc string, seq int, data []byte) error {
+	if f.down.Load() {
+		return errPeerDown
+	}
+	return f.LevelStore.Put(ctx, proc, seq, data)
+}
+
+func (f *flakyPeer) Truncate(ctx context.Context, proc string, fullSeq int) error {
+	if f.down.Load() {
+		return errPeerDown
+	}
+	return f.LevelStore.Truncate(ctx, proc, fullSeq)
+}
+
+// committedState is one writer's ledger of acknowledged checkpoints: the
+// exact image and CPU state every committed seq must restore to.
+type committedState struct {
+	mu       sync.Mutex
+	images   map[int]*memsim.AddressSpace
+	cpu      map[int][]byte
+	lastFull int
+	lastSeq  int
+}
+
+func (cs *committedState) record(seq int, as *memsim.AddressSpace, cpu []byte, full bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.images[seq] = as
+	cs.cpu[seq] = cpu
+	cs.lastSeq = seq
+	if full {
+		cs.lastFull = seq
+	}
+}
+
+// verify checks a restore outcome against the ledger: the landed seq must
+// be committed, and its bytes must match exactly.
+func (cs *committedState) verify(proc string, rep *recovery.GoodReport, as *memsim.AddressSpace, res *chaosCollector) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	want, ok := cs.images[rep.LastSeq]
+	if !ok {
+		res.violate("%s: restore landed on seq %d, which was never committed", proc, rep.LastSeq)
+		return
+	}
+	if !as.Equal(want) {
+		res.violate("%s: seq %d restored to a different image than was committed", proc, rep.LastSeq)
+	}
+	if !bytes.Equal(rep.CPUState, cs.cpu[rep.LastSeq]) {
+		res.violate("%s: seq %d restored different CPU state than was committed", proc, rep.LastSeq)
+	}
+}
+
+// chaosCollector accumulates violations and transcript lines from every
+// goroutine in the run.
+type chaosCollector struct {
+	mu  sync.Mutex
+	res *CompactionChaosResult
+}
+
+func (c *chaosCollector) violate(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.res.Violations = append(c.res.Violations, fmt.Sprintf(format, args...))
+}
+
+func (c *chaosCollector) transcript(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.res.Transcript = append(c.res.Transcript, fmt.Sprintf(format, args...))
+}
+
+// RunCompactionChaos drives the online compactor through the production
+// stack under concurrent faults. Setup: a dedup-enabled FSStore behind the
+// aic facade with compaction armed, replicating to an in-process peer.
+// Then, all at once: writers append full+delta chains; the compactor folds
+// them; the peer dies and revives; bit flips land in committed chain
+// files; and Scrub(repair), RestoreLatestGood and Truncate run against the
+// live store. See CompactionChaosResult for the invariants pinned at every
+// restore probe and at the end of the run.
+func RunCompactionChaos(ctx context.Context, cfg CompactionChaosConfig) (*CompactionChaosResult, error) {
+	cfg = cfg.withDefaults()
+	res := &CompactionChaosResult{}
+	col := &chaosCollector{res: res}
+
+	scratch, err := os.MkdirTemp(cfg.Dir, "aic-compaction-chaos-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+
+	fs, err := storage.NewFSStore(scratch, storage.Target{Name: "chaos-local"})
+	if err != nil {
+		return nil, err
+	}
+	peer := &flakyPeer{LevelStore: storage.NewLevelStore(storage.Target{Name: "chaos-peer"})}
+	dir, err := aic.OpenCheckpointDir("",
+		aic.WithStore(fs),
+		aic.WithDedup(aic.DedupConfig{MinChunk: 64, AvgChunk: 256, MaxChunk: 1024, MinPayload: 1}),
+		aic.WithCompaction(aic.CompactionConfig{MaxChain: cfg.MaxChain, Keep: cfg.Keep}),
+		aic.WithReplication(aic.Replication{Stores: []aic.Store{peer}, Quorum: 1}))
+	if err != nil {
+		return nil, err
+	}
+	defer dir.Close()
+
+	const pageSize = 512
+	procName := func(i int) string { return fmt.Sprintf("victim-%d", i) }
+	ledgers := make(map[string]*committedState, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		ledgers[procName(i)] = &committedState{
+			images:   map[int]*memsim.AddressSpace{},
+			cpu:      map[int][]byte{},
+			lastFull: -1, lastSeq: -1,
+		}
+	}
+
+	var (
+		wg      sync.WaitGroup
+		writers sync.WaitGroup
+		stop    = make(chan struct{})
+		appends atomic.Int64
+		degr    atomic.Int64
+		flips   atomic.Int64
+		probes  atomic.Int64
+	)
+
+	// Writers: each drives its own simulated process, committing a full
+	// every FullEach steps and deltas in between, and records the exact
+	// state every acknowledged seq must restore to.
+	for i := 0; i < cfg.Procs; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			proc := procName(i)
+			led := ledgers[proc]
+			rng := rand.New(rand.NewSource(int64(cfg.Seed)*31 + int64(i)))
+			as := memsim.New(pageSize)
+			b := ckpt.NewBuilder(pageSize, 0, 24)
+			buf := make([]byte, pageSize)
+			for pg := uint64(0); pg < 8; pg++ {
+				rng.Read(buf)
+				as.Write(pg, 0, buf, 0)
+			}
+			for step := 0; step < cfg.Steps; step++ {
+				if err := ctx.Err(); err != nil {
+					return
+				}
+				cpu := []byte(fmt.Sprintf("cpu/%s/%08d", proc, step))
+				b.SetCPUState(cpu)
+				var c *ckpt.Checkpoint
+				full := step%cfg.FullEach == 0
+				if full {
+					c = b.FullCheckpoint(as)
+				} else {
+					rng.Read(buf[:48])
+					as.Write(uint64(rng.Intn(8)), rng.Intn(pageSize-48), buf[:48], float64(step))
+					c, _ = b.DeltaCheckpoint(as)
+				}
+				// Ledger first, then commit: a restore probe may land on this
+				// seq the instant Put acknowledges, and the ledger must
+				// already know what it should restore to. A ledger entry for
+				// a failed append is harmless — probes can never land there.
+				led.record(c.Seq, as.Clone(), cpu, full)
+				err := dir.Append(ctx, proc, c.Seq, c.Encode())
+				switch {
+				case errors.Is(err, aic.ErrDegraded):
+					degr.Add(1)
+				case err != nil:
+					col.violate("%s: append seq %d failed outright: %v", proc, c.Seq, err)
+					return
+				}
+				appends.Add(1)
+			}
+		}(i)
+	}
+
+	// Compactor: fold chains continuously until the writers finish.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rep, err := dir.Compact(ctx)
+			if err != nil {
+				col.violate("compaction pass failed: %v", err)
+				return
+			}
+			col.mu.Lock()
+			res.Compactions += len(rep.Compacted)
+			res.Raced += len(rep.Raced)
+			res.ElemsDropped += rep.ElemsDropped
+			col.mu.Unlock()
+		}
+	}()
+
+	// Fault injector: kills and revives the peer, flips bits in committed
+	// chain files, scrubs with repair, and truncates at the newest full.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(int64(cfg.Seed)*131 + 7))
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				peer.down.Store(false)
+				return
+			default:
+			}
+			proc := procName(rng.Intn(cfg.Procs))
+			switch round % 4 {
+			case 0: // peer churn
+				peer.down.Store(!peer.down.Load())
+			case 1: // bit flip in a committed chain file
+				if flipRandomChainFile(scratch, proc, rng) {
+					flips.Add(1)
+				}
+			case 2: // concurrent scrub with repair
+				if _, err := dir.Scrub(ctx, proc, true); err != nil {
+					col.violate("scrub %s: %v", proc, err)
+				}
+			case 3: // truncate at the newest full (retention housekeeping)
+				led := ledgers[proc]
+				led.mu.Lock()
+				fullSeq := led.lastFull
+				led.mu.Unlock()
+				if fullSeq > 0 {
+					if err := dir.Truncate(ctx, proc, fullSeq); err != nil && !errors.Is(err, aic.ErrDegraded) {
+						col.violate("truncate %s@%d: %v", proc, fullSeq, err)
+					}
+				}
+			}
+		}
+	}()
+
+	// Restore prober: at any moment, restoring any chain must yield bytes
+	// the writer actually committed at the landed seq.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(int64(cfg.Seed)*733 + 11))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			proc := procName(rng.Intn(cfg.Procs))
+			chain, _, err := fs.Get(ctx, proc)
+			if err != nil || len(chain) == 0 {
+				continue
+			}
+			as, rep, err := recovery.RestoreLatestGood(chain)
+			if err != nil {
+				continue // no intact full yet, or damage ate the whole chain
+			}
+			probes.Add(1)
+			ledgers[proc].verify(proc, rep, as, col)
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	peer.down.Store(false)
+
+	// Quiesced end state. Bit flips may have destroyed any element —
+	// including a chain's only intact full, which is honest unrecoverable
+	// damage, not a compaction bug. So first re-anchor every chain the way
+	// an operator would: synthesize a fresh full from the writer's final
+	// committed state (the same ckpt.FullFromImage primitive the compactor
+	// uses) and append it. After that, with no more faults landing, every
+	// chain MUST repair clean, restore to the re-anchor exactly, and keep
+	// doing so through one more compaction + chunk-GC pass.
+	for i := 0; i < cfg.Procs; i++ {
+		proc := procName(i)
+		led := ledgers[proc]
+		led.mu.Lock()
+		lastSeq := led.lastSeq
+		img := led.images[lastSeq]
+		cpu := led.cpu[lastSeq]
+		led.mu.Unlock()
+		if lastSeq < 0 {
+			col.violate("%s: writer committed nothing", proc)
+			continue
+		}
+		reseq := lastSeq + 1
+		full := ckpt.FullFromImage(img, reseq, cpu)
+		led.record(reseq, img.Clone(), cpu, true)
+		if err := dir.Append(ctx, proc, reseq, full.Encode()); err != nil && !errors.Is(err, aic.ErrDegraded) {
+			col.violate("%s: re-anchor append: %v", proc, err)
+			continue
+		}
+		for pass := 0; pass < 2; pass++ {
+			if _, err := dir.Scrub(ctx, proc, true); err != nil {
+				col.violate("final scrub %s: %v", proc, err)
+			}
+		}
+	}
+	if _, err := dir.Compact(ctx); err != nil {
+		col.violate("final compaction: %v", err)
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		proc := procName(i)
+		rep, err := dir.Scrub(ctx, proc, false)
+		if err != nil {
+			col.violate("post-repair scrub %s: %v", proc, err)
+		} else if len(rep.Missing)+len(rep.Corrupt) != 0 {
+			col.violate("%s does not scrub clean after repair: %+v", proc, rep)
+		}
+		chain, _, err := fs.Get(ctx, proc)
+		if err != nil || len(chain) == 0 {
+			col.violate("final chain %s unreadable: %v", proc, err)
+			continue
+		}
+		as, grep, err := recovery.RestoreLatestGood(chain)
+		if err != nil {
+			col.violate("final restore %s: %v", proc, err)
+			continue
+		}
+		ledgers[proc].verify(proc, grep, as, col)
+		col.transcript("%s: final restore at seq %d over %d elements", proc, grep.LastSeq, len(chain))
+	}
+	st, err := fs.DedupStats(ctx)
+	if err != nil {
+		col.violate("dedup stats: %v", err)
+	}
+	col.transcript("dedup: %d chunks, logical %d, physical %d, ratio %.2f",
+		st.Chunks, st.LogicalBytes, st.PhysicalBytes, st.Ratio())
+
+	res.Appends = int(appends.Load())
+	res.Degraded = int(degr.Load())
+	res.FlipsLanded = int(flips.Load())
+	res.Restores = int(probes.Load())
+	return res, nil
+}
+
+// flipRandomChainFile flips one bit in a random committed chain file under
+// proc's directory, returning whether a flip landed. The chunk store
+// ("chunks!") is never touched here — chunk damage is exercised separately
+// — and manifests are left alone so every flip is a frame/recipe flip.
+func flipRandomChainFile(root, proc string, rng *rand.Rand) bool {
+	dir := filepath.Join(root, proc)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "ckpt-") && strings.HasSuffix(e.Name(), ".aic") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return false
+	}
+	path := filepath.Join(dir, files[rng.Intn(len(files))])
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		return false
+	}
+	data[rng.Intn(len(data))] ^= 1 << rng.Intn(8)
+	return os.WriteFile(path, data, 0o644) == nil
+}

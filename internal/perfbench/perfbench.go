@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"aic/internal/ckpt"
+	"aic/internal/compact"
 	"aic/internal/delta"
 	"aic/internal/memsim"
 	"aic/internal/numeric"
@@ -55,6 +56,14 @@ type Config struct {
 	ChainLengths []int `json:"chain_lengths"`
 	RestorePages int   `json:"restore_pages"`
 
+	// Dedup/compaction section: DedupProcs gang-scheduled writers share
+	// one working set, each committing DedupSeqs checkpoints into a
+	// dedup-enabled store; the compaction benchmark folds the longest
+	// ChainLengths chain down to CompactKeep elements.
+	DedupProcs  int `json:"dedup_procs"`
+	DedupSeqs   int `json:"dedup_seqs"`
+	CompactKeep int `json:"compact_keep"`
+
 	// Dir is the scratch directory for the FSStore benchmarks; empty
 	// selects a fresh directory under the OS temp dir, removed afterwards.
 	Dir string `json:"-"`
@@ -80,6 +89,9 @@ func (c Config) withDefaults() Config {
 	def(&c.RemotePuts, 48, 8)
 	def(&c.RemoteKiB, 256, 64)
 	def(&c.RestorePages, 1024, 64)
+	def(&c.DedupProcs, 4, 2)
+	def(&c.DedupSeqs, 12, 4)
+	def(&c.CompactKeep, 8, 4)
 	if len(c.ChainLengths) == 0 {
 		c.ChainLengths = []int{1, 8, 32}
 		if c.Short {
@@ -118,12 +130,24 @@ func RunSuite(ctx context.Context, cfg Config, label string) (Run, error) {
 		return run, err
 	}
 	run.Metrics = append(run.Metrics, resMetrics...)
+
+	dedupMetrics, err := benchDedup(ctx, cfg)
+	if err != nil {
+		return run, err
+	}
+	run.Metrics = append(run.Metrics, dedupMetrics...)
+
+	compMetrics, err := benchCompactedRestore(ctx, cfg)
+	if err != nil {
+		return run, err
+	}
+	run.Metrics = append(run.Metrics, compMetrics...)
 	return run, nil
 }
 
 // CurrentBench is the trajectory id stamped into new reports — the PR
 // number whose BENCH_<id>.json the suite currently maintains.
-const CurrentBench = 7
+const CurrentBench = 9
 
 // NewReport wraps a run (and optional baseline) into a schema-complete
 // report with the environment pinned and deltas computed.
@@ -335,6 +359,147 @@ func benchRestore(cfg Config) ([]Metric, error) {
 		})
 	}
 	return metrics, nil
+}
+
+// benchDedup measures the content-addressed chunk store on the workload it
+// exists for: a gang of SPMD processes committing identical checkpoint
+// streams. It reports write throughput through the chunking path and the
+// logical/physical dedup ratio the store achieves across the gang.
+func benchDedup(ctx context.Context, cfg Config) ([]Metric, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "perfbench-dedup-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	fs, err := storage.NewFSStore(filepath.Join(dir, "dedup"), storage.Target{Name: "bench-dedup"})
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.EnableDedup(ctx, storage.DedupConfig{}); err != nil {
+		return nil, err
+	}
+
+	// One chain, written under every proc in the gang: identical pages,
+	// identical deltas — the cross-process redundancy the paper's
+	// incremental-checkpoint model predicts for gang-scheduled ranks.
+	chain, err := buildChain(cfg.Seed+7, cfg.RestorePages, cfg.DedupSeqs)
+	if err != nil {
+		return nil, err
+	}
+	var totalBytes int64
+	for _, el := range chain {
+		totalBytes += int64(len(el.Data))
+	}
+	totalBytes *= int64(cfg.DedupProcs)
+
+	start := time.Now()
+	for p := 0; p < cfg.DedupProcs; p++ {
+		proc := fmt.Sprintf("rank-%02d", p)
+		for _, el := range chain {
+			if err := fs.Put(ctx, proc, el.Seq, el.Data); err != nil {
+				return nil, fmt.Errorf("perfbench: dedup put: %w", err)
+			}
+		}
+	}
+	wall := time.Since(start)
+
+	st, err := fs.DedupStats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return []Metric{
+		{Name: "dedup_put_mibps", Unit: "MiB/s",
+			Value: float64(totalBytes) / wall.Seconds() / (1 << 20), Better: BetterHigher},
+		{Name: "dedup_ratio", Unit: "x", Value: st.Ratio(), Better: BetterHigher},
+	}, nil
+}
+
+// benchCompactedRestore measures what online compaction buys the restore
+// path: store-level restore latency (Get + last-good replay) over the
+// longest configured chain, the latency of one compaction pass folding it
+// to CompactKeep elements, and the restore latency over the rewritten
+// chain. The before/after pair is the trajectory's evidence that folding
+// long delta chains into fresh anchors pays for itself.
+func benchCompactedRestore(ctx context.Context, cfg Config) ([]Metric, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "perfbench-compact-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	fs, err := storage.NewFSStore(filepath.Join(dir, "compact"), storage.Target{Name: "bench-compact"})
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.EnableDedup(ctx, storage.DedupConfig{}); err != nil {
+		return nil, err
+	}
+
+	length := 0
+	for _, L := range cfg.ChainLengths {
+		if L > length {
+			length = L
+		}
+	}
+	chain, err := buildChain(cfg.Seed+11, cfg.RestorePages, length)
+	if err != nil {
+		return nil, err
+	}
+	const proc = "compact-bench"
+	for _, el := range chain {
+		if err := fs.Put(ctx, proc, el.Seq, el.Data); err != nil {
+			return nil, fmt.Errorf("perfbench: compact chain put: %w", err)
+		}
+	}
+
+	restoreMS := func() (float64, error) {
+		var outerErr error
+		s := measure(0, cfg.EncodeReps, func() {
+			stored, _, err := fs.Get(ctx, proc)
+			if err != nil {
+				outerErr = err
+				return
+			}
+			if _, _, err := recovery.RestoreLatestGood(stored); err != nil {
+				outerErr = err
+			}
+		})
+		return s.perOp.Seconds() * 1e3, outerErr
+	}
+
+	before, err := restoreMS()
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: restore before compaction: %w", err)
+	}
+
+	comp := compact.New(fs, compact.Config{MaxChain: cfg.CompactKeep, Keep: cfg.CompactKeep})
+	t0 := time.Now()
+	rep, err := comp.RunOnce(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: compaction pass: %w", err)
+	}
+	passMS := time.Since(t0).Seconds() * 1e3
+	if len(rep.Compacted) == 0 {
+		return nil, fmt.Errorf("perfbench: compaction pass folded no chains (raced=%v skipped=%v)", rep.Raced, rep.Skipped)
+	}
+
+	after, err := restoreMS()
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: restore after compaction: %w", err)
+	}
+
+	return []Metric{
+		{Name: "restore_store_precompact_ms", Unit: "ms", Value: before, Better: BetterLower},
+		{Name: "restore_store_compacted_ms", Unit: "ms", Value: after, Better: BetterLower},
+		{Name: "compact_pass_ms", Unit: "ms", Value: passMS, Better: BetterLower},
+	}, nil
 }
 
 // buildChain produces an encoded checkpoint chain: a full anchor over a

@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ErrCompactRaced reports a ReplaceAnchor whose view of the chain went
+// stale before the flip: a Truncate, Delete or competing compaction
+// changed the prefix between the compactor's copy phase and its flip
+// phase. The store is untouched; the compactor just retries on a fresh
+// read of the chain. Match with errors.Is.
+var ErrCompactRaced = errors.New("storage: compaction raced a chain mutation")
+
+// AnchorReplacer is the optional Store refinement the online compactor
+// needs: atomically replace a chain's prefix with an equivalent full
+// checkpoint. FSStore and LevelStore implement it.
+type AnchorReplacer interface {
+	ReplaceAnchor(ctx context.Context, proc string, anchorSeq int, full []byte, drop []int) error
+}
+
+var (
+	_ AnchorReplacer = (*FSStore)(nil)
+	_ AnchorReplacer = (*LevelStore)(nil)
+)
+
+// ReplaceAnchor is the compactor's flip: overwrite the element at
+// anchorSeq with full — a checkpoint that must restore to exactly the
+// state the chain's prefix through anchorSeq restores to — and drop every
+// element below it. drop is the compactor's view of the seqs strictly
+// below anchorSeq; if the manifest disagrees (a writer truncated or
+// deleted concurrently) nothing is changed and ErrCompactRaced is
+// returned.
+//
+// The flip is crash-safe at every step because RestoreLatestGood anchors
+// at the NEWEST intact full checkpoint: once the equivalent full is
+// renamed over the old element, restores anchor there whether or not the
+// manifest rewrite or the prefix deletions ever happen, and until the
+// rename lands the old chain restores as before. The heavy work (reading
+// the prefix, synthesizing full) happens before this call, outside the
+// chain's commit token — writers only wait for the rename + manifest
+// rewrite below, the same cost as one group commit.
+func (fs *FSStore) ReplaceAnchor(ctx context.Context, proc string, anchorSeq int, full []byte, drop []int) error {
+	if err := ValidateProcName(proc); err != nil {
+		return err
+	}
+	st, err := fs.lockProc(ctx, proc)
+	if err != nil {
+		return err
+	}
+	defer st.unlock()
+	m, err := fs.loadManifest(proc)
+	if err != nil {
+		return err
+	}
+	have := false
+	below := map[int]bool{}
+	for _, seq := range m.Seqs {
+		if seq == anchorSeq {
+			have = true
+		}
+		if seq < anchorSeq {
+			below[seq] = true
+		}
+	}
+	if !have {
+		return fmt.Errorf("%w: seq %d no longer in %s's chain", ErrCompactRaced, anchorSeq, proc)
+	}
+	if len(drop) != len(below) {
+		return fmt.Errorf("%w: %s has %d elements below %d, compactor saw %d", ErrCompactRaced, proc, len(below), anchorSeq, len(drop))
+	}
+	for _, seq := range drop {
+		if !below[seq] {
+			return fmt.Errorf("%w: seq %d not below anchor in %s's chain", ErrCompactRaced, seq, proc)
+		}
+	}
+
+	// Collect the chunk references the dropped recipes (and the old anchor
+	// file, about to be overwritten) hold, before anything is removed.
+	var dead []recipeRefs
+	if fs.dedup != nil {
+		for _, seq := range drop {
+			if rr, ok := fs.readRecipeRefs(proc, seq); ok {
+				dead = append(dead, rr)
+			}
+		}
+		if rr, ok := fs.readRecipeRefs(proc, anchorSeq); ok {
+			dead = append(dead, rr)
+		}
+	}
+
+	fileData, release := full, func() {}
+	if fs.dedup != nil {
+		var err error
+		fileData, release, err = fs.dedupEncode(full)
+		if err != nil {
+			return err
+		}
+		if release == nil {
+			release = func() {}
+		}
+	}
+	dir := fs.procDir(proc)
+	if err := stageWrite(fs.fsys, filepath.Join(dir, ckptFile(anchorSeq)), fileData, 0o644); err != nil {
+		release()
+		return err
+	}
+	if err := fs.fsys.SyncDir(dir); err != nil {
+		release()
+		return fmt.Errorf("storage: %w", err)
+	}
+	var kept []int
+	for _, seq := range m.Seqs {
+		if seq >= anchorSeq {
+			kept = append(kept, seq)
+			continue
+		}
+		delete(m.Sizes, ckptFile(seq))
+	}
+	m.Seqs = kept
+	m.Sizes[ckptFile(anchorSeq)] = len(fileData)
+	if err := fs.saveManifest(st, proc, m); err != nil {
+		// The new anchor file is already in place; that alone is
+		// restore-equivalent (it is the newest full), and Scrub reconciles
+		// the stale size entry. Only the new recipe's refs are unwound —
+		// the file will be adopted or scrubbed like any crash leftover.
+		release()
+		return err
+	}
+	for _, seq := range drop {
+		if err := fs.fsys.Remove(filepath.Join(dir, ckptFile(seq))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("storage: %w", err)
+		}
+	}
+	fs.dedupRelease(dead)
+	return nil
+}
+
+// ReplaceAnchor implements AnchorReplacer for the in-memory store, with
+// the same raced-mutation contract as FSStore's.
+func (ls *LevelStore) ReplaceAnchor(ctx context.Context, proc string, anchorSeq int, full []byte, drop []int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := ValidateProcName(proc); err != nil {
+		return err
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	chain := ls.chains[proc]
+	at := -1
+	below := map[int]bool{}
+	for i, s := range chain {
+		if s.Seq == anchorSeq {
+			at = i
+		}
+		if s.Seq < anchorSeq {
+			below[s.Seq] = true
+		}
+	}
+	if at < 0 {
+		return fmt.Errorf("%w: seq %d no longer in %s's chain", ErrCompactRaced, anchorSeq, proc)
+	}
+	if len(drop) != len(below) {
+		return fmt.Errorf("%w: %s has %d elements below %d, compactor saw %d", ErrCompactRaced, proc, len(below), anchorSeq, len(drop))
+	}
+	for _, seq := range drop {
+		if !below[seq] {
+			return fmt.Errorf("%w: seq %d not below anchor in %s's chain", ErrCompactRaced, seq, proc)
+		}
+	}
+	var kept []Stored
+	for _, s := range chain {
+		if s.Seq < anchorSeq {
+			continue
+		}
+		if s.Seq == anchorSeq {
+			s = Stored{Seq: anchorSeq, Data: append([]byte(nil), full...)}
+		}
+		kept = append(kept, s)
+	}
+	ls.chains[proc] = kept
+	return nil
+}

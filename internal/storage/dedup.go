@@ -1,0 +1,625 @@
+package storage
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aic/internal/delta"
+)
+
+// Chunk-level content-addressed dedup for FSStore.
+//
+// With dedup enabled, a committed checkpoint's data file holds a *recipe*
+// instead of the payload: the payload's length and SHA-256, plus the
+// ordered (chunk-ID, length) list produced by the content-defined chunker
+// in internal/delta. Chunk bodies live once each under
+// <root>/chunks!/<sha256-hex>.chk, shared by every recipe — across seqs,
+// procs, tenants (tenancy is a key prefix over one flat store) and ring
+// replicas that land on the same store. Reads are dedup-agnostic: Get,
+// GetElem and Scrub detect the recipe magic and resolve it back to the
+// exact original bytes (verifying every chunk hash and the whole-payload
+// hash), so a store reopened without EnableDedup still restores
+// byte-identically.
+//
+// Durability and GC safety follow two ordering invariants, both enforced
+// under the chunk token (a capacity-1 channel, the same no-I/O-under-mutex
+// discipline as procState.tok):
+//
+//  1. Chunk bodies are durable (staged + directory fsync) and their
+//     refcounts bumped and persisted BEFORE the recipe referencing them is
+//     committed; refcounts are decremented and persisted only AFTER the
+//     recipe is removed. The persisted index therefore never undercounts
+//     committed references.
+//  2. GCChunks deletes only chunk files whose in-memory refcount is zero
+//     (or which no index entry claims), holding the same token Put's bump
+//     holds — so a chunk needed by any committed or in-flight recipe is
+//     never collected.
+//
+// The index file is a durable cache, not ground truth: EnableDedup
+// rebuilds refcounts by scanning every manifest-listed recipe, which also
+// reclaims the conservative over-counts a crash between "remove recipe"
+// and "persist decrement" leaves behind.
+
+// chunkDirName is the chunk store directory under the FSStore root. The
+// trailing bare "!" is deliberate: no proc name escapes to it
+// (unescapeProcDir rejects it), so List skips the directory and no
+// process chain can ever collide with the chunk store.
+const chunkDirName = "chunks!"
+
+// chunkIndexName is the persisted refcount index inside the chunk dir.
+const chunkIndexName = "index.json"
+
+// recipeMagic distinguishes a recipe file from a raw payload. The magic is
+// reserved at the FSStore boundary: a payload beginning with these bytes
+// must itself be a valid recipe (dedup-enabled stores always wrap payloads
+// above MinPayload, so the collision cannot arise from library traffic).
+var recipeMagic = [8]byte{'A', 'I', 'C', 'R', 'C', 'P', 'S', '1'}
+
+// chunkID is a chunk's content address: the SHA-256 of its bytes.
+type chunkID [sha256.Size]byte
+
+// DedupConfig parameterizes FSStore chunk-level dedup. The zero value
+// selects the delta package's default chunk geometry and stores payloads
+// smaller than one minimum chunk raw (a recipe would cost more than it
+// saves there).
+type DedupConfig struct {
+	// MinChunk/AvgChunk/MaxChunk are the content-defined chunking bounds,
+	// with delta.ChunkConfig defaulting semantics.
+	MinChunk, AvgChunk, MaxChunk int
+	// MinPayload is the smallest payload worth chunking; smaller ones are
+	// stored verbatim. Defaults to the effective MinChunk.
+	MinPayload int
+}
+
+func (c DedupConfig) withDefaults() DedupConfig {
+	norm := delta.ChunkConfig{Min: c.MinChunk, Avg: c.AvgChunk, Max: c.MaxChunk}.Normalized()
+	c.MinChunk, c.AvgChunk, c.MaxChunk = norm.Min, norm.Avg, norm.Max
+	if c.MinPayload <= 0 {
+		c.MinPayload = c.MinChunk
+	}
+	return c
+}
+
+func (c DedupConfig) chunkConfig() delta.ChunkConfig {
+	return delta.ChunkConfig{Min: c.MinChunk, Avg: c.AvgChunk, Max: c.MaxChunk}
+}
+
+// chunkEntry is one chunk's index state. Refs counts recipe occurrences
+// (a recipe referencing the same chunk twice holds two references).
+type chunkEntry struct {
+	Refs int `json:"refs"`
+	Len  int `json:"len"`
+}
+
+// chunkIndex is the in-memory refcount index plus the live byte counters
+// behind DedupStats. All fields are guarded by tok.
+type chunkIndex struct {
+	cfg DedupConfig
+
+	// tok is a capacity-1 token serializing every index mutation and every
+	// chunk-directory write/unlink; chunk-file *reads* (resolve) are
+	// tokenless — chunk bodies are immutable while referenced, and GC only
+	// unlinks refcount-zero chunks under this token.
+	tok chan struct{}
+
+	refs     map[chunkID]*chunkEntry
+	logical  int64 // sum of live recipes' payload lengths
+	physical int64 // sum of on-disk chunk body lengths
+}
+
+func (ix *chunkIndex) lock()   { ix.tok <- struct{}{} }
+func (ix *chunkIndex) unlock() { <-ix.tok }
+
+// recipeRefs is the reference footprint of one parsed recipe: what a
+// removal must give back.
+type recipeRefs struct {
+	total int
+	ids   []chunkID
+}
+
+// chunkDir returns the chunk store directory.
+func (fs *FSStore) chunkDir() string { return filepath.Join(fs.root, chunkDirName) }
+
+// chunkPath returns a chunk body's file path.
+func (fs *FSStore) chunkPath(id chunkID) string {
+	return filepath.Join(fs.chunkDir(), hex.EncodeToString(id[:])+".chk")
+}
+
+// parseChunkName inverts chunkPath's base name.
+func parseChunkName(name string) (chunkID, bool) {
+	var id chunkID
+	if !strings.HasSuffix(name, ".chk") || len(name) != 2*len(id)+4 {
+		return id, false
+	}
+	raw, err := hex.DecodeString(name[:2*len(id)])
+	if err != nil {
+		return id, false
+	}
+	copy(id[:], raw)
+	return id, true
+}
+
+// isRecipe reports whether a stored data file holds a recipe.
+func isRecipe(data []byte) bool {
+	return len(data) >= len(recipeMagic) && string(data[:len(recipeMagic)]) == string(recipeMagic[:])
+}
+
+// encodeRecipe serializes a recipe: magic, payload length, payload
+// SHA-256, chunk count, per-chunk (length, ID) pairs, CRC-32C trailer.
+func encodeRecipe(total int, sum chunkID, lens []int, ids []chunkID) []byte {
+	out := make([]byte, 0, len(recipeMagic)+8+len(sum)+len(ids)*(len(sum)+3)+8)
+	out = append(out, recipeMagic[:]...)
+	out = binary.AppendUvarint(out, uint64(total))
+	out = append(out, sum[:]...)
+	out = binary.AppendUvarint(out, uint64(len(ids)))
+	for i, id := range ids {
+		out = binary.AppendUvarint(out, uint64(lens[i]))
+		out = append(out, id[:]...)
+	}
+	crc := crc32.Checksum(out, crcCastagnoli)
+	return binary.LittleEndian.AppendUint32(out, crc)
+}
+
+var crcCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// parsedRecipe is a decoded recipe file.
+type parsedRecipe struct {
+	total int
+	sum   chunkID
+	lens  []int
+	ids   []chunkID
+}
+
+func (r *parsedRecipe) refs() recipeRefs {
+	return recipeRefs{total: r.total, ids: append([]chunkID(nil), r.ids...)}
+}
+
+// parseRecipe decodes a recipe file, verifying its CRC trailer.
+func parseRecipe(data []byte) (*parsedRecipe, error) {
+	if !isRecipe(data) || len(data) < len(recipeMagic)+sha256.Size+4+2 {
+		return nil, fmt.Errorf("storage: not a recipe")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcCastagnoli) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("storage: recipe checksum mismatch")
+	}
+	p := body[len(recipeMagic):]
+	next := func() (int, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("storage: truncated recipe varint")
+		}
+		p = p[n:]
+		return int(v), nil
+	}
+	r := &parsedRecipe{}
+	var err error
+	if r.total, err = next(); err != nil {
+		return nil, err
+	}
+	if len(p) < sha256.Size {
+		return nil, fmt.Errorf("storage: truncated recipe hash")
+	}
+	copy(r.sum[:], p)
+	p = p[sha256.Size:]
+	n, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > len(p) { // each entry is ≥ 1 byte
+		return nil, fmt.Errorf("storage: recipe chunk count overflows")
+	}
+	r.lens = make([]int, n)
+	r.ids = make([]chunkID, n)
+	sum := 0
+	for i := 0; i < n; i++ {
+		if r.lens[i], err = next(); err != nil {
+			return nil, err
+		}
+		if len(p) < sha256.Size {
+			return nil, fmt.Errorf("storage: truncated recipe entry")
+		}
+		copy(r.ids[i][:], p)
+		p = p[sha256.Size:]
+		sum += r.lens[i]
+	}
+	if len(p) != 0 || sum != r.total {
+		return nil, fmt.Errorf("storage: recipe length mismatch")
+	}
+	return r, nil
+}
+
+// EnableDedup turns on chunk-level content-addressed dedup for every
+// subsequent Put. Like SetMetrics it must run right after construction,
+// before the store is shared: it scans every committed chain once to
+// rebuild the chunk refcount index from ground truth (recipes in
+// manifests), reconciling whatever a crash left in the persisted index.
+// Existing raw (pre-dedup) files stay readable unchanged.
+func (fs *FSStore) EnableDedup(ctx context.Context, cfg DedupConfig) error {
+	if fs.dedup != nil {
+		return fmt.Errorf("storage: dedup already enabled")
+	}
+	if err := fs.fsys.MkdirAll(fs.chunkDir(), 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	ix := &chunkIndex{
+		cfg:  cfg.withDefaults(),
+		tok:  make(chan struct{}, 1),
+		refs: make(map[chunkID]*chunkEntry),
+	}
+	// Ground truth: every manifest-listed recipe contributes references.
+	procs, err := fs.List(ctx)
+	if err != nil {
+		return err
+	}
+	for _, proc := range procs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		m, err := fs.loadManifest(proc)
+		if err != nil {
+			continue // Scrub's problem; an unreadable manifest holds no committed refs
+		}
+		for _, seq := range m.Seqs {
+			data, err := fs.fsys.ReadFile(filepath.Join(fs.procDir(proc), ckptFile(seq)))
+			if err != nil || !isRecipe(data) {
+				continue
+			}
+			r, err := parseRecipe(data)
+			if err != nil {
+				continue
+			}
+			ix.logical += int64(r.total)
+			for i, id := range r.ids {
+				e := ix.refs[id]
+				if e == nil {
+					e = &chunkEntry{Len: r.lens[i]}
+					ix.refs[id] = e
+				}
+				e.Refs++
+			}
+		}
+	}
+	// Physical bytes: whatever chunk bodies are on disk, referenced or not
+	// (orphans stay counted until GCChunks reclaims them).
+	entries, err := fs.fsys.ReadDir(fs.chunkDir())
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: %w", err)
+	}
+	for _, e := range entries {
+		id, ok := parseChunkName(e.Name())
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		ix.physical += info.Size()
+		if ent := ix.refs[id]; ent != nil {
+			ent.Len = int(info.Size())
+		}
+	}
+	fs.dedup = ix
+	ix.lock()
+	defer ix.unlock()
+	if err := fs.persistChunkIndex(); err != nil {
+		fs.dedup = nil
+		return err
+	}
+	fs.observeDedup()
+	return nil
+}
+
+// chunkIndexFile is the persisted shape of chunkIndex.
+type chunkIndexFile struct {
+	Logical  int64                 `json:"logical"`
+	Physical int64                 `json:"physical"`
+	Chunks   map[string]chunkEntry `json:"chunks"`
+}
+
+// persistChunkIndex durably writes the refcount index. Caller holds the
+// chunk token.
+func (fs *FSStore) persistChunkIndex() error {
+	ix := fs.dedup
+	out := chunkIndexFile{
+		Logical:  ix.logical,
+		Physical: ix.physical,
+		Chunks:   make(map[string]chunkEntry, len(ix.refs)),
+	}
+	for id, e := range ix.refs {
+		out.Chunks[hex.EncodeToString(id[:])] = *e
+	}
+	data, err := json.Marshal(&out)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return atomicWrite(fs.fsys, filepath.Join(fs.chunkDir(), chunkIndexName), data, 0o644)
+}
+
+// observeDedup publishes the live dedup gauges. Caller holds the chunk
+// token; nil-safe on the metrics side.
+func (fs *FSStore) observeDedup() {
+	if fs.met == nil {
+		return
+	}
+	ix := fs.dedup
+	fs.met.dedupLogical.Set(float64(ix.logical))
+	fs.met.dedupPhysical.Set(float64(ix.physical))
+	if ix.physical > 0 {
+		fs.met.dedupRatio.Set(float64(ix.logical) / float64(ix.physical))
+	}
+}
+
+// dedupEncode turns a payload into its committed file form. Payloads below
+// MinPayload pass through raw. Otherwise the payload is chunked, new chunk
+// bodies are staged and pinned with one directory fsync, refcounts are
+// bumped and the index persisted — all before the returned recipe bytes
+// are staged into any chain, per ordering invariant (1) above. The
+// returned release func undoes the reference bumps if the caller's commit
+// subsequently fails (the chunk bodies stay behind for GC).
+func (fs *FSStore) dedupEncode(data []byte) ([]byte, func(), error) {
+	ix := fs.dedup
+	if len(data) < ix.cfg.MinPayload {
+		return data, nil, nil
+	}
+	chunks := delta.Chunks(data, ix.cfg.chunkConfig())
+	lens := make([]int, len(chunks))
+	ids := make([]chunkID, len(chunks))
+	for i, c := range chunks {
+		lens[i] = c.Len
+		ids[i] = sha256.Sum256(data[c.Off : c.Off+c.Len])
+	}
+	sum := sha256.Sum256(data)
+
+	ix.lock()
+	defer ix.unlock()
+	var stagedNew []chunkID
+	unstage := func() {
+		for _, id := range stagedNew {
+			_ = fs.fsys.Remove(fs.chunkPath(id))
+		}
+	}
+	seen := make(map[chunkID]bool, len(ids))
+	var newBytes int64
+	for i, c := range chunks {
+		id := ids[i]
+		if seen[id] || ix.refs[id] != nil {
+			continue
+		}
+		seen[id] = true
+		if err := stageWrite(fs.fsys, fs.chunkPath(id), data[c.Off:c.Off+c.Len], 0o644); err != nil {
+			unstage()
+			return nil, nil, err
+		}
+		stagedNew = append(stagedNew, id)
+		newBytes += int64(c.Len)
+	}
+	if len(stagedNew) > 0 {
+		if err := fs.fsys.SyncDir(fs.chunkDir()); err != nil {
+			unstage()
+			return nil, nil, fmt.Errorf("storage: %w", err)
+		}
+	}
+	for i, id := range ids {
+		e := ix.refs[id]
+		if e == nil {
+			e = &chunkEntry{Len: lens[i]}
+			ix.refs[id] = e
+		}
+		e.Refs++
+	}
+	ix.logical += int64(len(data))
+	ix.physical += newBytes
+	if err := fs.persistChunkIndex(); err != nil {
+		for _, id := range ids {
+			if e := ix.refs[id]; e != nil {
+				e.Refs--
+			}
+		}
+		for _, id := range stagedNew {
+			delete(ix.refs, id)
+		}
+		ix.logical -= int64(len(data))
+		ix.physical -= newBytes
+		unstage()
+		return nil, nil, err
+	}
+	fs.observeDedup()
+	rr := recipeRefs{total: len(data), ids: ids}
+	release := func() { fs.dedupRelease([]recipeRefs{rr}) }
+	return encodeRecipe(len(data), sum, lens, ids), release, nil
+}
+
+// dedupRelease gives back the references of removed (or never-committed)
+// recipes: decrement after removal, never before, per ordering invariant
+// (1). Zero-ref entries stay in the index until GCChunks unlinks their
+// bodies. Persist errors are swallowed — a stale persisted index only
+// over-counts, which the next EnableDedup rebuild reconciles.
+func (fs *FSStore) dedupRelease(dead []recipeRefs) {
+	ix := fs.dedup
+	if ix == nil || len(dead) == 0 {
+		return
+	}
+	ix.lock()
+	defer ix.unlock()
+	for _, rr := range dead {
+		ix.logical -= int64(rr.total)
+		for _, id := range rr.ids {
+			if e := ix.refs[id]; e != nil && e.Refs > 0 {
+				e.Refs--
+			}
+		}
+	}
+	_ = fs.persistChunkIndex()
+	fs.observeDedup()
+}
+
+// readRecipeRefs loads (proc, seq)'s data file and, when it is a parseable
+// recipe, returns its reference footprint. Used by removal paths to know
+// what to release after the removal commits.
+func (fs *FSStore) readRecipeRefs(proc string, seq int) (recipeRefs, bool) {
+	data, err := fs.fsys.ReadFile(filepath.Join(fs.procDir(proc), ckptFile(seq)))
+	if err != nil || !isRecipe(data) {
+		return recipeRefs{}, false
+	}
+	r, err := parseRecipe(data)
+	if err != nil {
+		return recipeRefs{}, false
+	}
+	return r.refs(), true
+}
+
+// resolveData maps a stored data file back to its logical payload: raw
+// files pass through, recipes are reassembled from their chunk bodies with
+// every chunk hash and the whole-payload hash verified. It needs no index
+// and no token — reads work on stores that never called EnableDedup.
+func (fs *FSStore) resolveData(data []byte) ([]byte, error) {
+	if !isRecipe(data) {
+		return data, nil
+	}
+	r, err := parseRecipe(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, r.total)
+	for i, id := range r.ids {
+		b, err := fs.fsys.ReadFile(fs.chunkPath(id))
+		if err != nil {
+			return nil, fmt.Errorf("storage: chunk %s: %w", hex.EncodeToString(id[:4]), err)
+		}
+		if len(b) != r.lens[i] || sha256.Sum256(b) != id {
+			return nil, fmt.Errorf("storage: chunk %s: content mismatch", hex.EncodeToString(id[:4]))
+		}
+		out = append(out, b...)
+	}
+	if len(out) != r.total || sha256.Sum256(out) != r.sum {
+		return nil, fmt.Errorf("storage: recipe payload hash mismatch")
+	}
+	return out, nil
+}
+
+// GCChunks unlinks every chunk body no live recipe references — zero
+// refcount, or on disk with no index entry at all (a crash between chunk
+// staging and recipe commit leaves those). It holds the chunk token, so it
+// cannot race an in-flight Put's reference bump; a chunk any committed or
+// queued recipe needs is never collected. Returns the number of chunk
+// files removed and the bytes reclaimed.
+func (fs *FSStore) GCChunks(ctx context.Context) (removed int, reclaimed int64, err error) {
+	ix := fs.dedup
+	if ix == nil {
+		return 0, 0, nil
+	}
+	select {
+	case ix.tok <- struct{}{}:
+	case <-ctx.Done():
+		return 0, 0, ctx.Err()
+	}
+	defer ix.unlock()
+	entries, err := fs.fsys.ReadDir(fs.chunkDir())
+	if err != nil {
+		return 0, 0, fmt.Errorf("storage: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == chunkIndexName || e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			_ = fs.fsys.Remove(filepath.Join(fs.chunkDir(), name))
+			continue
+		}
+		id, ok := parseChunkName(name)
+		if !ok {
+			continue
+		}
+		ent := ix.refs[id]
+		if ent != nil && ent.Refs > 0 {
+			continue
+		}
+		size := int64(0)
+		if ent != nil {
+			size = int64(ent.Len)
+		} else if info, ierr := e.Info(); ierr == nil {
+			size = info.Size()
+		}
+		if rerr := fs.fsys.Remove(filepath.Join(fs.chunkDir(), name)); rerr != nil && !os.IsNotExist(rerr) {
+			return removed, reclaimed, fmt.Errorf("storage: %w", rerr)
+		}
+		delete(ix.refs, id)
+		removed++
+		reclaimed += size
+	}
+	// Drop zero-ref entries whose bodies were already gone.
+	for id, ent := range ix.refs {
+		if ent.Refs <= 0 {
+			delete(ix.refs, id)
+		}
+	}
+	ix.physical -= reclaimed
+	if ix.physical < 0 {
+		ix.physical = 0
+	}
+	// The index write's atomicWrite fsyncs the chunk dir, pinning the
+	// unlinks above and the fresh index with one sync.
+	if err := fs.persistChunkIndex(); err != nil {
+		return removed, reclaimed, err
+	}
+	if fs.met != nil {
+		fs.met.dedupReclaimed.Add(float64(removed))
+	}
+	fs.observeDedup()
+	return removed, reclaimed, nil
+}
+
+// DedupStats is a point-in-time summary of the chunk store.
+type DedupStats struct {
+	// Enabled reports whether EnableDedup has run on this store handle.
+	Enabled bool
+	// Chunks is the number of live index entries (refcount > 0 plus
+	// zero-ref entries awaiting GC).
+	Chunks int
+	// LogicalBytes is the payload bytes of every live recipe — what the
+	// store would hold without dedup.
+	LogicalBytes int64
+	// PhysicalBytes is the chunk bytes actually on disk.
+	PhysicalBytes int64
+}
+
+// Ratio is the dedup ratio (logical over physical); 0 when nothing is
+// stored.
+func (s DedupStats) Ratio() float64 {
+	if s.PhysicalBytes == 0 {
+		return 0
+	}
+	return float64(s.LogicalBytes) / float64(s.PhysicalBytes)
+}
+
+// DedupStats reports the chunk store's current footprint. A zero-value
+// (Enabled=false) result means dedup is off.
+func (fs *FSStore) DedupStats(ctx context.Context) (DedupStats, error) {
+	ix := fs.dedup
+	if ix == nil {
+		return DedupStats{}, nil
+	}
+	select {
+	case ix.tok <- struct{}{}:
+	case <-ctx.Done():
+		return DedupStats{}, ctx.Err()
+	}
+	defer ix.unlock()
+	return DedupStats{
+		Enabled:       true,
+		Chunks:        len(ix.refs),
+		LogicalBytes:  ix.logical,
+		PhysicalBytes: ix.physical,
+	}, nil
+}

@@ -45,6 +45,11 @@ type FSStore struct {
 	// is nil-safe, so the uninstrumented hot path pays one branch.
 	met *fsMetrics
 
+	// dedup is nil until EnableDedup turns on chunk-level content-addressed
+	// storage (see dedup.go). Reads resolve recipe files regardless — only
+	// the write path consults this.
+	dedup *chunkIndex
+
 	mu    sync.Mutex // guards procs only; never held across I/O
 	procs map[string]*procState
 }
@@ -424,20 +429,45 @@ func (fs *FSStore) commitProc(st *procState, proc string, reqs []*putReq) {
 		last, haveLast = m.Seqs[n-1], true
 	}
 	var staged []*putReq
+	var releases []func() // dedup reference unwinds, aligned with staged
+	unwindDedup := func() {
+		for _, rel := range releases {
+			if rel != nil {
+				rel()
+			}
+		}
+	}
 	for _, req := range reqs {
 		if haveLast && req.seq <= last {
 			req.done <- fmt.Errorf("storage: %s: %w: seq %d not after %d", proc, ErrStaleSeq, req.seq, last)
 			continue
 		}
+		// With dedup on, the committed file is a recipe whose chunk bodies
+		// (and reference bumps) are made durable first — the manifest never
+		// references a recipe whose chunks are not safely on disk.
+		fileData, release := req.data, func() {}
+		if fs.dedup != nil {
+			var err error
+			fileData, release, err = fs.dedupEncode(req.data)
+			if err != nil {
+				req.done <- err
+				continue
+			}
+			if release == nil {
+				release = func() {}
+			}
+		}
 		path := filepath.Join(dir, ckptFile(req.seq))
-		if err := stageWrite(fs.fsys, path, req.data, 0o644); err != nil {
+		if err := stageWrite(fs.fsys, path, fileData, 0o644); err != nil {
+			release()
 			req.done <- err
 			continue
 		}
 		last, haveLast = req.seq, true
 		m.Seqs = append(m.Seqs, req.seq)
-		m.Sizes[ckptFile(req.seq)] = len(req.data)
+		m.Sizes[ckptFile(req.seq)] = len(fileData)
 		staged = append(staged, req)
+		releases = append(releases, release)
 		if fs.met != nil {
 			fs.met.stagedBytes.Add(float64(len(req.data)))
 		}
@@ -448,6 +478,7 @@ func (fs *FSStore) commitProc(st *procState, proc string, reqs []*putReq) {
 	if err := fs.fsys.SyncDir(dir); err != nil {
 		// Staged files may or may not have survived; the manifest was not
 		// touched, so Scrub discards them as orphans on reopen.
+		unwindDedup()
 		fail(staged, fmt.Errorf("storage: %w", err))
 		return
 	}
@@ -459,6 +490,7 @@ func (fs *FSStore) commitProc(st *procState, proc string, reqs []*putReq) {
 		for _, req := range staged {
 			_ = fs.fsys.Remove(filepath.Join(dir, ckptFile(req.seq)))
 		}
+		unwindDedup()
 		fail(staged, err)
 		return
 	}
@@ -491,6 +523,12 @@ func (fs *FSStore) Get(ctx context.Context, proc string) (chain []Stored, missin
 			missing = append(missing, seq)
 			continue
 		}
+		// Recipes resolve back to the exact payload bytes; one whose chunks
+		// are damaged or gone classifies as missing, like a lost file.
+		if data, err = fs.resolveData(data); err != nil {
+			missing = append(missing, seq)
+			continue
+		}
 		chain = append(chain, Stored{Seq: seq, Data: data})
 	}
 	return chain, missing, nil
@@ -519,6 +557,9 @@ func (fs *FSStore) GetElem(ctx context.Context, proc string, seq int) ([]byte, b
 		if err != nil {
 			return nil, false, nil
 		}
+		if data, err = fs.resolveData(data); err != nil {
+			return nil, false, nil
+		}
 		return data, true, nil
 	}
 	return nil, false, nil
@@ -539,10 +580,16 @@ func (fs *FSStore) Truncate(ctx context.Context, proc string, fullSeq int) error
 		return err
 	}
 	var kept []int
+	var dead []recipeRefs
 	for _, seq := range m.Seqs {
 		if seq >= fullSeq {
 			kept = append(kept, seq)
 			continue
+		}
+		if fs.dedup != nil {
+			if rr, ok := fs.readRecipeRefs(proc, seq); ok {
+				dead = append(dead, rr)
+			}
 		}
 		name := ckptFile(seq)
 		if err := fs.fsys.Remove(filepath.Join(fs.procDir(proc), name)); err != nil && !os.IsNotExist(err) {
@@ -551,7 +598,13 @@ func (fs *FSStore) Truncate(ctx context.Context, proc string, fullSeq int) error
 		delete(m.Sizes, name)
 	}
 	m.Seqs = kept
-	return fs.saveManifest(st, proc, m)
+	if err := fs.saveManifest(st, proc, m); err != nil {
+		return err
+	}
+	// References come back only after the recipes are durably gone; a crash
+	// in between over-counts, which the next EnableDedup rebuild reclaims.
+	fs.dedupRelease(dead)
+	return nil
 }
 
 // Delete removes one process's chain and manifest.
@@ -564,9 +617,20 @@ func (fs *FSStore) Delete(ctx context.Context, proc string) error {
 		return err
 	}
 	defer st.unlock()
+	var dead []recipeRefs
+	if fs.dedup != nil {
+		if m, merr := fs.loadManifest(proc); merr == nil {
+			for _, seq := range m.Seqs {
+				if rr, ok := fs.readRecipeRefs(proc, seq); ok {
+					dead = append(dead, rr)
+				}
+			}
+		}
+	}
 	if err := fs.fsys.RemoveAll(fs.procDir(proc)); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
+	fs.dedupRelease(dead)
 	return nil
 }
 

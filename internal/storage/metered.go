@@ -17,6 +17,11 @@ type fsMetrics struct {
 	queueDepth  *metrics.Gauge     // aic_fsstore_queue_depth
 	fsyncTotal  *metrics.Counter   // aic_fsstore_fsync_total
 	syncDur     *metrics.Histogram // aic_fsstore_sync_duration_seconds
+
+	dedupLogical   *metrics.Gauge   // aic_dedup_logical_bytes
+	dedupPhysical  *metrics.Gauge   // aic_dedup_physical_bytes
+	dedupRatio     *metrics.Gauge   // aic_dedup_ratio
+	dedupReclaimed *metrics.Counter // aic_dedup_chunks_reclaimed_total
 }
 
 func newFSMetrics(reg *metrics.Registry) *fsMetrics {
@@ -33,6 +38,14 @@ func newFSMetrics(reg *metrics.Registry) *fsMetrics {
 			"File and directory fsyncs issued."),
 		syncDur: reg.Histogram("aic_fsstore_sync_duration_seconds",
 			"Latency of individual file/directory fsyncs.", nil),
+		dedupLogical: reg.Gauge("aic_dedup_logical_bytes",
+			"Payload bytes of live recipes — what the store would hold without dedup."),
+		dedupPhysical: reg.Gauge("aic_dedup_physical_bytes",
+			"Chunk bytes actually on disk in the content-addressed chunk store."),
+		dedupRatio: reg.Gauge("aic_dedup_ratio",
+			"Dedup ratio: logical bytes over physical chunk bytes."),
+		dedupReclaimed: reg.Counter("aic_dedup_chunks_reclaimed_total",
+			"Unreferenced chunk files removed by GCChunks."),
 	}
 }
 

@@ -1,0 +1,199 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseKeyTable pins the flat-key grammar edge cases: empty tenants,
+// reserved separators appearing inside the payload portions, legacy bare
+// names, and stripe suffixes. ParseKey splits on the FIRST "@" and the
+// FIRST "#" after it — everything else is payload.
+func TestParseKeyTable(t *testing.T) {
+	cases := []struct {
+		in                   string
+		tenant, proc, stripe string
+	}{
+		// Legacy bare names belong to the default tenant.
+		{"web", DefaultTenant, "web", ""},
+		{"", DefaultTenant, "", ""},
+		// Qualified names.
+		{"acme@web", "acme", "web", ""},
+		{"acme@web#s0of4", "acme", "web", "s0of4"},
+		// Empty tenant before the separator: ParseKey is a pure splitter —
+		// it reports the empty tenant rather than guessing; validation
+		// rejects it elsewhere.
+		{"@web", "", "web", ""},
+		{"@", "", "", ""},
+		// Empty proc after the separator.
+		{"acme@", "acme", "", ""},
+		// A second "@" is payload: only the first separates.
+		{"acme@web@shard", "acme", "web@shard", ""},
+		{"a@b@c@d", "a", "b@c@d", ""},
+		// "#" with no "@": default tenant, stripe split still applies.
+		{"web#s1of2", DefaultTenant, "web", "s1of2"},
+		// "#" in the stripe payload: only the first separates.
+		{"acme@web#s0of2#tail", "acme", "web", "s0of2#tail"},
+		// "#" before "@" binds to the tenant side: the "@" search runs
+		// first over the whole name, so the tenant is everything before it.
+		{"we#b@proc", "we#b", "proc", ""},
+		// Empty stripe suffix.
+		{"acme@web#", "acme", "web", ""},
+		// Unicode payloads pass through untouched.
+		{"tênant@procé#s0of1", "tênant", "procé", "s0of1"},
+	}
+	for _, c := range cases {
+		tenant, proc, stripe := ParseKey(c.in)
+		if tenant != c.tenant || proc != c.proc || stripe != c.stripe {
+			t.Errorf("ParseKey(%q) = (%q,%q,%q), want (%q,%q,%q)",
+				c.in, tenant, proc, stripe, c.tenant, c.proc, c.stripe)
+		}
+	}
+}
+
+// TestComposeParseRoundTrip: for every validated (tenant, proc, stripe),
+// ParseKey(ComposeKey(...)) is the identity. This is the injectivity the
+// tenancy layer's isolation rests on.
+func TestComposeParseRoundTrip(t *testing.T) {
+	tenants := []string{DefaultTenant, "acme", "a", strings.Repeat("t", 64)}
+	procs := []string{"web", "svc.1", "web-2", strings.Repeat("p", 64)}
+	stripes := []string{"", StripeLabel(0, 2), StripeLabel(7, 8)}
+	for _, tn := range tenants {
+		if err := ValidateTenantName(tn); err != nil {
+			t.Fatalf("tenant %q should validate: %v", tn, err)
+		}
+		for _, pr := range procs {
+			if err := ValidateUserProcName(pr); err != nil {
+				t.Fatalf("proc %q should validate: %v", pr, err)
+			}
+			for _, st := range stripes {
+				key := ComposeKey(tn, pr, st)
+				gt, gp, gs := ParseKey(key)
+				if gt != tn || gp != pr || gs != st {
+					t.Errorf("round-trip (%q,%q,%q) via %q = (%q,%q,%q)",
+						tn, pr, st, key, gt, gp, gs)
+				}
+			}
+		}
+	}
+}
+
+// TestValidateUserProcNameReservedSeparators: user-facing proc names may
+// contain neither separator — that reservation is what makes ParseKey
+// unambiguous on every key the namespacing layer writes.
+func TestValidateUserProcNameReservedSeparators(t *testing.T) {
+	for _, bad := range []string{
+		"we@b", "@web", "web@", "@", "we#b", "#web", "web#", "#",
+		"a@b#c", "s0of2#", "@#",
+	} {
+		if err := ValidateUserProcName(bad); !errors.Is(err, ErrBadProcName) {
+			t.Errorf("ValidateUserProcName(%q) = %v, want ErrBadProcName", bad, err)
+		}
+	}
+	for _, good := range []string{"web", "svc.1", "UPPER", "wo rd", "tên"} {
+		if err := ValidateUserProcName(good); err != nil {
+			t.Errorf("ValidateUserProcName(%q) = %v, want nil", good, err)
+		}
+	}
+}
+
+// TestValidateTenantNameEdges: empty tenants, directory references,
+// separator abuse and oversized names are rejected before any I/O.
+func TestValidateTenantNameEdges(t *testing.T) {
+	for _, bad := range []string{
+		"", ".", "..", "a/b", "a\x00b", strings.Repeat("t", 65),
+		"ten@ant", "ten#ant",
+	} {
+		if err := ValidateTenantName(bad); !errors.Is(err, ErrBadProcName) {
+			t.Errorf("ValidateTenantName(%q) = %v, want ErrBadProcName", bad, err)
+		}
+	}
+	for _, good := range []string{DefaultTenant, "acme", "a.b", strings.Repeat("t", 64)} {
+		if err := ValidateTenantName(good); err != nil {
+			t.Errorf("ValidateTenantName(%q) = %v, want nil", good, err)
+		}
+	}
+}
+
+// TestParseStripeLabelBounds: the stripe index grammar accepts exactly
+// i∈[0,n) with a canonical rendering, and nothing else.
+func TestParseStripeLabelBounds(t *testing.T) {
+	cases := []struct {
+		label string
+		i, n  int
+		ok    bool
+	}{
+		{"s0of1", 0, 1, true},
+		{"s0of2", 0, 2, true},
+		{"s1of2", 1, 2, true},
+		{"s7of8", 7, 8, true},
+		{"s31of32", 31, 32, true},
+		// Index at or past the stripe count.
+		{"s2of2", 0, 0, false},
+		{"s5of2", 0, 0, false},
+		// Negative / zero counts.
+		{"s0of0", 0, 0, false},
+		{"s-1of2", 0, 0, false},
+		{"s0of-1", 0, 0, false},
+		// Non-canonical renderings must not round-trip.
+		{"s00of2", 0, 0, false},
+		{"s0of02", 0, 0, false},
+		{"s+1of2", 0, 0, false},
+		// Garbage.
+		{"", 0, 0, false},
+		{"s", 0, 0, false},
+		{"0of2", 0, 0, false},
+		{"sXofY", 0, 0, false},
+		{"s0of", 0, 0, false},
+		{"sof2", 0, 0, false},
+		{"s0of2x", 0, 0, false},
+	}
+	for _, c := range cases {
+		i, n, ok := ParseStripeLabel(c.label)
+		if ok != c.ok || (ok && (i != c.i || n != c.n)) {
+			t.Errorf("ParseStripeLabel(%q) = (%d,%d,%v), want (%d,%d,%v)",
+				c.label, i, n, ok, c.i, c.n, c.ok)
+		}
+	}
+	// Every canonical label round-trips.
+	for n := 1; n <= 6; n++ {
+		for i := 0; i < n; i++ {
+			label := StripeLabel(i, n)
+			gi, gn, ok := ParseStripeLabel(label)
+			if !ok || gi != i || gn != n {
+				t.Errorf("StripeLabel(%d,%d)=%q did not round-trip: (%d,%d,%v)", i, n, label, gi, gn, ok)
+			}
+		}
+	}
+	// Composed stripe keys parse back to their parts at the key layer too.
+	key := ComposeKey("acme", "web", StripeLabel(3, 4))
+	if tenant, proc, stripe := ParseKey(key); tenant != "acme" || proc != "web" || stripe != "s3of4" {
+		t.Fatalf("stripe key %q parsed to (%q,%q,%q)", key, tenant, proc, stripe)
+	}
+}
+
+// TestQualifySplitInverse: Qualify and SplitQualified are inverses over
+// validated names, and the default tenant maps to the bare legacy form.
+func TestQualifySplitInverse(t *testing.T) {
+	if got := Qualify(DefaultTenant, "web"); got != "web" {
+		t.Fatalf("Qualify(default, web) = %q, want bare name", got)
+	}
+	if got := Qualify("", "web"); got != "web" {
+		t.Fatalf("Qualify(\"\", web) = %q, want bare name", got)
+	}
+	for _, tn := range []string{DefaultTenant, "acme", "globex"} {
+		for _, pr := range []string{"web", "db.0"} {
+			gt, gp := SplitQualified(Qualify(tn, pr))
+			if gt != tn || gp != pr {
+				t.Errorf("SplitQualified(Qualify(%q,%q)) = (%q,%q)", tn, pr, gt, gp)
+			}
+		}
+	}
+	// Validation runs before any I/O: a store Put with an invalid composed
+	// name fails fast with the sentinel.
+	if err := ValidateProcName(fmt.Sprintf("a%cb", 0)); !errors.Is(err, ErrBadProcName) {
+		t.Fatalf("NUL in proc name: %v", err)
+	}
+}

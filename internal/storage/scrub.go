@@ -135,10 +135,14 @@ func (fs *FSStore) Scrub(ctx context.Context, proc string, repair bool) (*ScrubR
 	}
 
 	// Survey the directory: which checkpoint files exist, and are they
-	// intact?
+	// intact? A file may be a dedup recipe — validity then means the recipe
+	// resolves (all chunk bodies present and hash-clean) AND the resolved
+	// payload decodes; refs records the reference footprint of parseable
+	// recipes so a repair that removes one can release its chunk refs.
 	type fileState struct {
 		size  int
 		valid bool
+		rcp   *recipeRefs
 	}
 	onDisk := map[int]fileState{}
 	var strays []string
@@ -159,8 +163,16 @@ func (fs *FSStore) Scrub(ctx context.Context, proc string, repair bool) (*ScrubR
 		data, err := fs.fsys.ReadFile(filepath.Join(dir, name))
 		st := fileState{size: len(data)}
 		if err == nil {
-			if c, derr := ckpt.Decode(data); derr == nil && c.Seq == seq {
-				st.valid = true
+			if isRecipe(data) {
+				if r, perr := parseRecipe(data); perr == nil {
+					rr := r.refs()
+					st.rcp = &rr
+				}
+			}
+			if resolved, rerr := fs.resolveData(data); rerr == nil {
+				if c, derr := ckpt.Decode(resolved); derr == nil && c.Seq == seq {
+					st.valid = true
+				}
 			}
 		}
 		onDisk[seq] = st
@@ -214,10 +226,17 @@ func (fs *FSStore) Scrub(ctx context.Context, proc string, repair bool) (*ScrubR
 
 	// Apply repairs: purge files the repaired manifest will not reference,
 	// then commit the manifest with the usual durability discipline.
+	// Removing a manifest-listed recipe releases its chunk references
+	// (after the removal, per the dedup ordering invariant); orphans never
+	// contributed committed references, so they release nothing.
+	var dead []recipeRefs
 	for _, seq := range rep.Corrupt {
-		if _, exists := onDisk[seq]; exists {
+		if st, exists := onDisk[seq]; exists {
 			if err := fs.fsys.Remove(filepath.Join(dir, ckptFile(seq))); err != nil && !os.IsNotExist(err) {
 				return rep, fmt.Errorf("storage: %w", err)
+			}
+			if fs.dedup != nil && listed[seq] && st.rcp != nil {
+				dead = append(dead, *st.rcp)
 			}
 		}
 	}
@@ -234,6 +253,7 @@ func (fs *FSStore) Scrub(ctx context.Context, proc string, repair bool) (*ScrubR
 	if err := fs.saveManifest(st, proc, keep); err != nil {
 		return rep, err
 	}
+	fs.dedupRelease(dead)
 	rep.Repaired = true
 	return rep, nil
 }

@@ -1,11 +1,13 @@
 package aic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"aic/internal/ckpt"
+	"aic/internal/compact"
 	"aic/internal/control"
 	"aic/internal/metrics"
 	"aic/internal/remote"
@@ -95,6 +97,44 @@ type Replication struct {
 	JitterSeed int64
 }
 
+// DedupConfig tunes the content-addressed chunk store behind WithDedup:
+// the content-defined chunking geometry (min/avg/max chunk sizes) and the
+// payload floor below which checkpoints are stored raw. The zero value
+// selects the storage package defaults (2 KiB / 8 KiB / 64 KiB).
+type DedupConfig = storage.DedupConfig
+
+// DedupStats is a point-in-time snapshot of the chunk store: live chunk
+// count, logical bytes referenced by recipes, and physical chunk bytes on
+// disk. Ratio() is the dedup factor.
+type DedupStats = storage.DedupStats
+
+// CompactionConfig tunes the online chain compactor behind WithCompaction.
+type CompactionConfig struct {
+	// MaxChain is the chain length that triggers compaction; 0 selects the
+	// compactor default (32).
+	MaxChain int
+	// Keep is how many newest elements survive a compaction — the keep-k
+	// retention bound on restore rewind cost; 0 selects the default (8).
+	Keep int
+	// Interval is the period of the background loop RunCompaction drives
+	// when called with a non-positive interval; 0 selects one minute.
+	Interval time.Duration
+	// DisableGC skips the chunk-store garbage collection that normally
+	// follows each compaction pass on a dedup-enabled directory store.
+	DisableGC bool
+}
+
+// CompactionReport summarizes one compaction pass: chains examined,
+// rewritten, raced and skipped, elements folded away, and chunks the
+// post-pass garbage collection reclaimed.
+type CompactionReport = compact.Report
+
+// ErrCompactRaced reports a compaction flip abandoned because a writer
+// mutated the chain between the compactor's read and its anchor install.
+// It is benign — the store is untouched and the next pass retries on a
+// fresh view; match with errors.Is.
+var ErrCompactRaced = storage.ErrCompactRaced
+
 // Option configures the facade constructors (NewProcess,
 // OpenCheckpointDir). Options irrelevant to a constructor are ignored, so
 // one option set can configure a whole deployment.
@@ -106,6 +146,8 @@ type config struct {
 	repl        *Replication
 	metrics     *metrics.Registry
 	adaptive    *control.Config
+	dedup       *storage.DedupConfig
+	compaction  *CompactionConfig
 }
 
 // WithParallelism sets the number of workers a Process's delta encoder fans
@@ -136,6 +178,29 @@ func WithReplication(r Replication) Option {
 // surface; serve reg.Handler() at /metrics for Prometheus scraping.
 func WithMetrics(reg *MetricsRegistry) Option {
 	return func(c *config) { c.metrics = reg }
+}
+
+// WithDedup turns on chunk-level content-addressed storage in the
+// directory store: every checkpoint is cut into content-defined chunks,
+// chunks are stored once under their SHA-256 identity with durable
+// refcounts, and identical content across processes, sequence numbers and
+// tenants shares disk. Restores are byte-identical and content-verified
+// end to end. Requires the default directory store or a WithStore-supplied
+// *storage.FSStore; OpenCheckpointDir fails otherwise. See DESIGN.md §16.
+func WithDedup(cfg DedupConfig) Option {
+	return func(c *config) { cc := cfg; c.dedup = &cc }
+}
+
+// WithCompaction arms the online chain compactor: chains longer than
+// MaxChain are folded into a fresh full anchor plus the Keep newest
+// elements, without pausing writers, and (on a dedup-enabled store) the
+// chunks the folded prefix referenced are garbage-collected. Drive it via
+// CheckpointDir.Compact for one pass or CheckpointDir.RunCompaction for
+// the background loop. Requires a store implementing anchor replacement
+// (the directory store and storage.LevelStore both do);
+// OpenCheckpointDir fails otherwise.
+func WithCompaction(cfg CompactionConfig) Option {
+	return func(c *config) { cc := cfg; c.compaction = &cc }
 }
 
 // WithAdaptiveControl installs a saturation controller over the directory:
@@ -187,6 +252,31 @@ func OpenCheckpointDir(dir string, opts ...Option) (*CheckpointDir, error) {
 		}
 		d.reg = c.metrics
 		d.met = newDirMetrics(c.metrics)
+	}
+	if c.dedup != nil {
+		fs, ok := local.(*storage.FSStore)
+		if !ok {
+			return nil, fmt.Errorf("aic: WithDedup requires the directory store, got %T", local)
+		}
+		// The enable scan walks the local directory once at construction,
+		// before any caller context exists.
+		//aiclint:ignore ctxflow construction-time local index rebuild; no caller context exists yet
+		if err := fs.EnableDedup(context.Background(), *c.dedup); err != nil {
+			return nil, fmt.Errorf("aic: dedup: %w", err)
+		}
+	}
+	if c.compaction != nil {
+		cs, ok := local.(compact.Store)
+		if !ok {
+			return nil, fmt.Errorf("aic: WithCompaction requires a store with anchor replacement, got %T", local)
+		}
+		d.comp = compact.New(cs, compact.Config{
+			MaxChain:  c.compaction.MaxChain,
+			Keep:      c.compaction.Keep,
+			DisableGC: c.compaction.DisableGC,
+			Metrics:   c.metrics,
+		})
+		d.compInterval = c.compaction.Interval
 	}
 	if c.repl == nil {
 		finishAdaptive(d, c)
