@@ -20,7 +20,7 @@ lint: ## the CI static gates: gofmt, vet, staticcheck (if installed), aiclint
 	else \
 		echo "staticcheck not installed; skipping (CI runs honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; \
 	fi
-	$(GO) run ./cmd/aiclint ./...
+	timeout 120 $(GO) run ./cmd/aiclint ./...
 
 test: ## full test suite
 	$(GO) test ./...
@@ -33,6 +33,7 @@ fuzz-smoke: ## short runs of every fuzz target, as CI runs them
 	$(GO) test -run=^$$ -fuzz=FuzzChunker -fuzztime=20s ./internal/delta
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=20s ./internal/remote
 	$(GO) test -run=^$$ -fuzz=FuzzParseSchedule -fuzztime=20s ./internal/chaos
+	$(GO) test -run=^$$ -fuzz=FuzzParseRecipe -fuzztime=20s ./internal/storage
 
 chaos-smoke: ## compaction-racing-faults chaos scenario under the race detector
 	$(GO) test -race -short -run 'TestCompactionChaos' ./internal/chaos

@@ -14,11 +14,27 @@
 //	facadedoc    the facade package documents every exported symbol,
 //	             leading with the symbol's name
 //
+// Four analyzers run over the whole program at once, on the
+// interprocedural engine (internal/analysis/interproc) — call graph,
+// effect summaries and lock sets propagated to a fixpoint across every
+// loaded package:
+//
+//	durableflow  a commit ack (group-commit done-channel send, remote
+//	             kindPutDone reply) is dominated by fsync+rename+dir-fsync,
+//	             and every Store implementation's Put reaches durability
+//	lockorder    the global lock-acquisition-order graph is cycle-free;
+//	             cycles print their acquisition chains
+//	goroleak     goroutines have shutdown edges; tickers and timers are
+//	             stopped; no time.After inside loops
+//	atomicfield  a field accessed via sync/atomic anywhere is accessed
+//	             that way everywhere (test files included)
+//
 // A deliberate exception is suppressed in place with a reasoned directive:
 //
 //	//aiclint:ignore lockio r.mu is the connection-ownership lock by design
 //
-// See DESIGN.md §12 for each analyzer's exact rule and suppression policy.
+// See DESIGN.md §12 and §17 for each analyzer's exact rule and
+// suppression policy.
 package main
 
 import (
@@ -27,21 +43,29 @@ import (
 	"os"
 
 	"aic/internal/analysis"
+	"aic/internal/analysis/atomicfield"
 	"aic/internal/analysis/ctxflow"
 	"aic/internal/analysis/detrand"
+	"aic/internal/analysis/durableflow"
 	"aic/internal/analysis/durablefs"
 	"aic/internal/analysis/facadedoc"
+	"aic/internal/analysis/goroleak"
 	"aic/internal/analysis/lockio"
+	"aic/internal/analysis/lockorder"
 	"aic/internal/analysis/metricnames"
 	"aic/internal/analysis/sentinelerr"
 )
 
 var suite = []*analysis.Analyzer{
+	atomicfield.Analyzer,
 	ctxflow.Analyzer,
 	detrand.Analyzer,
+	durableflow.Analyzer,
 	durablefs.Analyzer,
 	facadedoc.Analyzer,
+	goroleak.Analyzer,
 	lockio.Analyzer,
+	lockorder.Analyzer,
 	metricnames.Analyzer,
 	sentinelerr.Analyzer,
 }

@@ -29,12 +29,16 @@ import (
 	"strings"
 )
 
-// An Analyzer describes one invariant checker. Run is invoked once per
-// loaded package and reports findings through the Pass.
+// An Analyzer describes one invariant checker. Exactly one of Run and
+// RunProgram is set: Run is invoked once per loaded package for
+// single-package syntax checks, RunProgram once per invocation with every
+// loaded package for interprocedural checks that need the whole call
+// graph (durableflow, lockorder, goroleak, atomicfield).
 type Analyzer struct {
-	Name string // short lower-case identifier, used in directives and output
-	Doc  string // one-paragraph description of the invariant enforced
-	Run  func(*Pass) error
+	Name       string // short lower-case identifier, used in directives and output
+	Doc        string // one-paragraph description of the invariant enforced
+	Run        func(*Pass) error
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass is one analyzer's view of one type-checked package.
@@ -60,6 +64,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// A ProgramPass is one whole-program analyzer's view of every loaded
+// package at once. All packages share one FileSet (the loader guarantees
+// it), so positions are comparable across packages.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	// Shared is a scratch cache living for one Run invocation, shared by
+	// every program analyzer in the suite. The interprocedural engine
+	// stores its call graph and effect summaries here under a private key,
+	// so four analyzers pay for one program build.
+	Shared map[any]any
+	diags  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos. Suppression directives are applied
+// by the runner, not here.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // A Diagnostic is one reported violation.
 type Diagnostic struct {
 	Pos      token.Pos
@@ -72,12 +102,16 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
 }
 
-// Run executes each analyzer over each package, applies //aiclint:ignore
+// Run executes each analyzer — per-package analyzers over each package,
+// whole-program analyzers once over all of them — applies //aiclint:ignore
 // directives, and returns the surviving diagnostics in file/line order.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -92,6 +126,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+	}
+	if len(pkgs) > 0 {
+		shared := map[any]any{}
+		for _, a := range analyzers {
+			if a.RunProgram == nil {
+				continue
+			}
+			pass := &ProgramPass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Pkgs:     pkgs,
+				Shared:   shared,
+				diags:    &diags,
+			}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+		}
+	}
+	for _, pkg := range pkgs {
 		diags = filterSuppressed(pkg, diags)
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -193,6 +247,15 @@ func suppressed(pkg *Package, file *ast.File, dirs []ignoreDirective, d Diagnost
 		if dir.line == d.Position.Line || dir.line == d.Position.Line-1 {
 			return true
 		}
+		// Statement-scoped: a directive above a multi-line statement covers
+		// diagnostics anywhere inside it, not only on its first line — the
+		// flagged call may sit on a continuation line of a wrapped
+		// expression.
+		for _, line := range enclosingStmtLines(pkg.Fset, file, d.Pos) {
+			if dir.line == line-1 {
+				return true
+			}
+		}
 		// Function-scoped: the directive lives in the doc comment of the
 		// function declaration enclosing the diagnostic.
 		for _, decl := range file.Decls {
@@ -211,4 +274,27 @@ func suppressed(pkg *Package, file *ast.File, dirs []ignoreDirective, d Diagnost
 		}
 	}
 	return false
+}
+
+// enclosingStmtLines returns the start lines of every statement enclosing
+// pos, innermost last. A diagnostic on line 3 of a wrapped call is covered
+// by a directive above line 1 of the statement.
+func enclosingStmtLines(fset *token.FileSet, file *ast.File, pos token.Pos) []int {
+	var lines []int
+	if pos == token.NoPos {
+		return nil
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false
+		}
+		if _, ok := n.(ast.Stmt); ok {
+			lines = append(lines, fset.Position(n.Pos()).Line)
+		}
+		return true
+	})
+	return lines
 }

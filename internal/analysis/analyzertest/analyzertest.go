@@ -23,9 +23,13 @@ import (
 // wantRe extracts the backquoted pattern from a `// want` comment.
 var wantRe = regexp.MustCompile("// want `([^`]+)`")
 
-// Run loads each fixture package (a directory name under testdata/src
-// relative to the caller's package directory), runs the analyzer, and
-// reports any mismatch against the fixtures' want comments.
+// Run loads each fixture (a directory name under testdata/src relative to
+// the caller's package directory), runs the analyzer, and reports any
+// mismatch against the fixtures' want comments. A fixture is loaded with a
+// trailing /... pattern, so it may be a single package or a tree of
+// packages importing each other — interprocedural analyzers need
+// cross-package fixtures, and all packages of one fixture are analyzed
+// together as one program.
 func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 	t.Helper()
 	cwd, err := os.Getwd()
@@ -33,8 +37,7 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 		t.Fatal(err)
 	}
 	for _, fx := range fixtures {
-		patterns := []string{"./" + filepath.ToSlash(filepath.Join("testdata", "src", fx))}
-		pkgs, err := analysis.Load(cwd, patterns...)
+		pkgs, err := analysis.Load(cwd, fixturePattern(fx))
 		if err != nil {
 			t.Fatalf("%s: loading fixture: %v", fx, err)
 		}
@@ -56,8 +59,7 @@ func RunExpectClean(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 		t.Fatal(err)
 	}
 	for _, fx := range fixtures {
-		patterns := []string{"./" + filepath.ToSlash(filepath.Join("testdata", "src", fx))}
-		pkgs, err := analysis.Load(cwd, patterns...)
+		pkgs, err := analysis.Load(cwd, fixturePattern(fx))
 		if err != nil {
 			t.Fatalf("%s: loading fixture: %v", fx, err)
 		}
@@ -69,6 +71,12 @@ func RunExpectClean(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 			t.Errorf("%s: unexpected diagnostic: %s", fx, d)
 		}
 	}
+}
+
+// fixturePattern widens a fixture directory into a package-tree pattern so
+// multi-package fixtures load every subpackage in one program.
+func fixturePattern(fx string) string {
+	return "./" + filepath.ToSlash(filepath.Join("testdata", "src", fx)) + "/..."
 }
 
 // wantKey identifies one want comment by file and line.

@@ -1,0 +1,215 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct
+// fields, program-wide. The control actuator's gates and the metrics
+// counters are read from the checkpoint hot path while other goroutines
+// update them; a field that is atomic.Add'ed at one site and read plainly
+// at another is a data race the type system is happy to compile.
+//
+// Two rules:
+//
+//  1. Mixed access. Every access to a field that is touched through
+//     sync/atomic at any site in the program must go through sync/atomic.
+//     The map of accesses is built across every loaded package at once —
+//     the racy plain read is usually in a different package (or a test)
+//     than the atomic increments it races with — and test files are
+//     included deliberately: a test that reads a counter plainly while
+//     the code under test is still running races like any other code.
+//
+//  2. Atomic-typed assignment. A field of an atomic.* value type
+//     (atomic.Bool, atomic.Int64, ...) must be updated through its Store
+//     and friends; a plain assignment replaces the value wholesale,
+//     racing every concurrent method call on it.
+//
+// Composite-literal keys do not count as plain accesses: keyed
+// construction happens before the value is shared.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"aic/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "atomicfield",
+	Doc:        "fields accessed via sync/atomic anywhere must be accessed that way everywhere",
+	RunProgram: run,
+}
+
+// accessRecord tallies one struct field's access sites program-wide.
+type accessRecord struct {
+	display string
+	atomic  []token.Pos
+	plain   []token.Pos
+}
+
+func run(pass *analysis.ProgramPass) error {
+	records := map[*types.Var]*accessRecord{}
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			collectFile(pass, pkg, file, records)
+		}
+	}
+	report(pass, records)
+	return nil
+}
+
+// collectFile walks one file, tallying atomic and plain field accesses
+// and flagging assignments to atomic-typed fields as it goes.
+func collectFile(pass *analysis.ProgramPass, pkg *analysis.Package, file *ast.File, records map[*types.Var]*accessRecord) {
+	info := pkg.Info
+
+	// First pass: the &x.f arguments of sync/atomic calls are the atomic
+	// sites. Everything lexically inside such an argument is spoken for —
+	// the inner selectors of &x.a.b are part of the atomic path, not
+	// plain accesses of their own fields.
+	atomicArg := map[*ast.SelectorExpr]bool{}
+	type span struct{ lo, hi token.Pos }
+	var covered []span
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !analysis.IsPkgFunc(analysis.CalleeObj(info, call), "sync/atomic") {
+			return true
+		}
+		for _, arg := range call.Args {
+			unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			atomicArg[sel] = true
+			covered = append(covered, span{sel.Pos(), sel.End()})
+		}
+		return true
+	})
+	inCovered := func(sel *ast.SelectorExpr) bool {
+		for _, s := range covered {
+			if sel.Pos() > s.lo && sel.End() <= s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if fld := fieldOf(info, sel); fld != nil && isAtomicValueType(fld.Type()) {
+						pass.Reportf(sel.Pos(),
+							"plain assignment to sync/atomic-typed field %s races every concurrent method call on it; use its Store method",
+							displayName(info, sel, fld))
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			fld := fieldOf(info, n)
+			if fld == nil || !programField(pass, fld) {
+				return true
+			}
+			rec := records[fld]
+			if rec == nil {
+				rec = &accessRecord{display: displayName(info, n, fld)}
+				records[fld] = rec
+			}
+			switch {
+			case atomicArg[n]:
+				rec.atomic = append(rec.atomic, n.Pos())
+			case inCovered(n):
+				// Interior of an atomic argument path: neither.
+			default:
+				rec.plain = append(rec.plain, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// report emits one diagnostic per plain site of every mixed field, in
+// deterministic order.
+func report(pass *analysis.ProgramPass, records map[*types.Var]*accessRecord) {
+	var mixed []*accessRecord
+	for _, rec := range records {
+		if len(rec.atomic) > 0 && len(rec.plain) > 0 {
+			mixed = append(mixed, rec)
+		}
+	}
+	sort.Slice(mixed, func(i, j int) bool { return mixed[i].display < mixed[j].display })
+	for _, rec := range mixed {
+		sort.Slice(rec.atomic, func(i, j int) bool { return rec.atomic[i] < rec.atomic[j] })
+		sort.Slice(rec.plain, func(i, j int) bool { return rec.plain[i] < rec.plain[j] })
+		witness := pass.Fset.Position(rec.atomic[0])
+		for _, pos := range rec.plain {
+			pass.Reportf(pos,
+				"field %s is accessed atomically (%d sites, e.g. %s) but plainly here; every access must go through sync/atomic",
+				rec.display, len(rec.atomic), witness)
+		}
+	}
+}
+
+// fieldOf resolves a selector to the struct field it denotes, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	obj := info.Uses[sel.Sel]
+	if obj == nil {
+		if s, ok := info.Selections[sel]; ok {
+			obj = s.Obj()
+		}
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// programField keeps the tally to fields the program defines: stdlib
+// struct fields (os.ProcessState internals and the like) are not ours to
+// police.
+func programField(pass *analysis.ProgramPass, fld *types.Var) bool {
+	if fld.Pkg() == nil {
+		return false
+	}
+	for _, pkg := range pass.Pkgs {
+		if pkg.Types == fld.Pkg() {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's value types.
+func isAtomicValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// displayName renders pkg.Type.field for diagnostics, using the selector's
+// receiver type when it names the struct and falling back to the field's
+// package otherwise.
+func displayName(info *types.Info, sel *ast.SelectorExpr, fld *types.Var) string {
+	t := info.TypeOf(sel.X)
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + fld.Name()
+	}
+	return fld.Pkg().Name() + "." + fld.Name()
+}

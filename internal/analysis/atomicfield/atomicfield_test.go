@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"aic/internal/analysis/analyzertest"
+	"aic/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analyzertest.Run(t, atomicfield.Analyzer, "atomfbad", "atomfok")
+}

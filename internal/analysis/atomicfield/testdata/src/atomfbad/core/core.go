@@ -1,0 +1,29 @@
+// Package core is the flagged atomicfield fixture's defining half: the
+// counters are updated through sync/atomic here, and read plainly from a
+// sibling package and an in-package test.
+package core
+
+import "sync/atomic"
+
+// Counter mixes access disciplines across the program.
+type Counter struct {
+	N    int64
+	hits int64
+	Flag atomic.Bool
+}
+
+// Inc is the atomic side of both races.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.N, 1)
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Hits races Inc in this very file.
+func (c *Counter) Hits() int64 {
+	return c.hits // want `field core\.Counter\.hits is accessed atomically \(1 sites, e\.g\. .*core\.go:\d+:\d+\) but plainly here`
+}
+
+// Reset replaces the atomic value wholesale instead of storing through it.
+func (c *Counter) Reset() {
+	c.Flag = atomic.Bool{} // want `plain assignment to sync/atomic-typed field core\.Counter\.Flag`
+}

@@ -1,0 +1,7 @@
+package core
+
+// readRaw is the in-package test racing the code under test: test files
+// are inside the analysis on purpose.
+func readRaw(c *Counter) int64 {
+	return c.N // want `field core\.Counter\.N is accessed atomically \(1 sites, e\.g\. .*core\.go:\d+:\d+\) but plainly here`
+}

@@ -1,0 +1,11 @@
+// Package misuse is the racy half of the fixture: it reads core's
+// atomically-maintained counter plainly — the cross-package race the
+// program-wide access map exists to catch.
+package misuse
+
+import "aic/internal/analysis/atomicfield/testdata/src/atomfbad/core"
+
+// Snapshot reads the counter with no atomicity at all.
+func Snapshot(c *core.Counter) int64 {
+	return c.N // want `field core\.Counter\.N is accessed atomically \(1 sites, e\.g\. .*core\.go:\d+:\d+\) but plainly here`
+}

@@ -1,0 +1,59 @@
+// Package atomfok is the clean atomicfield fixture: consistent
+// disciplines only — all-atomic, mutex-guarded plain, atomic value types
+// used through their methods, keyed construction.
+package atomfok
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// AllAtomic is touched through sync/atomic at every site.
+type AllAtomic struct{ n int64 }
+
+// Inc and Get agree on the discipline.
+func (a *AllAtomic) Inc()       { atomic.AddInt64(&a.n, 1) }
+func (a *AllAtomic) Get() int64 { return atomic.LoadInt64(&a.n) }
+
+// NewAllAtomic constructs with a keyed literal — initialization before
+// sharing, not a plain access.
+func NewAllAtomic() *AllAtomic {
+	return &AllAtomic{n: 1}
+}
+
+// Plain is guarded by a mutex and never touches sync/atomic.
+type Plain struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Inc holds the lock for its plain increment.
+func (p *Plain) Inc() {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+// Typed wraps the counter in an atomic value type and always goes through
+// its methods.
+type Typed struct{ v atomic.Int64 }
+
+// Bump and Get never assign the field.
+func (t *Typed) Bump()      { t.v.Add(1) }
+func (t *Typed) Get() int64 { return t.v.Load() }
+
+// Nested proves the interior of an atomic argument path is not a plain
+// access of the outer field.
+type Nested struct{ in inner }
+
+type inner struct{ c int64 }
+
+// Bump's &n.in.c covers the n.in selector too.
+func (n *Nested) Bump() {
+	atomic.AddInt64(&n.in.c, 1)
+}
+
+// Read agrees.
+func (n *Nested) Read() int64 {
+	return atomic.LoadInt64(&n.in.c)
+}

@@ -1,0 +1,12 @@
+package durableflow_test
+
+import (
+	"testing"
+
+	"aic/internal/analysis/analyzertest"
+	"aic/internal/analysis/durableflow"
+)
+
+func TestDurableflow(t *testing.T) {
+	analyzertest.Run(t, durableflow.Analyzer, "flowbad", "flowok")
+}

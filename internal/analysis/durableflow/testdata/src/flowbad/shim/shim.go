@@ -1,0 +1,16 @@
+// Package shim models the storage FS shim for the flagged fixture.
+package shim
+
+// FS carries the durability primitives the engine recognizes.
+type FS interface {
+	SyncFile(name string) error
+	SyncDir(name string) error
+	Rename(oldpath, newpath string) error
+}
+
+// OS is a no-op implementation so the fixture type-checks.
+type OS struct{}
+
+func (OS) SyncFile(string) error       { return nil }
+func (OS) SyncDir(string) error        { return nil }
+func (OS) Rename(string, string) error { return nil }

@@ -1,0 +1,255 @@
+// Package goroleak finds goroutines and timers that can never be
+// reclaimed — the background machinery of the checkpoint service (group
+// commit, replication fan-out, compaction, the control loop) must all
+// wind down on shutdown, and a leaked spinner or ticker is a slow resource
+// drain the race detector never sees.
+//
+// Three rules run over the whole program:
+//
+//  1. Shutdown edge. A go statement whose spawned body — the closure
+//     itself, or the transitive summary of the named function it calls —
+//     contains an unexitable spin loop (EffSpin) and no shutdown edge
+//     anywhere (no ctx.Done, channel receive, or select) is a goroutine
+//     nothing can ever stop. The check is interprocedural: `go s.loop()`
+//     is judged by loop's summary, closures by their own body plus every
+//     callee's summary.
+//
+//  2. Ticker/timer ownership. A time.NewTicker or time.NewTimer result
+//     assigned to a local must be stopped somewhere in the same function
+//     (defer t.Stop() included) or handed off — returned, passed on, or
+//     stored — transferring ownership. time.Tick is flagged outright
+//     (its ticker has no Stop), as is receiving straight off an
+//     unassigned constructor's .C, which discards the only handle.
+//
+//  3. time.After in a loop. Each call arms a fresh timer that is not
+//     released until it fires; inside a loop that is an unbounded
+//     allocation. Hoist a timer or ticker outside the loop and reuse it.
+//
+// Test files are skipped: a test's goroutines die with its process, and
+// per-iteration timers in polling helpers are deliberate.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aic/internal/analysis"
+	"aic/internal/analysis/interproc"
+)
+
+// Analyzer is the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "goroleak",
+	Doc:        "goroutines need a shutdown edge; tickers and timers must be stopped",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	prog := interproc.Of(pass)
+	for _, fi := range prog.DeclOrder() {
+		if analysis.IsTestFile(prog.Fset, fi.Decl.Pos()) {
+			continue
+		}
+		checkGoStmts(pass, prog, fi)
+		checkTimers(pass, fi)
+		checkAfterInLoop(pass, fi)
+	}
+	return nil
+}
+
+// checkGoStmts flags spawns whose body spins forever with no shutdown
+// edge. Spawns the engine cannot see into (function values, externals)
+// are left alone.
+func checkGoStmts(pass *analysis.ProgramPass, prog *interproc.Program, fi *interproc.FuncInfo) {
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var eff interproc.Effect
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			eff = prog.FuncLitEffect(info, lit)
+		} else {
+			tgts := prog.ResolveCall(info, g.Call)
+			if len(tgts) == 0 {
+				return true
+			}
+			for _, t := range tgts {
+				eff |= prog.SummaryOf(t)
+			}
+		}
+		if eff&interproc.EffSpin != 0 && eff&(interproc.EffCtxDone|interproc.EffChanRecv) == 0 {
+			pass.Reportf(g.Pos(),
+				"goroutine runs an unbounded loop with no shutdown edge (effects: %s); select on ctx.Done or a stop channel so it can exit",
+				eff)
+		}
+		return true
+	})
+}
+
+// tracked is one local holding a NewTicker/NewTimer result.
+type tracked struct {
+	name    string
+	kind    string // "ticker" or "timer"
+	pos     token.Pos
+	stopped bool
+	escaped bool
+}
+
+// checkTimers enforces ticker/timer ownership within one declaration.
+func checkTimers(pass *analysis.ProgramPass, fi *interproc.FuncInfo) {
+	info := fi.Pkg.Info
+	byObj := map[types.Object]*tracked{}
+	defIdents := map[*ast.Ident]bool{}
+	var order []*tracked
+
+	track := func(id *ast.Ident, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		kind := constructorKind(info, call)
+		if kind == "" || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		defIdents[id] = true
+		if _, seen := byObj[obj]; seen {
+			// Rearmed into the same variable: keep the first site, the
+			// Stop/escape scan below covers both lifetimes.
+			return
+		}
+		t := &tracked{name: id.Name, kind: kind, pos: call.Pos()}
+		byObj[obj] = t
+		order = append(order, t)
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						track(id, n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, id := range n.Names {
+					track(id, n.Values[i])
+				}
+			}
+		case *ast.CallExpr:
+			obj := analysis.CalleeObj(info, n)
+			if analysis.IsPkgFunc(obj, "time", "Tick") {
+				pass.Reportf(n.Pos(),
+					"time.Tick leaks its ticker: there is no handle to Stop; use time.NewTicker with a deferred Stop")
+			}
+		case *ast.SelectorExpr:
+			// <-time.NewTimer(d).C discards the only handle to the timer.
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && n.Sel.Name == "C" {
+				if kind := constructorKind(info, call); kind != "" {
+					pass.Reportf(call.Pos(),
+						"time.New%s result used without a variable: the %s can never be stopped; assign it and defer Stop",
+						exported(kind), kind)
+				}
+			}
+		}
+		return true
+	})
+	if len(byObj) == 0 {
+		return
+	}
+
+	// Second walk: a selector on a tracked local is either the Stop we
+	// want or a benign member use (.C, .Reset); any other mention of the
+	// local — returned, passed, stored, aliased — transfers ownership.
+	selX := map[*ast.Ident]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				selX[id] = true
+				if t := byObj[info.Uses[id]]; t != nil && sel.Sel.Name == "Stop" {
+					t.stopped = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !selX[id] && !defIdents[id] {
+			if t := byObj[info.Uses[id]]; t != nil {
+				t.escaped = true
+			}
+		}
+		return true
+	})
+	for _, t := range order {
+		if !t.stopped && !t.escaped {
+			pass.Reportf(t.pos,
+				"%s %s is never stopped on any path out of this function; defer %s.Stop()",
+				t.kind, t.name, t.name)
+		}
+	}
+}
+
+// constructorKind classifies a call as a ticker or timer constructor.
+func constructorKind(info *types.Info, call *ast.CallExpr) string {
+	obj := analysis.CalleeObj(info, call)
+	switch {
+	case analysis.IsPkgFunc(obj, "time", "NewTicker"):
+		return "ticker"
+	case analysis.IsPkgFunc(obj, "time", "NewTimer"):
+		return "timer"
+	}
+	return ""
+}
+
+func exported(kind string) string {
+	if kind == "ticker" {
+		return "Ticker"
+	}
+	return "Timer"
+}
+
+// checkAfterInLoop flags time.After calls lexically inside a loop body.
+func checkAfterInLoop(pass *analysis.ProgramPass, fi *interproc.FuncInfo) {
+	info := fi.Pkg.Info
+	var loops []ast.Node
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	if len(loops) == 0 {
+		return
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !analysis.IsPkgFunc(analysis.CalleeObj(info, call), "time", "After") {
+			return true
+		}
+		for _, loop := range loops {
+			if call.Pos() > loop.Pos() && call.End() < loop.End() {
+				pass.Reportf(call.Pos(),
+					"time.After inside a loop arms a fresh timer every iteration, released only when it fires; hoist one timer or ticker out of the loop and reuse it")
+				break
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"aic/internal/analysis/analyzertest"
+	"aic/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analyzertest.Run(t, goroleak.Analyzer, "goroleakbad", "goroleakok")
+}

@@ -1,0 +1,76 @@
+// Package goroleakbad is the flagged goroleak fixture: unbounded
+// goroutines with no shutdown edge, leaked tickers and timers, and
+// per-iteration time.After timers.
+package goroleakbad
+
+import "time"
+
+// spin never exits and checks nothing: the summary the interprocedural
+// rule judges `go spin()` by.
+func spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// SpawnNamed leaks through a named function: the spin lives two hops away.
+func SpawnNamed() {
+	go spin() // want `goroutine runs an unbounded loop with no shutdown edge`
+}
+
+// SpawnVia leaks through an intermediate call — proves the check uses the
+// transitive summary, not the spawned function's own body.
+func SpawnVia() {
+	go caller() // want `goroutine runs an unbounded loop with no shutdown edge`
+}
+
+func caller() {
+	spin()
+}
+
+// SpawnLit leaks via a closure judged on its own body.
+func SpawnLit() {
+	go func() { // want `goroutine runs an unbounded loop with no shutdown edge`
+		for {
+		}
+	}()
+}
+
+// LeakTicker never stops what it starts.
+func LeakTicker(d time.Duration) {
+	t := time.NewTicker(d) // want `ticker t is never stopped on any path out of this function`
+	for i := 0; i < 3; i++ {
+		<-t.C
+	}
+}
+
+// LeakTimer arms and forgets.
+func LeakTimer(d time.Duration) {
+	tm := time.NewTimer(d) // want `timer tm is never stopped on any path out of this function`
+	<-tm.C
+}
+
+// NoHandle receives straight off the constructor — nothing can ever call
+// Stop.
+func NoHandle(d time.Duration) {
+	<-time.NewTimer(d).C // want `time.NewTimer result used without a variable`
+}
+
+// Tick has no Stop at all.
+func Tick(d time.Duration) {
+	for range time.Tick(d) { // want `time.Tick leaks its ticker`
+		return
+	}
+}
+
+// AfterLoop arms a fresh timer per iteration.
+func AfterLoop(d time.Duration, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(d): // want `time.After inside a loop arms a fresh timer every iteration`
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package goroleakok is the clean goroleak fixture: every goroutine has a
+// shutdown edge, every ticker and timer an owner who stops it.
+package goroleakok
+
+import (
+	"context"
+	"time"
+)
+
+// loop is stoppable: it selects on ctx.Done every turn.
+func loop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// SpawnCtx hands the goroutine its shutdown edge.
+func SpawnCtx(ctx context.Context) {
+	go loop(ctx)
+}
+
+// SpawnStopChan uses the channel convention instead of a context.
+func SpawnStopChan(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// SpawnDrain ranges over a channel the spawner can close.
+func SpawnDrain(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// StopTicker stops what it starts, the idiomatic way.
+func StopTicker(d time.Duration) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// StopTimerEarly stops on the early-return path too — Stop anywhere in
+// the function satisfies ownership.
+func StopTimerEarly(d time.Duration, ready chan struct{}) {
+	tm := time.NewTimer(d)
+	select {
+	case <-ready:
+		tm.Stop()
+		return
+	case <-tm.C:
+	}
+}
+
+// Handoff transfers ownership to the caller.
+func Handoff(d time.Duration) *time.Ticker {
+	t := time.NewTicker(d)
+	return t
+}
+
+// Constructed returns the handle directly — never a local to track.
+func Constructed(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}
+
+// AfterOnce is fine outside a loop: one timer, fires once.
+func AfterOnce(d time.Duration) {
+	<-time.After(d)
+}

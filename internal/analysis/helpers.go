@@ -84,6 +84,19 @@ func PathHasSuffix(path string, suffixes []string) bool {
 	return false
 }
 
+// IsTestdataPath reports whether an import path contains a "testdata"
+// segment — an analyzer fixture package, where project-layout scoping
+// rules (internal/storage, internal/remote, ...) are relaxed so fixtures
+// can model the real packages.
+func IsTestdataPath(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
 // IsErrorType reports whether t is the built-in error interface type.
 func IsErrorType(t types.Type) bool {
 	named, ok := t.(*types.Named)

@@ -1,0 +1,171 @@
+package interproc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// LockOp is one mutex operation at a call site, with the lock's global
+// identity. Identity abstracts instances to their declaration — every
+// procState.mu is one lock node — which is the standard conservative
+// choice for order graphs: two instances of the same field locked in both
+// orders is itself a design worth flagging.
+type LockOp struct {
+	ID       string // e.g. "storage.procState.mu", "remote.Server.lnMu", "pkg.globalMu"
+	Op       string // Lock, RLock, Unlock, RUnlock
+	Deferred bool
+}
+
+// MutexOp classifies call as a mutex operation and returns the lock's
+// global identity. It matches Lock/RLock/Unlock/RUnlock with a
+// sync.Mutex/RWMutex receiver, reached directly, through a field, or
+// through an embedded mutex.
+func MutexOp(info *types.Info, call *ast.CallExpr) (LockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return LockOp{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return LockOp{}, false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return LockOp{}, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || !isSyncMutexMethod(fn) {
+		return LockOp{}, false
+	}
+	id := lockIdentity(info, sel.X)
+	if id == "" {
+		return LockOp{}, false
+	}
+	return LockOp{ID: id, Op: sel.Sel.Name}, true
+}
+
+func isSyncMutexMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// lockIdentity names the mutex expression globally. Field mutexes become
+// "pkg.Type.field", package-level mutexes "pkg.var", embedded mutexes
+// "pkg.Type.Mutex"; local mutex variables are scoped to their position so
+// distinct locals never alias.
+func lockIdentity(info *types.Info, mx ast.Expr) string {
+	switch mx := ast.Unparen(mx).(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := info.Selections[mx]; ok {
+			obj := selection.Obj()
+			recv := selection.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				return typeID(named) + "." + obj.Name()
+			}
+			return obj.Name()
+		}
+		// Package-qualified global: pkg.Mu
+		if obj, ok := info.Uses[mx.Sel]; ok && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		obj, ok := info.Uses[mx].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		// Receiver of an embedded mutex (t.Lock() where t embeds
+		// sync.Mutex) or a local variable.
+		t := obj.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+				return typeID(named) + ".Mutex"
+			}
+			// A plain local sync.Mutex: scope by declaration site.
+			return fmt.Sprintf("local.%s@%d", obj.Name(), obj.Pos())
+		}
+	}
+	return ""
+}
+
+func typeID(named *types.Named) string {
+	if named.Obj().Pkg() == nil {
+		return named.Obj().Name()
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}
+
+// lockFixpoint computes each function's transitive may-acquire set with
+// one deterministic witness per lock.
+func (p *Program) lockFixpoint() {
+	funcs := p.sortedFuncs()
+	for _, fi := range funcs {
+		fi.Acquires = map[string]LockWitness{}
+		for _, call := range fi.Calls {
+			if call.Go || call.Deferred {
+				continue
+			}
+			if op, ok := MutexOp(fi.Pkg.Info, call.Site); ok && (op.Op == "Lock" || op.Op == "RLock") {
+				if _, seen := fi.Acquires[op.ID]; !seen {
+					fi.Acquires[op.ID] = LockWitness{Pos: call.Pos}
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			for _, call := range fi.Calls {
+				// A go-spawned callee's acquisitions are concurrent, not
+				// ordered under the caller's held set; a deferred callee
+				// runs at return where the held set is unwinding.
+				if call.Go || call.Deferred {
+					continue
+				}
+				for _, tgt := range call.Targets {
+					ti, ok := p.Funcs[tgt]
+					if !ok {
+						continue
+					}
+					ids := make([]string, 0, len(ti.Acquires))
+					for id := range ti.Acquires {
+						ids = append(ids, id)
+					}
+					sort.Strings(ids)
+					for _, id := range ids {
+						if _, seen := fi.Acquires[id]; seen {
+							continue
+						}
+						w := ti.Acquires[id]
+						via := append([]string{FuncName(tgt)}, w.Via...)
+						fi.Acquires[id] = LockWitness{Pos: w.Pos, Via: via}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package store is an engine fixture modeling the storage layer: an FS
+// shim interface, a Store interface, and a disk implementation whose Put
+// performs the full durability sequence.
+package store
+
+// FS mirrors the project's filesystem shim; the engine recognizes its
+// methods as durability effects by name.
+type FS interface {
+	SyncFile(name string) error
+	SyncDir(name string) error
+	Rename(oldpath, newpath string) error
+}
+
+// OS is a do-nothing FS implementation.
+type OS struct{}
+
+func (OS) SyncFile(string) error       { return nil }
+func (OS) SyncDir(string) error        { return nil }
+func (OS) Rename(string, string) error { return nil }
+
+// Store is the checkpoint-store interface the engine resolves calls
+// against.
+type Store interface {
+	Put(p string) error
+}
+
+// Disk commits through the FS shim.
+type Disk struct{ fs FS }
+
+// Put stages, renames, and pins — the durable sequence.
+func (d *Disk) Put(p string) error {
+	if err := d.fs.SyncFile(p); err != nil {
+		return err
+	}
+	if err := d.fs.Rename(p, p+".ok"); err != nil {
+		return err
+	}
+	return d.fs.SyncDir(p)
+}

@@ -1,0 +1,60 @@
+// Package svc is an engine fixture exercising cross-package interface
+// resolution, transitive lock acquisition, and loop classification.
+package svc
+
+import (
+	"sync"
+
+	"aic/internal/analysis/interproc/testdata/src/prog/store"
+)
+
+// Svc commits through the store.Store interface.
+type Svc struct {
+	mu sync.Mutex
+	st store.Store
+}
+
+// Commit's durability arrives only through interface resolution: the
+// engine must see store.Disk behind store.Store.
+func (s *Svc) Commit(p string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Put(p)
+}
+
+var gate sync.Mutex
+
+// Nested acquires gate, then s.mu through a callee — the transitive
+// acquire the lock fixpoint must surface with a via chain.
+func (s *Svc) Nested() {
+	gate.Lock()
+	defer gate.Unlock()
+	s.helper()
+}
+
+func (s *Svc) helper() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// Spin can never be stopped.
+func Spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// Pump has a shutdown edge: the channel receive.
+func Pump(ch chan int) {
+	for {
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}
+
+// SpinCaller spins only transitively.
+func SpinCaller() {
+	Spin()
+}

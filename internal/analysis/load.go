@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -39,10 +40,11 @@ type listedPkg struct {
 	Export      string
 	GoFiles     []string
 	TestGoFiles []string
+	Imports     []string
 	TestImports []string
 }
 
-const listFields = "-json=Dir,ImportPath,Name,Export,GoFiles,TestGoFiles,TestImports"
+const listFields = "-json=Dir,ImportPath,Name,Export,GoFiles,TestGoFiles,Imports,TestImports"
 
 // Load type-checks the packages matching patterns (resolved relative to
 // dir, which must sit inside the module) and returns them ready for
@@ -90,16 +92,24 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	exportImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		e := exports[path]
 		if e == "" {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(e)
 	})
+	// Target packages import each other from their source-checked selves,
+	// not from export data, so the whole load shares one type universe:
+	// a *types.Func or *types.Named seen through an import is the same
+	// object the defining package produced. Interprocedural analysis
+	// (call-graph identity, types.Implements across packages) is
+	// impossible without this. Non-target dependencies still come from
+	// compiler export data, keeping the loader offline and fast.
+	imp := &sourceFirstImporter{checked: map[string]*types.Package{}, fallback: exportImp}
 
 	var out []*Package
-	for _, t := range targets {
+	for _, t := range topoSort(targets) {
 		files := append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
 		if len(files) == 0 {
 			continue
@@ -123,6 +133,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
 		}
+		imp.checked[t.ImportPath] = pkg
 		out = append(out, &Package{
 			Path:  t.ImportPath,
 			Dir:   t.Dir,
@@ -133,6 +144,72 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		})
 	}
 	return out, nil
+}
+
+// sourceFirstImporter resolves imports of already-checked target packages
+// to their source-checked form and everything else to export data.
+type sourceFirstImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (s *sourceFirstImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := s.checked[path]; ok {
+		return pkg, nil
+	}
+	return s.fallback.Import(path)
+}
+
+// topoSort orders targets so every target is checked after the targets it
+// imports (in regular or in-package test files). Go's compiler rejects
+// import cycles, so the graph is a DAG; should a cycle somehow appear,
+// the leftovers are appended in listing order and fall back to export
+// data for the unchecked edges.
+func topoSort(targets []*listedPkg) []*listedPkg {
+	byPath := map[string]*listedPkg{}
+	for _, t := range targets {
+		byPath[t.ImportPath] = t
+	}
+	indeg := map[string]int{}
+	dependents := map[string][]string{}
+	for _, t := range targets {
+		for _, imp := range append(append([]string{}, t.Imports...), t.TestImports...) {
+			if _, isTarget := byPath[imp]; isTarget && imp != t.ImportPath {
+				indeg[t.ImportPath]++
+				dependents[imp] = append(dependents[imp], t.ImportPath)
+			}
+		}
+	}
+	var ready []string
+	for _, t := range targets {
+		if indeg[t.ImportPath] == 0 {
+			ready = append(ready, t.ImportPath)
+		}
+	}
+	sort.Strings(ready)
+	var out []*listedPkg
+	emitted := map[string]bool{}
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		out = append(out, byPath[path])
+		emitted[path] = true
+		var next []string
+		for _, dep := range dependents[path] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				next = append(next, dep)
+			}
+		}
+		sort.Strings(next)
+		ready = append(ready, next...)
+	}
+	for _, t := range targets {
+		if !emitted[t.ImportPath] {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 func goList(dir string, args []string) ([]*listedPkg, error) {

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"aic/internal/analysis/analyzertest"
+	"aic/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analyzertest.Run(t, lockorder.Analyzer, "lockcyc", "lockordok")
+}

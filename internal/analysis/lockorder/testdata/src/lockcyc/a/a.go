@@ -1,0 +1,30 @@
+// Package a closes the cycle: it calls into b while holding its own lock,
+// and b's callback re-enters a's lock.
+package a
+
+import (
+	"sync"
+
+	"aic/internal/analysis/lockorder/testdata/src/lockcyc/b"
+)
+
+// A participates in the deadlock: mu is taken before and after b.B.Mu on
+// different paths.
+type A struct {
+	mu   sync.Mutex
+	peer *b.B
+}
+
+// Do re-acquires a's lock from under b's — the b.B.Mu → a.A.mu edge.
+func (x *A) Do() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+}
+
+// Foo holds a's lock across the call into b — the a.A.mu → b.B.Mu edge,
+// and with Do the cycle.
+func (x *A) Foo() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.peer.Qux(x) // want `potential deadlock: lock-order cycle a\.A\.mu → b\.B\.Mu → a\.A\.mu`
+}

@@ -1,0 +1,23 @@
+// Package b holds its lock across an interface callback — one half of a
+// cross-package lock-order cycle the other package closes.
+package b
+
+import "sync"
+
+// Doer is the callback invoked under b's lock.
+type Doer interface {
+	Do()
+}
+
+// B serializes Qux with Mu.
+type B struct {
+	Mu sync.Mutex
+}
+
+// Qux calls the callback while holding Mu: edge b.B.Mu → whatever the
+// callback acquires.
+func (x *B) Qux(d Doer) {
+	x.Mu.Lock()
+	defer x.Mu.Unlock()
+	d.Do()
+}

@@ -1,0 +1,66 @@
+// Package lockordok is the clean lockorder fixture: nested locks always
+// taken in one global order, unlock-before-call patterns, and go
+// statements whose acquisitions are concurrent rather than nested.
+package lockordok
+
+import "sync"
+
+// S owns two locks with a documented order: outer before inner, always.
+type S struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+// Both nests inner under outer.
+func (s *S) Both() {
+	s.outer.Lock()
+	defer s.outer.Unlock()
+	s.inner.Lock()
+	defer s.inner.Unlock()
+}
+
+// Inner respects the order by releasing outer before the helper that
+// takes inner would matter — no reversal exists anywhere.
+func (s *S) Inner() {
+	s.inner.Lock()
+	s.inner.Unlock()
+}
+
+// Handoff drops its lock before calling a function that takes the other.
+func (s *S) Handoff() {
+	s.outer.Lock()
+	s.outer.Unlock()
+	s.Inner()
+}
+
+// Spawn takes inner in a goroutine while outer is held: concurrent, not
+// nested — no order edge.
+func (s *S) Spawn() {
+	s.outer.Lock()
+	defer s.outer.Unlock()
+	go func() {
+		s.inner.Lock()
+		s.inner.Unlock()
+	}()
+}
+
+// Reacquire locks the same declaration twice through a helper on another
+// instance — instance nesting the abstraction deliberately ignores.
+type Node struct {
+	mu   sync.Mutex
+	next *Node
+}
+
+// LockChain takes parent then child of the same lock declaration.
+func (n *Node) LockChain() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.next != nil {
+		n.next.lockSelf()
+	}
+}
+
+func (n *Node) lockSelf() {
+	n.mu.Lock()
+	n.mu.Unlock()
+}

@@ -1,0 +1,212 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"aic/internal/analysis"
+)
+
+// flagAnalyzer reports at every use of the identifier flagme — a
+// minimal rule whose diagnostics the suppression-scope cases aim at.
+var flagAnalyzer = &analysis.Analyzer{
+	Name: "testrule",
+	Doc:  "flags every use of flagme",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || id.Name != "flagme" {
+					return true
+				}
+				if _, isUse := pass.TypesInfo.Uses[id]; isUse {
+					pass.Reportf(id.Pos(), "use of flagme")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// runCase type-checks one source string (no imports, no go list) and runs
+// the flag analyzer plus the suppression filter over it.
+func runCase(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "case.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var conf types.Config
+	pkg, err := conf.Check("case", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	loaded := &analysis.Package{Path: "case", Fset: fset, Files: []*ast.File{f}, Types: pkg, Info: info}
+	diags, err := analysis.Run([]*analysis.Package{loaded}, []*analysis.Analyzer{flagAnalyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+func TestSuppressionScopes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// want is the full expected diagnostic set, as "<line>:<analyzer>".
+		want []string
+	}{
+		{
+			name: "same line",
+			src: `package p
+func flagme() {}
+func a() {
+	flagme() //aiclint:ignore testrule deliberate here
+}
+`,
+			want: nil,
+		},
+		{
+			name: "line above",
+			src: `package p
+func flagme() {}
+func a() {
+	//aiclint:ignore testrule deliberate here
+	flagme()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "directive above multi-line statement covers continuation lines",
+			src: `package p
+func flagme(a, b int) int { return a + b }
+func f() {
+	//aiclint:ignore testrule the wrapped call is deliberate
+	_ = flagme(1,
+		flagme(2, 3))
+}
+`,
+			want: nil,
+		},
+		{
+			name: "func-doc scope on a method with a receiver",
+			src: `package p
+func flagme() {}
+type T struct{}
+
+// Work does flagged things throughout.
+//
+//aiclint:ignore testrule the whole method is exempt, receiver and all
+func (t *T) Work() {
+	flagme()
+	flagme()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "directive on the last line of the file",
+			src: `package p
+func flagme() {}
+func z() { flagme() } //aiclint:ignore testrule trailing directive, no newline after`,
+			want: nil,
+		},
+		{
+			name: "directive without a reason suppresses nothing and is reported",
+			src: `package p
+func flagme() {}
+func n() {
+	flagme() //aiclint:ignore testrule
+}
+`,
+			want: []string{"4:aiclint", "4:testrule"},
+		},
+		{
+			name: "directive naming another analyzer does not apply",
+			src: `package p
+func flagme() {}
+func o() {
+	flagme() //aiclint:ignore otherrule reasons that apply elsewhere
+}
+`,
+			want: []string{"4:testrule"},
+		},
+		{
+			name: "directive two lines above is out of scope",
+			src: `package p
+func flagme() {}
+func g() {
+	//aiclint:ignore testrule too far away
+
+	flagme()
+}
+`,
+			want: []string{"6:testrule"},
+		},
+		{
+			name: "doc directive covers only its own declaration",
+			src: `package p
+func flagme() {}
+
+//aiclint:ignore testrule only this function
+func covered() {
+	flagme()
+}
+
+func uncovered() {
+	flagme()
+}
+`,
+			want: []string{"10:testrule"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := runCase(t, tc.src)
+			var got []string
+			for _, d := range diags {
+				got = append(got, strings.Join([]string{itoa(d.Position.Line), d.Analyzer}, ":"))
+			}
+			if !equal(got, tc.want) {
+				t.Errorf("diagnostics = %v, want %v\nfull: %v", got, tc.want, diags)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -87,6 +87,9 @@ type flakyPeer struct {
 
 var errPeerDown = errors.New("chaos: peer is down")
 
+// Put fails while the peer is down, else delegates to the level store.
+//
+//aiclint:ignore durableflow chaos harness peer: volatility is the fault being injected; durability is the property the harness verifies elsewhere
 func (f *flakyPeer) Put(ctx context.Context, proc string, seq int, data []byte) error {
 	if f.down.Load() {
 		return errPeerDown

@@ -406,6 +406,8 @@ func expect(br *bufio.Reader, maxFrame int, want byte) ([]byte, error) {
 
 // Put implements storage.Store: a resumable, windowed transfer. Each retry
 // re-negotiates the offset, so bytes staged before a cut are not resent.
+//
+//aiclint:ignore durableflow the wire client cannot fsync the server's disk; durability lives behind the kindPutDone reply, which durableflow checks where the server emits it
 func (r *RemoteStore) Put(ctx context.Context, proc string, seq int, data []byte) error {
 	crc := crc32.Checksum(data, crcTable)
 	return r.timedDo(ctx, "put", func(conn net.Conn, br *bufio.Reader) error {

@@ -331,6 +331,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 				// A retried commit after the ack was lost: if the object is
 				// already durable this is a success, not an error.
 				if haveKey && s.isCommitted(curKey) {
+					//aiclint:ignore durableflow retried commit: isCommitted proves an earlier commitPut already made these bytes durable; this reply re-acks that commit
 					if err := writeFrame(conn, kindPutDone, nil); err != nil {
 						return err
 					}

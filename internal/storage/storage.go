@@ -165,6 +165,8 @@ func (ls *LevelStore) Target() Target { return ls.target }
 // sequence order. Proc names are validated even though a map key cannot
 // traverse anywhere: the in-memory store models the durable ones, and a
 // name the FSStore would reject must not silently work here.
+//
+//aiclint:ignore durableflow deliberately volatile: the in-memory level models bandwidth tiers for simulation; FSStore carries the durable contract
 func (ls *LevelStore) Put(ctx context.Context, proc string, seq int, data []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
